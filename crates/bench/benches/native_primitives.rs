@@ -1,0 +1,77 @@
+//! Criterion benches of the native `sync-primitives` crate on the host:
+//! uncontended fast paths plus a small contended smoke test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sync_primitives::{CentralizedBarrier, DisseminationBarrier, McsLock, TicketLock, TreeBarrier};
+
+fn bench_uncontended_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native/lock_uncontended");
+    let ticket = TicketLock::new();
+    g.bench_function("ticket", |b| {
+        b.iter(|| {
+            ticket.lock();
+            ticket.unlock();
+        })
+    });
+    let mcs = McsLock::new();
+    g.bench_function("mcs", |b| {
+        b.iter(|| {
+            let t = mcs.lock();
+            mcs.unlock(t);
+        })
+    });
+    let std_mutex = Mutex::new(());
+    g.bench_function("std_mutex", |b| {
+        b.iter(|| {
+            drop(std_mutex.lock().unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_single_thread_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native/barrier_single");
+    let cb = CentralizedBarrier::new(1);
+    g.bench_function("centralized", |b| b.iter(|| cb.wait()));
+    let db = DisseminationBarrier::new(1);
+    g.bench_function("dissemination", |b| b.iter(|| db.wait(0)));
+    let tb = TreeBarrier::new(1);
+    g.bench_function("tree", |b| b.iter(|| tb.wait(0)));
+    g.finish();
+}
+
+fn bench_contended_ticket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native/lock_contended");
+    g.sample_size(10);
+    g.bench_function("ticket_2threads", |b| {
+        b.iter(|| {
+            let lock = Arc::new(TicketLock::new());
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let lock = Arc::clone(&lock);
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        for _ in 0..200 {
+                            lock.lock();
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            lock.unlock();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 400);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended_locks, bench_single_thread_barriers, bench_contended_ticket);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation A6: colocating the ticket lock's two counters in one cache
+//! block (one record, as Figure 1 declares them) versus giving each its
+//! own block (the protocol-conscious layout the experiments use).
+
+use kernels::locks::{self, McsFlush};
+use kernels::workloads::LockKind;
+use sim_machine::{Machine, MachineConfig};
+
+fn main() {
+    println!("\nAblation A6: ticket-counter layout (32 processors)");
+    println!("{:<10}{:>12}{:>12}{:>12}{:>12}", "protocol", "layout", "latency", "misses", "updates");
+    for proto in ppc_bench::PROTOCOLS {
+        for colocated in [false, true] {
+            let w = ppc_bench::lock_workload(LockKind::Ticket);
+            let mut m = Machine::new(MachineConfig::paper(32, proto));
+            let layout = locks::install_with_options(&mut m, &w, colocated, McsFlush::default());
+            let r = m.run();
+            locks::verify(&mut m, &w, &layout);
+            println!(
+                "{:<10}{:>12}{:>12.1}{:>12}{:>12}",
+                proto.label(),
+                if colocated { "colocated" } else { "padded" },
+                r.avg_latency(w.total_acquires as u64, w.cs_cycles as u64),
+                r.traffic.misses.total_misses(),
+                r.traffic.updates.total()
+            );
+        }
+    }
+}

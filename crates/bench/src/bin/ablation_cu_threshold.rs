@@ -1,0 +1,35 @@
+//! Ablation A1: sensitivity of the competitive-update protocol to its drop
+//! threshold (the paper fixes it at 4 updates).
+
+use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::workloads::{BarrierKind, LockKind};
+use sim_machine::MachineConfig;
+use sim_proto::Protocol;
+
+fn main() {
+    println!("\nAblation A1: CU drop threshold (32 processors)");
+    println!("{:<22}{:>8}{:>12}{:>12}{:>12}", "workload", "thresh", "latency", "misses", "updates");
+    for threshold in [1u32, 2, 4, 8, 16] {
+        for (name, kernel) in [
+            ("ticket lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
+            ("MCS lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Mcs))),
+            (
+                "dissemination barrier",
+                KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Dissemination)),
+            ),
+        ] {
+            let mut cfg = MachineConfig::paper(32, Protocol::CompetitiveUpdate);
+            cfg.cu_threshold = threshold;
+            let spec = ExperimentSpec { procs: 32, protocol: Protocol::CompetitiveUpdate, kernel };
+            let out = run_experiment_configured(&spec, cfg);
+            println!(
+                "{:<22}{:>8}{:>12.1}{:>12}{:>12}",
+                name,
+                threshold,
+                out.avg_latency,
+                out.traffic.misses.total_misses(),
+                out.traffic.updates.total()
+            );
+        }
+    }
+}

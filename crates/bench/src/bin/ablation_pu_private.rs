@@ -1,0 +1,40 @@
+//! Ablation A2: effect of the pure-update private-data optimization
+//! (Section 3.1, optimization 1).
+//!
+//! Contended lock blocks always have many sharers, so private mode never
+//! engages there; the interesting regimes are uncontended (1-processor)
+//! runs, where a processor's working blocks would otherwise write through
+//! on every store.
+
+use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::workloads::LockKind;
+use sim_machine::MachineConfig;
+use sim_proto::Protocol;
+
+fn main() {
+    println!("\nAblation A2: PU private-data optimization");
+    println!("{:<8}{:<8}{:>10}{:>12}{:>12}{:>12}", "procs", "lock", "private", "latency", "misses", "updates");
+    for procs in [1usize, 2, 32] {
+        for kind in [LockKind::Ticket, LockKind::Mcs] {
+            for opt in [true, false] {
+                let mut cfg = MachineConfig::paper(procs, Protocol::PureUpdate);
+                cfg.pu_private_opt = opt;
+                let spec = ExperimentSpec {
+                    procs,
+                    protocol: Protocol::PureUpdate,
+                    kernel: KernelSpec::Lock(ppc_bench::lock_workload(kind)),
+                };
+                let out = run_experiment_configured(&spec, cfg);
+                println!(
+                    "{:<8}{:<8}{:>10}{:>12.1}{:>12}{:>12}",
+                    procs,
+                    kind.label(),
+                    opt,
+                    out.avg_latency,
+                    out.traffic.misses.total_misses(),
+                    out.traffic.updates.total()
+                );
+            }
+        }
+    }
+}

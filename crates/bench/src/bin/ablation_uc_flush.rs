@@ -1,0 +1,32 @@
+//! Ablation A4: which side of the update-conscious MCS flush matters —
+//! flushing only the predecessor's queue node, only the successor's, or
+//! both (the paper's variant).
+
+use kernels::locks::{self, McsFlush};
+use kernels::workloads::LockKind;
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+fn main() {
+    println!("\nAblation A4: update-conscious MCS flush sides (32 processors, PU)");
+    println!("{:<18}{:>12}{:>12}{:>12}", "flush", "latency", "misses", "updates");
+    for (name, flush) in [
+        ("none (plain MCS)", McsFlush { pred: false, succ: false }),
+        ("pred only", McsFlush { pred: true, succ: false }),
+        ("succ only", McsFlush { pred: false, succ: true }),
+        ("both (paper uc)", McsFlush { pred: true, succ: true }),
+    ] {
+        let w = ppc_bench::lock_workload(LockKind::Mcs);
+        let mut m = Machine::new(MachineConfig::paper(32, Protocol::PureUpdate));
+        let layout = locks::install_with_options(&mut m, &w, false, flush);
+        let r = m.run();
+        locks::verify(&mut m, &w, &layout);
+        println!(
+            "{:<18}{:>12.1}{:>12}{:>12}",
+            name,
+            r.avg_latency(w.total_acquires as u64, w.cs_cycles as u64),
+            r.traffic.misses.total_misses(),
+            r.traffic.updates.total()
+        );
+    }
+}

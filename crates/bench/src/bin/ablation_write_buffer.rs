@@ -1,0 +1,30 @@
+//! Ablation A3: effect of the write-buffer depth (the paper uses 4
+//! entries).
+//!
+//! The lock kernels issue at most one store between fences, so they are
+//! insensitive to depth; the tree barrier re-arms up to four child flags
+//! back to back and then signals its parent, which is exactly the burst a
+//! deeper buffer absorbs.
+
+use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::workloads::{BarrierKind, LockKind};
+use sim_machine::MachineConfig;
+
+fn main() {
+    println!("\nAblation A3: write-buffer depth (32 processors)");
+    println!("{:<22}{:<10}{:>8}{:>12}", "workload", "protocol", "entries", "latency");
+    for (name, kernel) in [
+        ("tree barrier", KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Tree))),
+        ("ticket lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
+    ] {
+        for proto in ppc_bench::PROTOCOLS {
+            for entries in [1usize, 2, 4, 8] {
+                let mut cfg = MachineConfig::paper(32, proto);
+                cfg.wb_entries = entries;
+                let spec = ExperimentSpec { procs: 32, protocol: proto, kernel };
+                let out = run_experiment_configured(&spec, cfg);
+                println!("{:<22}{:<10}{:>8}{:>12.1}", name, proto.label(), entries, out.avg_latency);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Extension: the full lock family including the TAS/TTAS and Anderson
+//! array-queue baselines from Mellor-Crummey & Scott's study, across
+//! protocols and machine sizes.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::LockKind;
+
+fn main() {
+    let rows: Vec<_> = [
+        LockKind::TestAndSet,
+        LockKind::TestAndTestAndSet,
+        LockKind::Ticket,
+        LockKind::AndersonQueue,
+        LockKind::Mcs,
+        LockKind::McsUpdateConscious,
+    ]
+    .into_iter()
+    .flat_map(|kind| {
+        ppc_bench::PROTOCOLS.into_iter().map(move |proto| {
+            (
+                format!("{} {}", kind.label(), proto.label()),
+                KernelSpec::Lock(ppc_bench::lock_workload(kind)),
+                proto,
+            )
+        })
+    })
+    .collect();
+    ppc_bench::latency_table(
+        "Extension: full lock family acquire-release latency (cycles)",
+        &rows,
+    );
+}

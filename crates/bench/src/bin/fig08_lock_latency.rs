@@ -1,0 +1,12 @@
+//! Figure 8: average acquire–release latency of the ticket, MCS, and
+//! update-conscious MCS locks under WI/PU/CU, versus machine size.
+//!
+//! Each processor runs `32000/P` iterations of {acquire; 50 cycles of
+//! work; release}; the reported latency is `T/32000 − 50`.
+
+fn main() {
+    ppc_bench::latency_table(
+        "Figure 8: spin-lock acquire-release latency (cycles)",
+        &ppc_bench::lock_rows(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 9: classified miss traffic of the spin-lock synthetic program at
+//! 32 processors (cold / true sharing / false sharing / eviction / drop,
+//! plus exclusive-request transactions).
+
+fn main() {
+    ppc_bench::miss_table(
+        "Figure 9: spin-lock miss traffic at 32 processors",
+        &ppc_bench::lock_rows(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 10: classified update traffic of the spin-lock synthetic program
+//! at 32 processors, for the update-based protocols.
+
+fn main() {
+    ppc_bench::update_table(
+        "Figure 10: spin-lock update traffic at 32 processors",
+        &ppc_bench::lock_update_rows(),
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 11: average barrier-episode latency of the centralized,
+//! dissemination, and tree barriers under WI/PU/CU, versus machine size.
+//!
+//! Each processor runs 5000 barrier episodes in a tight loop; the reported
+//! latency is `T/5000`.
+
+fn main() {
+    ppc_bench::latency_table(
+        "Figure 11: barrier episode latency (cycles)",
+        &ppc_bench::barrier_rows(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 12: classified miss traffic of the barrier synthetic program at
+//! 32 processors.
+
+fn main() {
+    ppc_bench::miss_table(
+        "Figure 12: barrier miss traffic at 32 processors",
+        &ppc_bench::barrier_rows(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 13: classified update traffic of the barrier synthetic program
+//! at 32 processors, for the update-based protocols.
+
+fn main() {
+    ppc_bench::update_table(
+        "Figure 13: barrier update traffic at 32 processors",
+        &ppc_bench::barrier_update_rows(),
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 14: average latency of a whole reduction operation (parallel
+//! vs. sequential) under WI/PU/CU, versus machine size.
+//!
+//! Each processor runs 5000 reductions; locks and barriers are the
+//! simulator's zero-traffic magic primitives, as in Section 4.3.
+
+fn main() {
+    ppc_bench::latency_table(
+        "Figure 14: reduction latency (cycles)",
+        &ppc_bench::reduction_rows(),
+    );
+}

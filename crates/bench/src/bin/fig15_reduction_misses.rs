@@ -1,0 +1,9 @@
+//! Figure 15: classified miss traffic of the reduction synthetic program
+//! at 32 processors.
+
+fn main() {
+    ppc_bench::miss_table(
+        "Figure 15: reduction miss traffic at 32 processors",
+        &ppc_bench::reduction_rows(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 16: classified update traffic of the reduction synthetic program
+//! at 32 processors, for the update-based protocols.
+
+fn main() {
+    ppc_bench::update_table(
+        "Figure 16: reduction update traffic at 32 processors",
+        &ppc_bench::reduction_update_rows(),
+    );
+}

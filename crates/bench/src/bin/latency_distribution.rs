@@ -1,0 +1,41 @@
+//! Latency distributions behind the averages.
+//!
+//! Figure 8 reports average acquire–release latency; the averages hide the
+//! tail behavior that distinguishes the protocols. This binary prints the
+//! log₂-bucketed distribution of individual read-miss and atomic stall
+//! times for the lock kernels.
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::LockKind;
+use sim_stats::LatencyHist;
+
+fn print_hist(name: &str, h: &LatencyHist) {
+    println!(
+        "  {name:<22} n={:<8} mean={:<8.1} p50≤{:<6} p99≤{:<6} max={}",
+        h.count(),
+        h.mean(),
+        h.quantile_bound(0.5),
+        h.quantile_bound(0.99),
+        h.max()
+    );
+    let total = h.count().max(1);
+    for (lo, n) in h.nonempty_buckets() {
+        let bar = "#".repeat((60 * n / total).max(1) as usize);
+        println!("    {lo:>7}+ {n:>9} {bar}");
+    }
+}
+
+fn main() {
+    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+        for proto in ppc_bench::PROTOCOLS {
+            let out = run_experiment(&ExperimentSpec {
+                procs: 32,
+                protocol: proto,
+                kernel: KernelSpec::Lock(ppc_bench::lock_workload(kind)),
+            });
+            println!("\n{} {} (32 processors):", kind.label(), proto.label());
+            print_hist("read-miss stalls", &out.read_latency);
+            print_hist("atomic stalls", &out.atomic_latency);
+        }
+    }
+}

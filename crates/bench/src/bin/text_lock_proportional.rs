@@ -1,0 +1,27 @@
+//! Section 4.1 text variant: the ratio of work outside and inside the
+//! critical section equals the number of processors (±10%), a controlled
+//! contention level. The paper reports qualitatively unchanged results.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::{LockKind, PostRelease};
+
+fn main() {
+    println!("\nSection 4.1 variant: outside/inside work ratio = P (±10%)");
+    print!("{:<10}", "combo");
+    for p in ppc_bench::PROC_SWEEP {
+        print!("{p:>10}");
+    }
+    println!();
+    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+        for proto in ppc_bench::PROTOCOLS {
+            print!("{:<10}", format!("{} {}", kind.label(), proto.label()));
+            for procs in ppc_bench::PROC_SWEEP {
+                let mut w = ppc_bench::lock_workload(kind);
+                w.post_release = PostRelease::Proportional { ratio: procs as u32 };
+                let out = ppc_bench::run_cell(procs, proto, KernelSpec::Lock(w));
+                print!("{:>10.1}", out.avg_latency);
+            }
+            println!();
+        }
+    }
+}

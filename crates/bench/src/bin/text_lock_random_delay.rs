@@ -1,0 +1,24 @@
+//! Section 4.1 text variant: instead of re-acquiring immediately after a
+//! release, processors waste a pseudo-random (bounded) amount of time,
+//! reducing lock contention. The paper reports qualitatively unchanged
+//! results; this binary lets you check.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::{LockKind, PostRelease};
+
+fn main() {
+    let rows: Vec<_> = [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious]
+        .into_iter()
+        .flat_map(|kind| {
+            ppc_bench::PROTOCOLS.into_iter().map(move |proto| {
+                let mut w = ppc_bench::lock_workload(kind);
+                w.post_release = PostRelease::Random { bound: 2 * w.cs_cycles };
+                (format!("{} {}", kind.label(), proto.label()), KernelSpec::Lock(w), proto)
+            })
+        })
+        .collect();
+    ppc_bench::latency_table(
+        "Section 4.1 variant: lock latency with random post-release delay (cycles)",
+        &rows,
+    );
+}

@@ -1,0 +1,24 @@
+//! Section 4.3 text variant: load imbalance staggers processors' arrivals
+//! at the reduction, reducing lock contention. The paper reports that
+//! parallel reductions become more efficient than sequential ones, but
+//! update-based parallel reductions still beat WI parallel reductions.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::ReductionKind;
+
+fn main() {
+    let rows: Vec<_> = [ReductionKind::Sequential, ReductionKind::Parallel]
+        .into_iter()
+        .flat_map(|kind| {
+            ppc_bench::PROTOCOLS.into_iter().map(move |proto| {
+                let mut w = ppc_bench::reduction_workload(kind);
+                w.skew = 2000; // up to ~2000 cycles of per-episode imbalance
+                (format!("{} {}", kind.label(), proto.label()), KernelSpec::Reduction(w), proto)
+            })
+        })
+        .collect();
+    ppc_bench::latency_table(
+        "Section 4.3 variant: reduction latency under load imbalance (cycles)",
+        &rows,
+    );
+}

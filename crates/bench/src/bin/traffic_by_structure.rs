@@ -1,0 +1,76 @@
+//! Per-structure traffic attribution — the paper's analysis style applied
+//! systematically. Section 4.2 asserts, for example, that "the vast
+//! majority of this useless traffic corresponds to changes in the
+//! centralized counter"; this binary prints the update and miss breakdown
+//! *per shared data structure* so such statements can be read directly
+//! off the table.
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::{BarrierKind, LockKind, ReductionKind};
+use sim_proto::Protocol;
+use sim_stats::TrafficReport;
+
+fn print_breakdown(title: &str, traffic: &TrafficReport) {
+    println!("\n{title}");
+    println!(
+        "{:<22}{:>10}{:>10}{:>10}{:>12}{:>10}",
+        "structure", "misses", "updates", "useful", "useless", "share%"
+    );
+    let grand: u64 = traffic.updates.total() + traffic.misses.total_misses();
+    // Aggregate per-processor instances (qnode[3] → qnode[*]) for brevity.
+    let mut agg: Vec<(String, sim_stats::MissStats, sim_stats::UpdateStats)> = Vec::new();
+    for s in &traffic.by_structure {
+        let base = match s.name.find('[') {
+            Some(i) => format!("{}[*]", &s.name[..i]),
+            None => s.name.clone(),
+        };
+        match agg.iter_mut().find(|(n, _, _)| *n == base) {
+            Some((_, m, u)) => {
+                m.merge(&s.misses);
+                u.merge(&s.updates);
+            }
+            None => agg.push((base, s.misses, s.updates)),
+        }
+    }
+    for (name, m, u) in agg {
+        let sub = u.total() + m.total_misses();
+        if sub == 0 {
+            continue;
+        }
+        println!(
+            "{:<22}{:>10}{:>10}{:>10}{:>12}{:>10.1}",
+            name,
+            m.total_misses(),
+            u.total(),
+            u.useful(),
+            u.useless(),
+            100.0 * sub as f64 / grand.max(1) as f64
+        );
+    }
+}
+
+fn main() {
+    let cases: Vec<(&str, KernelSpec)> = vec![
+        (
+            "ticket lock, 32p, PU",
+            KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket)),
+        ),
+        ("MCS lock, 32p, PU", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Mcs))),
+        (
+            "centralized barrier, 32p, PU",
+            KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Centralized)),
+        ),
+        (
+            "tree barrier, 32p, PU",
+            KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Tree)),
+        ),
+        (
+            "sequential reduction, 32p, PU",
+            KernelSpec::Reduction(ppc_bench::reduction_workload(ReductionKind::Sequential)),
+        ),
+    ];
+    for (name, kernel) in cases {
+        let out = run_experiment(&ExperimentSpec { procs: 32, protocol: Protocol::PureUpdate, kernel });
+        print_breakdown(name, &out.traffic);
+    }
+}

@@ -1,0 +1,279 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a binary
+//! in `src/bin/` that regenerates it:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig08_lock_latency` | Figure 8: lock acquire–release latency vs. P |
+//! | `fig09_lock_misses` | Figure 9: lock miss traffic at 32 processors |
+//! | `fig10_lock_updates` | Figure 10: lock update traffic at 32 processors |
+//! | `fig11_barrier_latency` | Figure 11: barrier episode latency vs. P |
+//! | `fig12_barrier_misses` | Figure 12: barrier miss traffic at 32 |
+//! | `fig13_barrier_updates` | Figure 13: barrier update traffic at 32 |
+//! | `fig14_reduction_latency` | Figure 14: reduction latency vs. P |
+//! | `fig15_reduction_misses` | Figure 15: reduction miss traffic at 32 |
+//! | `fig16_reduction_updates` | Figure 16: reduction update traffic at 32 |
+//! | `text_lock_random_delay` | §4.1 reduced-contention lock variant |
+//! | `text_lock_proportional` | §4.1 proportional-work lock variant |
+//! | `text_reduction_imbalance` | §4.3 load-imbalance reduction variant |
+//! | `ablation_*` | design-choice studies listed in DESIGN.md |
+//! | `all_figures` | every figure in sequence |
+//!
+//! Run with `cargo run --release -p ppc-bench --bin <target>`. Set
+//! `PPC_SCALE` (e.g. `0.1`) to scale iteration counts down for a quick
+//! pass; the default is the paper's full workload (32000 lock acquisitions,
+//! 5000 barrier/reduction episodes).
+
+use kernels::runner::{run_experiment, ExperimentOutcome, ExperimentSpec, KernelSpec};
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, ReductionKind, ReductionWorkload,
+};
+use sim_proto::Protocol;
+
+/// The protocols in the paper's label order (i, u, c).
+pub const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+/// Machine sizes swept by the latency figures.
+pub const PROC_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Machine size used by the traffic figures.
+pub const TRAFFIC_PROCS: usize = 32;
+
+/// Workload scale factor from the `PPC_SCALE` environment variable
+/// (default 1.0 = the paper's full iteration counts).
+pub fn scale() -> f64 {
+    std::env::var("PPC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`], with a sane floor.
+pub fn scaled(n: u32) -> u32 {
+    ((n as f64 * scale()) as u32).max(64)
+}
+
+/// The paper's lock workload at the current scale.
+pub fn lock_workload(kind: LockKind) -> LockWorkload {
+    LockWorkload { total_acquires: scaled(32_000), ..LockWorkload::paper(kind) }
+}
+
+/// The paper's barrier workload at the current scale.
+pub fn barrier_workload(kind: BarrierKind) -> BarrierWorkload {
+    BarrierWorkload { episodes: scaled(5_000), ..BarrierWorkload::paper(kind) }
+}
+
+/// The paper's reduction workload at the current scale.
+pub fn reduction_workload(kind: ReductionKind) -> ReductionWorkload {
+    ReductionWorkload { episodes: scaled(5_000), ..ReductionWorkload::paper(kind) }
+}
+
+/// Runs one kernel/protocol/size cell.
+pub fn run_cell(procs: usize, protocol: Protocol, kernel: KernelSpec) -> ExperimentOutcome {
+    run_experiment(&ExperimentSpec { procs, protocol, kernel })
+}
+
+/// Writes `rows` (first row = header) as CSV into `$PPC_CSV_DIR/<name>.csv`
+/// when that environment variable is set; otherwise does nothing. Lets the
+/// figure binaries feed plotting scripts without changing their stdout.
+pub fn maybe_csv(name: &str, rows: &[Vec<String>]) {
+    let Ok(dir) = std::env::var("PPC_CSV_DIR") else { return };
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    let body: String = rows.iter().map(|r| r.join(",") + "\n").collect();
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Prints a latency table: one row per (algorithm, protocol) combination,
+/// one column per machine size — the data behind Figures 8, 11, and 14.
+/// Also emits `$PPC_CSV_DIR/<title-slug>.csv` when requested.
+pub fn latency_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    println!("\n{title}");
+    print!("{:<10}", "combo");
+    for p in PROC_SWEEP {
+        print!("{p:>10}");
+    }
+    println!();
+    let mut csv: Vec<Vec<String>> = vec![std::iter::once("combo".to_string())
+        .chain(PROC_SWEEP.iter().map(|p| p.to_string()))
+        .collect()];
+    for (label, kernel, protocol) in rows {
+        print!("{label:<10}");
+        let mut csv_row = vec![label.clone()];
+        for procs in PROC_SWEEP {
+            let out = run_cell(procs, *protocol, *kernel);
+            print!("{:>10.1}", out.avg_latency);
+            csv_row.push(format!("{:.1}", out.avg_latency));
+        }
+        println!();
+        csv.push(csv_row);
+    }
+    maybe_csv(&slug(title), &csv);
+}
+
+/// Lower-cases and hyphenates a table title into a file stem.
+pub fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// Prints a miss-classification table at 32 processors — the data behind
+/// Figures 9, 12, and 15.
+pub fn miss_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    println!("\n{title}");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "combo", "total", "cold", "true", "false", "evict", "drop", "excl-req"
+    );
+    for (label, kernel, protocol) in rows {
+        let out = run_cell(TRAFFIC_PROCS, *protocol, *kernel);
+        let m = out.traffic.misses;
+        println!(
+            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+            label,
+            m.total_misses(),
+            m.cold,
+            m.true_sharing,
+            m.false_sharing,
+            m.eviction,
+            m.drop,
+            m.exclusive_requests
+        );
+    }
+}
+
+/// Prints an update-classification table at 32 processors — the data
+/// behind Figures 10, 13, and 16. (Replacement updates are reported but,
+/// as in the paper, never observed.)
+pub fn update_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    println!("\n{title}");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "combo", "total", "useful", "false", "prolif", "repl", "end", "drop"
+    );
+    for (label, kernel, protocol) in rows {
+        let out = run_cell(TRAFFIC_PROCS, *protocol, *kernel);
+        let u = out.traffic.updates;
+        println!(
+            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+            label,
+            u.total(),
+            u.true_sharing,
+            u.false_sharing,
+            u.proliferation,
+            u.replacement,
+            u.termination,
+            u.drop
+        );
+    }
+}
+
+/// Rows for the lock figures: {tk, MCS, uc} × {i, u, c}.
+pub fn lock_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    let mut rows = Vec::new();
+    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+        for proto in PROTOCOLS {
+            rows.push((
+                format!("{} {}", kind.label(), proto.label()),
+                KernelSpec::Lock(lock_workload(kind)),
+                proto,
+            ));
+        }
+    }
+    rows
+}
+
+/// Rows for the lock figures restricted to the update protocols (Fig 10).
+pub fn lock_update_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    lock_rows().into_iter().filter(|(_, _, p)| p.is_update_based()).collect()
+}
+
+/// Rows for the barrier figures: {cb, db, tb} × {i, u, c}.
+pub fn barrier_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    let mut rows = Vec::new();
+    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree] {
+        for proto in PROTOCOLS {
+            rows.push((
+                format!("{} {}", kind.label(), proto.label()),
+                KernelSpec::Barrier(barrier_workload(kind)),
+                proto,
+            ));
+        }
+    }
+    rows
+}
+
+/// Barrier rows restricted to the update protocols (Fig 13).
+pub fn barrier_update_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    barrier_rows().into_iter().filter(|(_, _, p)| p.is_update_based()).collect()
+}
+
+/// Rows for the reduction figures: {sr, pr} × {i, u, c}.
+pub fn reduction_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    let mut rows = Vec::new();
+    for kind in [ReductionKind::Sequential, ReductionKind::Parallel] {
+        for proto in PROTOCOLS {
+            rows.push((
+                format!("{} {}", kind.label(), proto.label()),
+                KernelSpec::Reduction(reduction_workload(kind)),
+                proto,
+            ));
+        }
+    }
+    rows
+}
+
+/// Reduction rows restricted to the update protocols (Fig 16).
+pub fn reduction_update_rows() -> Vec<(String, KernelSpec, Protocol)> {
+    reduction_rows().into_iter().filter(|(_, _, p)| p.is_update_based()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builders_cover_all_combinations() {
+        assert_eq!(lock_rows().len(), 9);
+        assert_eq!(lock_update_rows().len(), 6);
+        assert_eq!(barrier_rows().len(), 9);
+        assert_eq!(barrier_update_rows().len(), 6);
+        assert_eq!(reduction_rows().len(), 6);
+        assert_eq!(reduction_update_rows().len(), 4);
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        // Without PPC_SCALE set the full counts come through.
+        assert!(scaled(32_000) >= 64);
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("Figure 8: spin-lock latency (cycles)"), "figure-8-spin-lock-latency-cycles");
+        assert_eq!(slug("---"), "");
+    }
+
+    #[test]
+    fn maybe_csv_writes_when_dir_set() {
+        let dir = std::env::temp_dir().join(format!("ppc-csv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("PPC_CSV_DIR", &dir);
+        maybe_csv("t", &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]]);
+        std::env::remove_var("PPC_CSV_DIR");
+        let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

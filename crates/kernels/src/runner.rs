@@ -1,0 +1,159 @@
+//! Uniform experiment runner: spec in, paper-style measurements out.
+
+use sim_machine::{Machine, MachineConfig};
+use sim_net::NetCounters;
+use sim_proto::Protocol;
+use sim_stats::TrafficReport;
+
+use crate::workloads::{BarrierWorkload, LockWorkload, ReductionWorkload};
+use crate::{barriers, locks, reductions};
+
+/// Which kernel an experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelSpec {
+    /// The Section 4.1 lock program.
+    Lock(LockWorkload),
+    /// The Section 4.2 barrier program.
+    Barrier(BarrierWorkload),
+    /// The Section 4.3 reduction program.
+    Reduction(ReductionWorkload),
+}
+
+/// One experiment: a kernel on a machine size under a protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Number of processors.
+    pub procs: usize,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// The kernel and its parameters.
+    pub kernel: KernelSpec,
+}
+
+/// Measurements from one experiment, in the paper's units.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Total execution time in cycles.
+    pub cycles: u64,
+    /// The figure's y-axis value: average acquire–release latency
+    /// (Figure 8), barrier episode latency (Figure 11), or reduction
+    /// latency (Figure 14), in processor cycles.
+    pub avg_latency: f64,
+    /// Classified traffic (Figures 9/10, 12/13, 15/16).
+    pub traffic: TrafficReport,
+    /// Raw network counters.
+    pub net: NetCounters,
+    /// Distribution of shared-read miss stall times.
+    pub read_latency: sim_stats::LatencyHist,
+    /// Distribution of atomic-operation stall times.
+    pub atomic_latency: sim_stats::LatencyHist,
+}
+
+/// Builds the machine, installs the kernel, runs it, verifies kernel
+/// postconditions, and reduces the measurements to the paper's metrics.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
+    run_experiment_configured(spec, MachineConfig::paper(spec.procs, spec.protocol))
+}
+
+/// [`run_experiment`] with an explicit machine configuration (used by the
+/// ablation benches to vary thresholds, buffer depths, and optimizations).
+pub fn run_experiment_configured(spec: &ExperimentSpec, cfg: MachineConfig) -> ExperimentOutcome {
+    assert_eq!(cfg.num_procs, spec.procs);
+    assert_eq!(cfg.protocol, spec.protocol);
+    let mut m = Machine::new(cfg);
+    match spec.kernel {
+        KernelSpec::Lock(w) => {
+            let layout = locks::install(&mut m, &w);
+            let r = m.run();
+            locks::verify(&mut m, &w, &layout);
+            ExperimentOutcome {
+                cycles: r.cycles,
+                // Figure 8: execution time / 32000 − 50.
+                avg_latency: r.avg_latency(w.total_acquires as u64, w.cs_cycles as u64),
+                traffic: r.traffic,
+                net: r.net,
+                read_latency: r.read_latency,
+                atomic_latency: r.atomic_latency,
+            }
+        }
+        KernelSpec::Barrier(w) => {
+            let layout = barriers::install(&mut m, &w);
+            let r = m.run();
+            barriers::verify(&mut m, &w, &layout);
+            ExperimentOutcome {
+                cycles: r.cycles,
+                // Figure 11: execution time / 5000.
+                avg_latency: r.avg_latency(w.episodes as u64, 0),
+                traffic: r.traffic,
+                net: r.net,
+                read_latency: r.read_latency,
+                atomic_latency: r.atomic_latency,
+            }
+        }
+        KernelSpec::Reduction(w) => {
+            let layout = reductions::install(&mut m, &w);
+            let r = m.run();
+            reductions::verify(&mut m, &w, &layout);
+            ExperimentOutcome {
+                cycles: r.cycles,
+                // Figure 14: execution time / 5000.
+                avg_latency: r.avg_latency(w.episodes as u64, 0),
+                traffic: r.traffic,
+                net: r.net,
+                read_latency: r.read_latency,
+                atomic_latency: r.atomic_latency,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{BarrierKind, LockKind, PostRelease, ReductionKind};
+
+    #[test]
+    fn lock_latency_metric_subtracts_work() {
+        let spec = ExperimentSpec {
+            procs: 1,
+            protocol: Protocol::WriteInvalidate,
+            kernel: KernelSpec::Lock(LockWorkload {
+                kind: LockKind::Ticket,
+                total_acquires: 100,
+                cs_cycles: 50,
+                post_release: PostRelease::None,
+            }),
+        };
+        let out = run_experiment(&spec);
+        assert!(out.avg_latency > 0.0);
+        // Uncontended single-processor latency is small: well under the
+        // cost of one remote miss round trip.
+        assert!(out.avg_latency < 100.0, "got {}", out.avg_latency);
+    }
+
+    #[test]
+    fn barrier_latency_metric_is_per_episode() {
+        let spec = ExperimentSpec {
+            procs: 4,
+            protocol: Protocol::PureUpdate,
+            kernel: KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Dissemination, episodes: 25 }),
+        };
+        let out = run_experiment(&spec);
+        assert!((out.avg_latency - out.cycles as f64 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_runs_through_runner() {
+        let spec = ExperimentSpec {
+            procs: 2,
+            protocol: Protocol::CompetitiveUpdate,
+            kernel: KernelSpec::Reduction(ReductionWorkload {
+                kind: ReductionKind::Parallel,
+                episodes: 8,
+                skew: 0,
+            }),
+        };
+        let out = run_experiment(&spec);
+        assert!(out.cycles > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate provides the time base shared by every component of the
+//! `ppc-coherence` multiprocessor simulator:
+//!
+//! * [`Cycle`] — the simulated processor-cycle clock (network and memory run
+//!   at the same clock, as in the paper's methodology section).
+//! * [`EventQueue`] — a binary-heap event queue with deterministic
+//!   tie-breaking: events scheduled for the same cycle fire in insertion
+//!   order, so a simulation run is a pure function of its configuration.
+//! * [`FifoServer`] — an earliest-free-time resource model used for memory
+//!   modules and network-interface ports, which are the only contention
+//!   points the paper models.
+//! * [`SplitMix64`] — a tiny deterministic PRNG for the workload variants
+//!   that need bounded pseudo-random delays.
+
+pub mod queue;
+pub mod rng;
+pub mod server;
+
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use server::FifoServer;
+
+/// A point in simulated time, measured in processor cycles.
+///
+/// The simulated machine is fully synchronous: the network and the memory
+/// modules are clocked at the processor frequency (Section 3.1 of the
+/// paper), so a single `u64` cycle count suffices for every component.
+pub type Cycle = u64;
+
+/// Identifier of a node (processor + cache + memory + network interface).
+pub type NodeId = usize;

@@ -1,0 +1,187 @@
+//! Deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An entry in the event queue: fires at `at`, carrying payload `E`.
+///
+/// `seq` breaks ties between events scheduled for the same cycle: events
+/// inserted earlier fire earlier. This makes the whole simulation
+/// deterministic regardless of heap internals.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (cycle, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-ordered event queue over simulated cycles with FIFO tie-breaking.
+///
+/// ```
+/// use sim_engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// q.schedule(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b"))); // same-cycle events pop in insertion order
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at cycle 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+
+    /// The cycle of the most recently popped event (0 before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past (before the last popped event); the
+    /// simulator never rewinds time.
+    pub fn schedule(&mut self, at: Cycle, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Schedules `payload` to fire `delay` cycles from the current cycle.
+    pub fn schedule_in(&mut self, delay: Cycle, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// The cycle of the next pending event, if any.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(5, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.schedule_in(3, ());
+        assert_eq!(q.pop(), Some((8, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(9, ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(4, "a");
+        q.schedule(4, "b");
+        assert_eq!(q.pop(), Some((4, "a")));
+        // Scheduling another event at the same (current) cycle is allowed and
+        // must fire after previously queued same-cycle events.
+        q.schedule(4, "c");
+        assert_eq!(q.pop(), Some((4, "b")));
+        assert_eq!(q.pop(), Some((4, "c")));
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+        q.schedule(12, ());
+        q.schedule(3, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_cycle(), Some(3));
+    }
+}

@@ -1,0 +1,1059 @@
+//! The machine: nodes, network, event loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_engine::{Cycle, EventQueue, FifoServer, NodeId};
+use sim_isa::{Instr, Program};
+use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
+use sim_net::Network;
+use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
+use sim_stats::Classifier;
+
+use crate::config::MachineConfig;
+use crate::cpu::{Cpu, CpuState, PendingAtomicIssue};
+use crate::result::RunResult;
+
+/// Events driving the machine.
+#[derive(Debug)]
+enum Ev {
+    /// Resume interpreting processor `n`.
+    CpuStep(NodeId),
+    /// A message finished its network journey and reached its destination.
+    Deliver(Msg),
+    /// A home-side message finished its memory-module service.
+    HomeHandle(Msg),
+    /// Try to issue the head of node `n`'s write buffer.
+    WbIssue(NodeId),
+}
+
+/// State of one zero-traffic magic lock.
+#[derive(Debug, Default)]
+struct MagicLock {
+    holder: Option<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+/// A fully assembled simulated multiprocessor.
+///
+/// Typical use: build with [`Machine::new`], lay out shared data with
+/// [`Machine::alloc`] and [`Machine::poke_word`], install per-processor
+/// programs with [`Machine::set_program`], then [`Machine::run`].
+pub struct Machine {
+    cfg: MachineConfig,
+    geom: Geometry,
+    queue: EventQueue<Ev>,
+    net: Network,
+    mem_srv: Vec<FifoServer>,
+    nodes: Vec<ProtoNode>,
+    cpus: Vec<Cpu>,
+    wbs: Vec<WriteBuffer>,
+    clf: Classifier,
+    alloc: SharedAlloc,
+    barrier_waiting: Vec<NodeId>,
+    magic_locks: HashMap<u32, MagicLock>,
+    halted: usize,
+    last_halt: Cycle,
+    trace: Option<crate::trace::Trace>,
+    read_latency: sim_stats::LatencyHist,
+    atomic_latency: sim_stats::LatencyHist,
+}
+
+impl Machine {
+    /// Builds a machine; every processor starts with an empty (immediately
+    /// halting) program.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let geom = Geometry::new(cfg.num_procs);
+        let proto_cfg = cfg.proto_config();
+        Machine {
+            geom,
+            net: Network::new(cfg.num_procs, cfg.net.clone()),
+            mem_srv: vec![FifoServer::new(); cfg.num_procs],
+            nodes: (0..cfg.num_procs)
+                .map(|i| ProtoNode::new(i, geom, proto_cfg.clone()))
+                .collect(),
+            cpus: (0..cfg.num_procs)
+                .map(|i| Cpu::new(Program::default(), cfg.seed, i, 4096))
+                .collect(),
+            wbs: vec![],
+            clf: Classifier::new(geom),
+            alloc: SharedAlloc::new(geom),
+            barrier_waiting: Vec::new(),
+            magic_locks: HashMap::new(),
+            halted: 0,
+            last_halt: 0,
+            trace: None,
+            read_latency: sim_stats::LatencyHist::new(),
+            atomic_latency: sim_stats::LatencyHist::new(),
+            queue: EventQueue::new(),
+            cfg,
+        }
+    }
+
+    /// Enables message-level tracing into a buffer of `capacity` events
+    /// (see [`crate::trace`]). Call before [`Machine::run`]; collect with
+    /// [`Machine::take_trace`].
+    pub fn enable_trace(&mut self, trace: crate::trace::Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<crate::trace::Trace> {
+        self.trace.take()
+    }
+
+    /// The machine's address-space geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The shared-memory allocator (use before [`Machine::run`]).
+    pub fn alloc(&mut self) -> &mut SharedAlloc {
+        &mut self.alloc
+    }
+
+    /// Installs processor `n`'s program.
+    pub fn set_program(&mut self, n: NodeId, program: Program) {
+        program.validate().expect("invalid program");
+        self.cpus[n].program = program;
+    }
+
+    /// Writes `val` directly into `addr`'s home memory (initialization).
+    pub fn poke_word(&mut self, addr: Addr, val: Word) {
+        let home = self.geom.home_of(addr);
+        let geom = self.geom;
+        self.nodes[home].mem.write_word(&geom, addr, val);
+    }
+
+    /// Coherently reads the current value of `addr` (dirty copy in any
+    /// cache, else home memory). For post-run assertions — the run may end
+    /// with completion messages still in flight, so this scans caches for a
+    /// `Modified`/`PrivateUpd` copy rather than trusting the directory.
+    pub fn read_word(&mut self, addr: Addr) -> Word {
+        let home = self.geom.home_of(addr);
+        let block = self.geom.block_of(addr);
+        let geom = self.geom;
+        for node in &self.nodes {
+            if matches!(
+                node.cache.state_of(block),
+                Some(sim_mem::LineState::Modified | sim_mem::LineState::PrivateUpd)
+            ) {
+                if let Some(v) = node.cache.read_word(&geom, addr) {
+                    return v;
+                }
+            }
+        }
+        self.nodes[home].mem.read_word(&geom, addr)
+    }
+
+    /// Runs the machine until every processor halts; returns measurements.
+    /// A machine runs once; the final memory image stays inspectable via
+    /// [`Machine::read_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (no events pending while processors are stalled),
+    /// when the clock exceeds [`MachineConfig::max_cycles`], or on a second
+    /// `run` call.
+    pub fn run(&mut self) -> RunResult {
+        assert!(self.wbs.is_empty(), "Machine::run called twice");
+        self.wbs = (0..self.cfg.num_procs).map(|_| WriteBuffer::new(self.cfg.wb_entries)).collect();
+        for n in 0..self.cfg.num_procs {
+            self.queue.schedule(0, Ev::CpuStep(n));
+        }
+        while self.halted < self.cfg.num_procs {
+            let Some((now, ev)) = self.queue.pop() else {
+                panic!(
+                    "deadlock at cycle {}: {} of {} processors halted; states: {:?}",
+                    self.queue.now(),
+                    self.halted,
+                    self.cfg.num_procs,
+                    self.cpus.iter().map(|c| (c.pc, format!("{:?}", c.state))).collect::<Vec<_>>()
+                );
+            };
+            assert!(
+                now <= self.cfg.max_cycles,
+                "exceeded max_cycles ({}): possible livelock",
+                self.cfg.max_cycles
+            );
+            self.handle_event(now, ev);
+        }
+        // Drain in-flight protocol traffic so memory, directories, and the
+        // update classification settle (execution time is already fixed at
+        // the last halt; these events cost no measured cycles).
+        while let Some((now, ev)) = self.queue.pop() {
+            if !matches!(ev, Ev::CpuStep(_)) {
+                self.handle_event(now, ev);
+            }
+        }
+        let instructions = self.cpus.iter().map(|c| c.instructions).sum();
+        let traffic = self.clf.finish().clone();
+        let per_node = (0..self.cfg.num_procs)
+            .map(|n| crate::result::NodeStats {
+                instructions: self.cpus[n].instructions,
+                mem_busy: self.mem_srv[n].busy_cycles(),
+                tx_busy: self.net.tx_busy(n),
+                rx_busy: self.net.rx_busy(n),
+            })
+            .collect();
+        RunResult {
+            cycles: self.last_halt,
+            traffic,
+            net: self.net.counters().clone(),
+            instructions,
+            per_node,
+            read_latency: std::mem::take(&mut self.read_latency),
+            atomic_latency: std::mem::take(&mut self.atomic_latency),
+        }
+    }
+
+    fn handle_event(&mut self, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::CpuStep(n) => match self.cpus[n].state {
+                CpuState::Ready => self.run_cpu(n, now),
+                CpuState::SpinSleep => {
+                    self.cpus[n].state = CpuState::Ready;
+                    self.run_cpu(n, now);
+                }
+                // A stale wake (the CPU moved on for another reason).
+                _ => {}
+            },
+            Ev::Deliver(msg) => match msg.mem_service() {
+                MemService::None => {
+                    self.trace_handle(&msg, now);
+                    let dst = msg.dst;
+                    let fx = self.nodes[dst].handle_msg(msg, &mut self.clf, now);
+                    self.process_effects(dst, fx, now);
+                }
+                svc => {
+                    let cycles = self.service_cycles(svc);
+                    let done = self.mem_srv[msg.dst].occupy(now, cycles);
+                    self.queue.schedule(done, Ev::HomeHandle(msg));
+                }
+            },
+            Ev::HomeHandle(msg) => {
+                self.trace_handle(&msg, now);
+                let dst = msg.dst;
+                let fx = self.nodes[dst].handle_msg(msg, &mut self.clf, now);
+                self.process_effects(dst, fx, now);
+            }
+            Ev::WbIssue(n) => self.try_issue_wb(n, now),
+        }
+    }
+
+    fn trace_handle(&mut self, msg: &Msg, now: Cycle) {
+        if let Some(t) = &mut self.trace {
+            t.push(crate::trace::TraceEvent::Handle {
+                at: now,
+                src: msg.src,
+                dst: msg.dst,
+                kind: msg.kind.name(),
+                addr: msg.addr,
+            });
+        }
+    }
+
+    fn service_cycles(&self, svc: MemService) -> Cycle {
+        match svc {
+            MemService::None => 0,
+            MemService::Word => self.cfg.mem.word_service(),
+            MemService::Block => self.cfg.mem.block_service(self.geom.words_per_block()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor interpretation
+    // ------------------------------------------------------------------
+
+    fn run_cpu(&mut self, n: NodeId, now: Cycle) {
+        let mut t = now;
+        // Guard against pure-ALU infinite loops starving the event queue.
+        let mut budget: u32 = 1_000_000;
+        loop {
+            debug_assert!(matches!(self.cpus[n].state, CpuState::Ready));
+            budget -= 1;
+            if budget == 0 {
+                self.queue.schedule(t, Ev::CpuStep(n));
+                return;
+            }
+            let pc = self.cpus[n].pc;
+            let instr = self.cpus[n].program.code.get(pc).cloned().unwrap_or(Instr::Halt);
+            // Instructions that interact with shared state must observe it
+            // at their own cycle, not the batch's start: re-enter then.
+            let time_sensitive = matches!(
+                instr,
+                Instr::Load(..)
+                    | Instr::Store(..)
+                    | Instr::FetchAdd(..)
+                    | Instr::FetchStore(..)
+                    | Instr::Cas(..)
+                    | Instr::Flush(..)
+                    | Instr::Fence
+                    | Instr::SpinWhileEq(..)
+                    | Instr::SpinWhileNe(..)
+                    | Instr::MagicBarrier
+                    | Instr::MagicAcquire(..)
+                    | Instr::MagicRelease(..)
+            );
+            if time_sensitive && t > now {
+                self.queue.schedule(t, Ev::CpuStep(n));
+                return;
+            }
+            self.cpus[n].instructions += 1;
+            match instr {
+                Instr::Imm(rd, v) => {
+                    self.cpus[n].regs[rd] = v;
+                    self.cpus[n].pc += 1;
+                    t += 1;
+                }
+                Instr::Mov(rd, rs) => {
+                    self.cpus[n].regs[rd] = self.cpus[n].regs[rs];
+                    self.cpus[n].pc += 1;
+                    t += 1;
+                }
+                Instr::Alu(op, rd, ra, rb) => {
+                    let c = &mut self.cpus[n];
+                    c.regs[rd] = op.apply(c.regs[ra], c.regs[rb]);
+                    c.pc += 1;
+                    t += 1;
+                }
+                Instr::AluI(op, rd, ra, imm) => {
+                    let c = &mut self.cpus[n];
+                    c.regs[rd] = op.apply(c.regs[ra], imm);
+                    c.pc += 1;
+                    t += 1;
+                }
+                Instr::LoadPriv(rd, ra, off) => {
+                    let c = &mut self.cpus[n];
+                    let idx = c.regs[ra].wrapping_add(off) as usize;
+                    c.regs[rd] = c.private[idx];
+                    c.pc += 1;
+                    t += 1;
+                }
+                Instr::StorePriv(ra, off, rs) => {
+                    let c = &mut self.cpus[n];
+                    let idx = c.regs[ra].wrapping_add(off) as usize;
+                    c.private[idx] = c.regs[rs];
+                    c.pc += 1;
+                    t += 1;
+                }
+                Instr::Jmp(x) => {
+                    self.cpus[n].pc = x;
+                    t += 1;
+                }
+                Instr::Bez(rs, x) => {
+                    let c = &mut self.cpus[n];
+                    c.pc = if c.regs[rs] == 0 { x } else { c.pc + 1 };
+                    t += 1;
+                }
+                Instr::Bnz(rs, x) => {
+                    let c = &mut self.cpus[n];
+                    c.pc = if c.regs[rs] != 0 { x } else { c.pc + 1 };
+                    t += 1;
+                }
+                Instr::Delay(cycles) => {
+                    self.cpus[n].pc += 1;
+                    self.queue.schedule(t + (cycles as Cycle).max(1), Ev::CpuStep(n));
+                    return;
+                }
+                Instr::DelayReg(r) => {
+                    let cycles = self.cpus[n].regs[r] as Cycle;
+                    self.cpus[n].pc += 1;
+                    self.queue.schedule(t + cycles.max(1), Ev::CpuStep(n));
+                    return;
+                }
+                Instr::RandDelay(bound) => {
+                    let d = if bound == 0 { 0 } else { self.cpus[n].rng.next_below(bound as u64) };
+                    self.cpus[n].pc += 1;
+                    self.queue.schedule(t + 1 + d, Ev::CpuStep(n));
+                    return;
+                }
+                Instr::Load(rd, ra, off) => {
+                    let addr = self.cpus[n].regs[ra].wrapping_add(off);
+                    self.clf.count_read();
+                    self.clf.word_referenced(n, addr);
+                    if let Some(v) = self.wbs[n].forward(addr) {
+                        self.cpus[n].regs[rd] = v;
+                        self.cpus[n].pc += 1;
+                        t += 1;
+                        continue;
+                    }
+                    let fx = self.nodes[n].cpu_read(addr, &mut self.clf, t);
+                    if let Some(v) = fx.read_done {
+                        self.cpus[n].regs[rd] = v;
+                        self.cpus[n].pc += 1;
+                        t += 1;
+                        continue;
+                    }
+                    self.cpus[n].state = CpuState::StallRead { rd };
+                    self.cpus[n].stall_since = t;
+                    self.process_effects(n, fx, t);
+                    return;
+                }
+                Instr::Store(ra, off, rs) => {
+                    let addr = self.cpus[n].regs[ra].wrapping_add(off);
+                    let val = self.cpus[n].regs[rs];
+                    self.clf.count_write();
+                    self.clf.word_write_referenced(n, addr);
+                    if self.wbs[n].is_full() {
+                        self.cpus[n].state = CpuState::StallWbFull { addr, val };
+                        return;
+                    }
+                    self.wbs[n].push(sim_mem::PendingWrite { addr, val });
+                    self.queue.schedule(t + 1, Ev::WbIssue(n));
+                    self.cpus[n].pc += 1;
+                    t += 1;
+                }
+                Instr::FetchAdd(rd, ra, rb) => {
+                    let (addr, operand) = (self.cpus[n].regs[ra], self.cpus[n].regs[rb]);
+                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::FetchAdd, operand, operand2: 0 }, t);
+                    return;
+                }
+                Instr::FetchStore(rd, ra, rb) => {
+                    let (addr, operand) = (self.cpus[n].regs[ra], self.cpus[n].regs[rb]);
+                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::FetchStore, operand, operand2: 0 }, t);
+                    return;
+                }
+                Instr::Cas(rd, ra, rb, rc) => {
+                    let (addr, operand, operand2) =
+                        (self.cpus[n].regs[ra], self.cpus[n].regs[rb], self.cpus[n].regs[rc]);
+                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::CompareAndSwap, operand, operand2 }, t);
+                    return;
+                }
+                Instr::Flush(ra) => {
+                    let addr = self.cpus[n].regs[ra];
+                    let block = self.geom.block_of(addr);
+                    if self.wbs[n].has_write_in_block(block.0, self.cfg.cache.block_bytes) {
+                        // The flush is ordered after this processor's own
+                        // queued stores to the block.
+                        self.cpus[n].state = CpuState::StallFlush { addr };
+                        return;
+                    }
+                    let fx = self.nodes[n].cpu_flush(addr, &mut self.clf, t);
+                    self.cpus[n].pc += 1;
+                    self.process_effects(n, fx, t);
+                    t += 1;
+                }
+                Instr::Fence => {
+                    if self.wbs[n].is_empty() && self.nodes[n].sync_complete() {
+                        self.cpus[n].pc += 1;
+                        t += 1;
+                        continue;
+                    }
+                    self.cpus[n].state = CpuState::StallFence { atomic: None };
+                    return;
+                }
+                Instr::SpinWhileEq(ra, rb) | Instr::SpinWhileNe(ra, rb) => {
+                    let spin_while_ne = matches!(instr, Instr::SpinWhileNe(..));
+                    let addr = self.cpus[n].regs[ra];
+                    let cmp = self.cpus[n].regs[rb];
+                    if !self.spin_check(n, addr, cmp, spin_while_ne, &mut t) {
+                        return;
+                    }
+                }
+                Instr::MagicBarrier => {
+                    self.cpus[n].pc += 1;
+                    self.cpus[n].state = CpuState::InBarrier;
+                    self.barrier_waiting.push(n);
+                    self.release_barrier_if_full(t);
+                    return;
+                }
+                Instr::MagicAcquire(l) => {
+                    let lock = self.magic_locks.entry(l).or_default();
+                    if lock.holder.is_none() {
+                        lock.holder = Some(n);
+                        self.cpus[n].pc += 1;
+                        t += self.cfg.magic_lock_cycles;
+                    } else {
+                        lock.queue.push_back(n);
+                        self.cpus[n].state = CpuState::WaitLock(l);
+                        return;
+                    }
+                }
+                Instr::MagicRelease(l) => {
+                    let cost = self.cfg.magic_lock_cycles;
+                    let lock = self.magic_locks.entry(l).or_default();
+                    assert_eq!(lock.holder, Some(n), "magic release of a lock not held");
+                    if let Some(next) = lock.queue.pop_front() {
+                        lock.holder = Some(next);
+                        // The waiter parked on its acquire instruction; hand
+                        // it the lock and move it past the acquire.
+                        self.cpus[next].pc += 1;
+                        self.wake_cpu(next, t + cost);
+                    } else {
+                        lock.holder = None;
+                    }
+                    self.cpus[n].pc += 1;
+                    t += cost;
+                }
+                Instr::Halt => {
+                    self.cpus[n].state = CpuState::Halted;
+                    self.halted += 1;
+                    self.last_halt = self.last_halt.max(t);
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(crate::trace::TraceEvent::Halt { at: t, node: n });
+                    }
+                    // A halting processor may complete a pending barrier
+                    // among the remaining ones.
+                    self.release_barrier_if_full(t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Executes one busy-wait check at time `*t`. Returns `true` when the
+    /// spin exits and interpretation may continue, `false` when the
+    /// processor stalled or went to sleep (caller returns).
+    fn spin_check(&mut self, n: NodeId, addr: Addr, cmp: Word, spin_while_ne: bool, t: &mut Cycle) -> bool {
+        self.clf.count_read();
+        self.clf.word_referenced(n, addr);
+        let (val, from_wb) = match self.wbs[n].forward(addr) {
+            Some(v) => (v, true),
+            None => {
+                let fx = self.nodes[n].cpu_read(addr, &mut self.clf, *t);
+                match fx.read_done {
+                    Some(v) => (v, false),
+                    None => {
+                        // Check missed: fetch the line, then re-execute.
+                        self.cpus[n].state = CpuState::StallSpinRead;
+                        self.cpus[n].stall_since = *t;
+                        self.process_effects(n, fx, *t);
+                        return false;
+                    }
+                }
+            }
+        };
+        let exit = if spin_while_ne { val == cmp } else { val != cmp };
+        let period = self.cfg.spin_check_period;
+        if exit {
+            self.cpus[n].pc += 1;
+            *t += period; // the successful check still costs one iteration
+            return true;
+        }
+        if from_wb || !self.cfg.spin_parking {
+            // Re-check on the period grid without parking.
+            self.cpus[n].state = CpuState::SpinSleep;
+            self.queue.schedule(*t + period, Ev::CpuStep(n));
+        } else {
+            self.cpus[n].state = CpuState::SpinParked { addr, cmp, spin_while_ne, start: *t };
+        }
+        false
+    }
+
+    fn start_atomic(&mut self, n: NodeId, pai: PendingAtomicIssue, t: Cycle) {
+        self.clf.count_atomic();
+        self.clf.word_referenced(n, pai.addr);
+        // Atomic instructions force write-buffer flushes (Section 3.1), and
+        // under release consistency the flush also settles outstanding acks.
+        if self.wbs[n].is_empty() && self.nodes[n].sync_complete() {
+            self.issue_atomic(n, pai, t);
+        } else {
+            self.cpus[n].state = CpuState::StallFence { atomic: Some(pai) };
+        }
+    }
+
+    fn issue_atomic(&mut self, n: NodeId, pai: PendingAtomicIssue, now: Cycle) {
+        let fx = self.nodes[n].cpu_atomic(pai.op, pai.addr, pai.operand, pai.operand2, &mut self.clf, now);
+        if let Some(old) = fx.atomic_done {
+            self.cpus[n].regs[pai.rd] = old;
+            self.cpus[n].pc += 1;
+            self.cpus[n].state = CpuState::Ready;
+            self.queue.schedule(now + 1, Ev::CpuStep(n));
+            // Consume atomic_done before generic processing.
+            let fx = Effects { atomic_done: None, ..fx };
+            self.process_effects(n, fx, now);
+        } else {
+            self.cpus[n].state = CpuState::StallAtomic { rd: pai.rd };
+            self.cpus[n].stall_since = now;
+            self.process_effects(n, fx, now);
+        }
+    }
+
+    fn release_barrier_if_full(&mut self, now: Cycle) {
+        let alive = self.cfg.num_procs - self.halted;
+        if alive > 0 && self.barrier_waiting.len() == alive {
+            let cost = self.cfg.magic_barrier_cycles;
+            for w in std::mem::take(&mut self.barrier_waiting) {
+                self.wake_cpu(w, now + cost);
+            }
+        }
+    }
+
+    fn wake_cpu(&mut self, n: NodeId, at: Cycle) {
+        self.cpus[n].state = CpuState::Ready;
+        self.queue.schedule(at, Ev::CpuStep(n));
+    }
+
+    // ------------------------------------------------------------------
+    // Effect processing
+    // ------------------------------------------------------------------
+
+    fn process_effects(&mut self, x: NodeId, fx: Effects, now: Cycle) {
+        for m in fx.sends {
+            if let Some(t) = &mut self.trace {
+                t.push(crate::trace::TraceEvent::Send {
+                    at: now,
+                    src: m.src,
+                    dst: m.dst,
+                    kind: m.kind.name(),
+                    addr: m.addr,
+                });
+            }
+            let at = self.net.send(now, m.src, m.dst, m.payload_bytes());
+            self.queue.schedule(at, Ev::Deliver(m));
+        }
+        for m in fx.requeue_home {
+            // Deferred directory requests were charged their full memory
+            // service on first arrival; re-dispatch after the blocking
+            // transaction completes is a controller action, not a new DRAM
+            // access (re-charging would make a queue of n deferred
+            // requests cost O(n^2) memory occupancy).
+            self.queue.schedule(now + 1, Ev::HomeHandle(m));
+        }
+        if let Some(v) = fx.read_done {
+            match self.cpus[x].state {
+                CpuState::StallRead { rd } => {
+                    self.read_latency.record(now.saturating_sub(self.cpus[x].stall_since));
+                    self.cpus[x].regs[rd] = v;
+                    self.cpus[x].pc += 1;
+                    self.wake_cpu(x, now + 1);
+                }
+                CpuState::StallSpinRead => {
+                    // Re-execute the spin instruction; the line is now
+                    // cached, so the re-check hits.
+                    self.read_latency.record(now.saturating_sub(self.cpus[x].stall_since));
+                    self.wake_cpu(x, now + 1);
+                }
+                ref other => panic!("read completion in state {other:?}"),
+            }
+        }
+        if fx.write_retired {
+            self.wbs[x].pop_head();
+            self.queue.schedule(now + 1, Ev::WbIssue(x));
+            match self.cpus[x].state {
+                CpuState::StallWbFull { addr, val } => {
+                    self.clf.word_write_referenced(x, addr);
+                    self.wbs[x].push(sim_mem::PendingWrite { addr, val });
+                    self.cpus[x].pc += 1;
+                    self.wake_cpu(x, now + 1);
+                }
+                CpuState::StallFlush { addr } => {
+                    let block = self.geom.block_of(addr);
+                    if !self.wbs[x].has_write_in_block(block.0, self.cfg.cache.block_bytes) {
+                        let fx2 = self.nodes[x].cpu_flush(addr, &mut self.clf, now);
+                        self.cpus[x].pc += 1;
+                        self.wake_cpu(x, now + 1);
+                        self.process_effects(x, fx2, now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(old) = fx.atomic_done {
+            match self.cpus[x].state {
+                CpuState::StallAtomic { rd } => {
+                    self.atomic_latency.record(now.saturating_sub(self.cpus[x].stall_since));
+                    self.cpus[x].regs[rd] = old;
+                    self.cpus[x].pc += 1;
+                    self.wake_cpu(x, now + 1);
+                }
+                ref other => panic!("atomic completion in state {other:?}"),
+            }
+        }
+        if !fx.touched_blocks.is_empty() {
+            if let CpuState::SpinParked { addr, start, .. } = self.cpus[x].state {
+                let block = self.geom.block_of(addr);
+                if fx.touched_blocks.contains(&block) {
+                    // Wake onto the original re-check grid, strictly after
+                    // the touching event.
+                    let period = self.cfg.spin_check_period;
+                    let elapsed = now + 1 - start;
+                    let k = elapsed.div_ceil(period).max(1);
+                    self.cpus[x].state = CpuState::SpinSleep;
+                    self.queue.schedule(start + k * period, Ev::CpuStep(x));
+                }
+            }
+        }
+        if fx.sync_progress || fx.write_retired {
+            self.recheck_fence(x, now);
+        }
+    }
+
+    fn recheck_fence(&mut self, x: NodeId, now: Cycle) {
+        if let CpuState::StallFence { atomic } = self.cpus[x].state {
+            if self.wbs[x].is_empty() && self.nodes[x].sync_complete() {
+                match atomic {
+                    None => {
+                        self.cpus[x].pc += 1;
+                        self.wake_cpu(x, now + 1);
+                    }
+                    Some(pai) => self.issue_atomic(x, pai, now),
+                }
+            }
+        }
+    }
+
+    fn try_issue_wb(&mut self, n: NodeId, now: Cycle) {
+        if let Some(w) = self.wbs[n].head_to_issue() {
+            self.wbs[n].mark_head_issued();
+            let fx = self.nodes[n].issue_write(w.addr, w.val, &mut self.clf, now);
+            self.process_effects(n, fx, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{AluOp, ProgramBuilder};
+    use sim_proto::Protocol;
+
+    fn machine(procs: usize, protocol: Protocol) -> Machine {
+        Machine::new(MachineConfig::paper(procs, protocol))
+    }
+
+    #[test]
+    fn empty_programs_halt_immediately() {
+        let mut m = machine(4, Protocol::WriteInvalidate);
+        let r = m.run();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.traffic.misses.total_misses(), 0);
+    }
+
+    #[test]
+    fn single_write_and_read_roundtrip_wi() {
+        let mut m = machine(2, Protocol::WriteInvalidate);
+        let addr = m.alloc().alloc_block_on(1, 1);
+        assert_eq!(m.read_word(addr), 0);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, addr).imm(1, 42).store(0, 0, 1).fence();
+        b.load(2, 0, 0);
+        b.imm(3, addr + 4).store(3, 0, 2).fence().halt();
+        m.set_program(0, b.build());
+        let r = m.run();
+        assert!(r.cycles > 0);
+        assert!(r.traffic.misses.cold >= 1, "the store misses cold");
+        assert_eq!(m.read_word(addr), 42);
+        assert_eq!(m.read_word(addr + 4), 42, "load saw the written value");
+    }
+
+    #[test]
+    fn final_memory_observable_after_run_under_all_protocols() {
+        for p in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+            let mut m = machine(2, p);
+            let addr = m.alloc().alloc_block_on(0, 1);
+            let mut b = ProgramBuilder::new();
+            b.imm(0, addr).imm(1, 7).store(0, 0, 1).fence().halt();
+            m.set_program(0, b.build());
+            let mut b1 = ProgramBuilder::new();
+            // CPU1 spins until it sees 7.
+            b1.imm(0, addr).imm(1, 7).spin_while_ne(0, 1).halt();
+            m.set_program(1, b1.build());
+            let r = m.run();
+            assert!(r.cycles > 0, "protocol {p:?}");
+            assert_eq!(m.read_word(addr), 7, "protocol {p:?}");
+        }
+    }
+
+    #[test]
+    fn producer_consumer_handoff_all_protocols() {
+        // CPU0 writes data then sets a flag; CPU1 spins on the flag then
+        // copies data out; CPU0's write must be visible (release via fence).
+        for p in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+            let mut m = machine(2, p);
+            let data = m.alloc().alloc_block_on(0, 1);
+            let flag = m.alloc().alloc_block_on(0, 1);
+            let out = m.alloc().alloc_block_on(1, 1);
+            let mut b0 = ProgramBuilder::new();
+            b0.imm(0, data).imm(1, 123).store(0, 0, 1);
+            b0.fence();
+            b0.imm(2, flag).imm(3, 1).store(2, 0, 3).fence().halt();
+            let mut b1 = ProgramBuilder::new();
+            b1.imm(0, flag).imm(1, 1).spin_while_ne(0, 1);
+            b1.imm(2, data).load(3, 2, 0);
+            b1.imm(4, out).store(4, 0, 3).fence().halt();
+            m.set_program(0, b0.build());
+            m.set_program(1, b1.build());
+            let r = m.run();
+            assert!(r.cycles > 10, "protocol {p:?} ran");
+            assert_eq!(m.read_word(out), 123, "protocol {p:?} handoff");
+        }
+    }
+
+    #[test]
+    fn fetch_add_serializes_across_cpus() {
+        for p in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+            let mut m = machine(4, p);
+            let ctr = m.alloc().alloc_block_on(0, 1);
+            for n in 0..4 {
+                let mut b = ProgramBuilder::new();
+                b.imm(0, ctr).imm(1, 1).imm(2, 25);
+                b.label("loop");
+                b.fetch_add(3, 0, 1);
+                b.alui(AluOp::Sub, 2, 2, 1);
+                b.bnz(2, "loop");
+                b.halt();
+                m.set_program(n, b.build());
+            }
+            let r = m.run();
+            assert_eq!(r.traffic.shared_atomics, 100, "protocol {p:?}");
+            assert_eq!(m.read_word(ctr), 100, "protocol {p:?} atomicity");
+        }
+    }
+
+    #[test]
+    fn delay_consumes_cycles() {
+        let mut m = machine(1, Protocol::WriteInvalidate);
+        let mut b = ProgramBuilder::new();
+        b.delay(500).halt();
+        m.set_program(0, b.build());
+        let r = m.run();
+        assert!(r.cycles >= 500);
+        assert!(r.cycles < 520);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut m = machine(4, Protocol::CompetitiveUpdate);
+            let ctr = m.alloc().alloc_block_on(0, 2);
+            for n in 0..4 {
+                let mut b = ProgramBuilder::new();
+                b.imm(0, ctr).imm(1, 1).imm(2, 50);
+                b.label("loop");
+                b.fetch_add(3, 0, 1);
+                b.rand_delay(20);
+                b.alui(AluOp::Sub, 2, 2, 1);
+                b.bnz(2, "loop");
+                b.halt();
+                m.set_program(n, b.build());
+            }
+            m.run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.traffic.misses, b.traffic.misses);
+        assert_eq!(a.traffic.updates, b.traffic.updates);
+        assert_eq!(a.net.messages, b.net.messages);
+    }
+
+    #[test]
+    fn magic_barrier_synchronizes_without_traffic() {
+        let mut m = machine(8, Protocol::PureUpdate);
+        for n in 0..8 {
+            let mut b = ProgramBuilder::new();
+            b.imm(2, 10);
+            b.label("loop");
+            b.magic_barrier();
+            b.alui(AluOp::Sub, 2, 2, 1);
+            b.bnz(2, "loop");
+            b.halt();
+            m.set_program(n, b.build());
+        }
+        let r = m.run();
+        assert_eq!(r.net.messages, 0, "magic barrier generates no traffic");
+        assert_eq!(r.traffic.updates.total(), 0);
+    }
+
+    #[test]
+    fn magic_lock_is_fifo_and_exclusive() {
+        let mut m = machine(4, Protocol::WriteInvalidate);
+        // Increment a shared counter with plain load/store under the magic
+        // lock: exclusivity makes the count exact.
+        let ctr = m.alloc().alloc_block_on(0, 1);
+        for n in 0..4 {
+            let mut b = ProgramBuilder::new();
+            b.imm(0, ctr).imm(2, 20);
+            b.label("loop");
+            b.magic_acquire(0);
+            b.load(1, 0, 0);
+            b.alui(AluOp::Add, 1, 1, 1);
+            b.store(0, 0, 1);
+            b.fence();
+            b.magic_release(0);
+            b.alui(AluOp::Sub, 2, 2, 1);
+            b.bnz(2, "loop");
+            b.halt();
+            m.set_program(n, b.build());
+        }
+        let r = m.run();
+        assert!(r.cycles > 0);
+        assert_eq!(r.traffic.shared_writes, 80);
+        assert_eq!(m.read_word(ctr), 80, "lock provided mutual exclusion");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn spin_on_never_written_flag_deadlocks() {
+        let mut m = machine(1, Protocol::WriteInvalidate);
+        let flag = m.alloc().alloc_block_on(0, 1);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, flag).imm(1, 1).spin_while_ne(0, 1).halt();
+        m.set_program(0, b.build());
+        m.run();
+    }
+}
+
+impl Machine {
+    /// Prints directory and cache state for the block of `addr` (debug aid).
+    pub fn debug_dump(&self, addr: Addr) {
+        let block = self.geom.block_of(addr);
+        let home = self.geom.home_of(addr);
+        if let Some(e) = self.nodes[home].dir.get(block) {
+            println!("dir[{block:?}]@{home}: state={:?} owner={} sharers={:?} busy={}",
+                e.state, e.owner, e.sharers.iter().collect::<Vec<_>>(), e.busy);
+        } else {
+            println!("dir[{block:?}]@{home}: absent");
+        }
+        println!("mem word = {}", self.nodes[home].mem.read_word(&self.geom, addr));
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(s) = n.cache.state_of(block) {
+                println!("cache[{i}]: {:?} val={:?}", s, n.cache.read_word(&self.geom, addr));
+            }
+        }
+    }
+}
+
+impl Machine {
+    /// Prints per-node sync counters and write-buffer occupancy (debug aid).
+    pub fn debug_sync(&self) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let wb = self.wbs.get(i).map(|w| w.len()).unwrap_or(0);
+            println!(
+                "node {i}: wb={} pend_w={:?} pend_a={:?} acks {}/{} infos={} state={:?} pc={}",
+                wb, n.pending_write, n.pending_atomic.is_some(),
+                n.acks_received, n.acks_expected, n.update_infos_pending,
+                self.cpus[i].state, self.cpus[i].pc
+            );
+        }
+    }
+}
+
+impl Machine {
+    /// Asserts machine-wide coherence invariants; call after [`Machine::run`]
+    /// (when in-flight traffic has drained):
+    ///
+    /// * at most one cache holds any block dirty (`Modified`/`PrivateUpd`),
+    ///   and no clean copy coexists with a dirty one;
+    /// * every directory entry is quiescent (not busy, no deferred work)
+    ///   and agrees with the caches about owners and sharers.
+    pub fn assert_coherent(&self) {
+        use sim_mem::LineState;
+        let geom = self.geom;
+        // Gather every cached copy per block.
+        let mut copies: std::collections::HashMap<sim_mem::BlockAddr, Vec<(usize, LineState)>> =
+            std::collections::HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (block, state) in node.cache.resident_blocks() {
+                copies.entry(block).or_default().push((i, state));
+            }
+        }
+        for (block, holders) in &copies {
+            let dirty: Vec<_> = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, LineState::Modified | LineState::PrivateUpd))
+                .collect();
+            assert!(dirty.len() <= 1, "block {block:?} dirty in {dirty:?}");
+            if dirty.len() == 1 {
+                assert_eq!(
+                    holders.len(),
+                    1,
+                    "block {block:?} has a dirty copy alongside clean ones: {holders:?}"
+                );
+            }
+        }
+        for (h, node) in self.nodes.iter().enumerate() {
+            for (block, entry) in node.dir.iter() {
+                assert_eq!(geom.home_of(block.0), h, "directory entry on wrong home");
+                assert!(!entry.busy, "block {block:?} still busy at home {h}");
+                assert!(entry.waiting.is_empty(), "block {block:?} has deferred requests");
+                if entry.state == sim_mem::DirState::Owned {
+                    let owner_state = self.nodes[entry.owner].cache.state_of(*block);
+                    assert!(
+                        matches!(
+                            owner_state,
+                            Some(LineState::Modified) | Some(LineState::PrivateUpd)
+                        ),
+                        "block {block:?}: home {h} says node {} owns it, cache says {owner_state:?}",
+                        entry.owner
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Machine {
+    /// Registers a named shared-data structure (an address range) for
+    /// per-structure traffic attribution in the final report. Call before
+    /// [`Machine::run`]; see `TrafficReport::by_structure`.
+    pub fn register_structure(&mut self, name: &str, addr: Addr, words: u32) {
+        self.clf.register_structure(name, addr, words);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::{Trace, TraceEvent};
+    use sim_isa::ProgramBuilder;
+    use sim_proto::Protocol;
+
+    #[test]
+    fn trace_records_read_transaction() {
+        let mut m = Machine::new(MachineConfig::paper(2, Protocol::WriteInvalidate));
+        let addr = m.alloc().alloc_block_on(1, 1);
+        m.poke_word(addr, 5);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, addr).load(1, 0, 0).halt();
+        m.set_program(0, b.build());
+        m.enable_trace(Trace::new(64));
+        m.run();
+        let trace = m.take_trace().unwrap();
+        let kinds: Vec<&str> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Send { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["ReadShared", "Data"], "one request, one reply");
+        // Handle events and both halts recorded too.
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::Handle { kind: "ReadShared", .. })));
+        assert_eq!(
+            trace.events().iter().filter(|e| matches!(e, TraceEvent::Halt { .. })).count(),
+            2
+        );
+        assert!(!trace.render().is_empty());
+    }
+
+    #[test]
+    fn trace_filter_narrows_to_one_word() {
+        let mut m = Machine::new(MachineConfig::paper(2, Protocol::PureUpdate));
+        let a = m.alloc().alloc_block_on(1, 1);
+        let b_addr = m.alloc().alloc_block_on(1, 1);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, a).imm(1, 7).store(0, 0, 1);
+        b.imm(0, b_addr).store(0, 0, 1);
+        b.fence().halt();
+        m.set_program(0, b.build());
+        m.enable_trace(Trace::new(64).filter_addr(a));
+        m.run();
+        let trace = m.take_trace().unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Send { addr, .. } if *addr == b_addr)));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Send { addr, .. } if *addr == a)));
+    }
+}

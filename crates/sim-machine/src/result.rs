@@ -1,0 +1,81 @@
+//! Run results.
+
+use sim_engine::Cycle;
+use sim_net::NetCounters;
+use sim_stats::TrafficReport;
+
+/// Per-node resource accounting for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Instructions this processor retired.
+    pub instructions: u64,
+    /// Cycles this node's memory module spent servicing requests.
+    pub mem_busy: Cycle,
+    /// Cycles this node's transmit port spent moving flits.
+    pub tx_busy: Cycle,
+    /// Cycles this node's receive port spent accepting flits.
+    pub rx_busy: Cycle,
+}
+
+impl NodeStats {
+    /// Utilization of the node's memory module over `total` cycles.
+    pub fn mem_utilization(&self, total: Cycle) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_busy as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total execution time in processor cycles (the cycle the last
+    /// processor halted).
+    pub cycles: Cycle,
+    /// Classified miss and update traffic.
+    pub traffic: TrafficReport,
+    /// Network-level counters.
+    pub net: NetCounters,
+    /// Instructions retired, summed over processors.
+    pub instructions: u64,
+    /// Per-node resource accounting (hot homes and ports show up here —
+    /// e.g. node 0's memory under the centralized barrier).
+    pub per_node: Vec<NodeStats>,
+    /// Distribution of shared-read miss stall times.
+    pub read_latency: sim_stats::LatencyHist,
+    /// Distribution of atomic-operation stall times (issue to completion,
+    /// excluding the implicit write-buffer flush wait).
+    pub atomic_latency: sim_stats::LatencyHist,
+}
+
+impl RunResult {
+    /// Average latency helper used by the paper's synthetic programs:
+    /// total cycles divided by `episodes`, minus `work` cycles of
+    /// per-episode local work (e.g. `32000` acquire/release pairs with 50
+    /// cycles held, Figure 8).
+    pub fn avg_latency(&self, episodes: u64, work: Cycle) -> f64 {
+        self.cycles as f64 / episodes as f64 - work as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_matches_paper_formula() {
+        let r = RunResult {
+            cycles: 3_200_000,
+            traffic: TrafficReport::default(),
+            net: NetCounters::default(),
+            instructions: 0,
+            per_node: Vec::new(),
+            read_latency: Default::default(),
+            atomic_latency: Default::default(),
+        };
+        // 32000 episodes of (50 work + 50 latency) = 3.2M cycles.
+        assert!((r.avg_latency(32_000, 50) - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,345 @@
+//! Direct-mapped data cache.
+
+use crate::geometry::{Addr, BlockAddr, Geometry, Word};
+
+/// Coherence state of a cache line.
+///
+/// The three protocols use subsets of these states:
+///
+/// * **WI** uses `Shared` (clean, read-only) and `Modified` (dirty,
+///   exclusive), as in the DASH protocol.
+/// * **PU/CU** are write-through, so cached blocks are normally `Shared`
+///   (memory is up to date). The pure-update private-data optimization puts
+///   a block that only its writer caches into `PrivateUpd`, where writes
+///   stay local (dirty) until another node's access recalls it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LineState {
+    /// Clean copy; reads hit.
+    Shared,
+    /// Dirty exclusive copy (WI after a write).
+    Modified,
+    /// Update-protocol private mode: dirty, home has promised no other
+    /// sharers exist and updates may be retained locally.
+    PrivateUpd,
+}
+
+/// One cache line.
+#[derive(Debug, Clone)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    state: LineState,
+    data: Box<[Word]>,
+    /// Competitive-update counter: arriving updates increment it, local
+    /// references reset it; at the protocol threshold the line is dropped.
+    update_ctr: u32,
+}
+
+/// Cache sizing parameters (defaults follow the paper: 64 KB direct-mapped,
+/// 64-byte blocks).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity_bytes: 64 * 1024, block_bytes: 64 }
+    }
+}
+
+/// What [`Cache::fill`] displaced, if anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block address of the displaced line.
+    pub block: BlockAddr,
+    /// Its state at eviction (a `Modified`/`PrivateUpd` victim must be
+    /// written back by the protocol).
+    pub state: LineState,
+    /// The displaced data.
+    pub data: Box<[Word]>,
+}
+
+/// A direct-mapped, block-organized data cache.
+///
+/// Purely structural: it stores blocks, reports hits/misses and evictions,
+/// and leaves every coherence decision to the protocol layer.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    words_per_block: usize,
+    index_mask: u32,
+    lines: Vec<Line>,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity and block size are powers of two with at least
+    /// one line.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.block_bytes.is_power_of_two() && cfg.capacity_bytes.is_power_of_two());
+        assert!(cfg.capacity_bytes >= cfg.block_bytes);
+        let num_lines = (cfg.capacity_bytes / cfg.block_bytes) as usize;
+        let words_per_block = (cfg.block_bytes / 4) as usize;
+        Cache {
+            cfg,
+            words_per_block,
+            index_mask: num_lines as u32 - 1,
+            lines: (0..num_lines)
+                .map(|_| Line {
+                    tag: 0,
+                    valid: false,
+                    state: LineState::Shared,
+                    data: vec![0; words_per_block].into_boxed_slice(),
+                    update_ctr: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn index_of(&self, block: BlockAddr) -> usize {
+        ((block.0 / self.cfg.block_bytes) & self.index_mask) as usize
+    }
+
+    fn line(&self, block: BlockAddr) -> Option<&Line> {
+        let l = &self.lines[self.index_of(block)];
+        (l.valid && l.tag == block.0).then_some(l)
+    }
+
+    fn line_mut(&mut self, block: BlockAddr) -> Option<&mut Line> {
+        let idx = self.index_of(block);
+        let l = &mut self.lines[idx];
+        (l.valid && l.tag == block.0).then_some(l)
+    }
+
+    /// Coherence state of `block` if present.
+    pub fn state_of(&self, block: BlockAddr) -> Option<LineState> {
+        self.line(block).map(|l| l.state)
+    }
+
+    /// Whether `block` is present (any state).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.line(block).is_some()
+    }
+
+    /// Reads the word at `addr` if its block is cached.
+    pub fn read_word(&self, geom: &Geometry, addr: Addr) -> Option<Word> {
+        let block = geom.block_of(addr);
+        self.line(block).map(|l| l.data[geom.word_index(addr)])
+    }
+
+    /// Writes the word at `addr` if its block is cached; returns whether it
+    /// hit. Does **not** change the line state — protocols decide that.
+    pub fn write_word(&mut self, geom: &Geometry, addr: Addr, val: Word) -> bool {
+        let block = geom.block_of(addr);
+        let idx = geom.word_index(addr);
+        match self.line_mut(block) {
+            Some(l) => {
+                l.data[idx] = val;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs `block` with `data` and `state`, returning any displaced
+    /// line (the victim of a direct-mapped conflict).
+    pub fn fill(&mut self, block: BlockAddr, data: Box<[Word]>, state: LineState) -> Option<Evicted> {
+        assert_eq!(data.len(), self.words_per_block);
+        let idx = self.index_of(block);
+        let l = &mut self.lines[idx];
+        let evicted = if l.valid && l.tag != block.0 {
+            Some(Evicted {
+                block: BlockAddr(l.tag),
+                state: l.state,
+                data: std::mem::replace(&mut l.data, vec![0; self.words_per_block].into_boxed_slice()),
+            })
+        } else {
+            None
+        };
+        l.tag = block.0;
+        l.valid = true;
+        l.state = state;
+        l.data = data;
+        l.update_ctr = 0;
+        evicted
+    }
+
+    /// Changes the state of a present block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not cached (protocol bug).
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) {
+        self.line_mut(block).expect("set_state on absent block").state = state;
+    }
+
+    /// Removes `block` (invalidation, drop, or flush), returning its data if
+    /// it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<(LineState, Box<[Word]>)> {
+        let words = self.words_per_block;
+        match self.line_mut(block) {
+            Some(l) => {
+                l.valid = false;
+                let state = l.state;
+                Some((state, std::mem::replace(&mut l.data, vec![0; words].into_boxed_slice())))
+            }
+            None => None,
+        }
+    }
+
+    /// Copy of the block's data (protocol writebacks / forwards).
+    pub fn block_data(&self, block: BlockAddr) -> Option<Box<[Word]>> {
+        self.line(block).map(|l| l.data.clone())
+    }
+
+    /// Applies an incoming update-protocol word write without touching the
+    /// CU counter bookkeeping (the protocol layer drives that separately).
+    pub fn apply_update(&mut self, geom: &Geometry, addr: Addr, val: Word) -> bool {
+        self.write_word(geom, addr, val)
+    }
+
+    /// Increments the competitive-update counter; returns the new value.
+    pub fn bump_update_ctr(&mut self, block: BlockAddr) -> u32 {
+        let l = self.line_mut(block).expect("bump_update_ctr on absent block");
+        l.update_ctr += 1;
+        l.update_ctr
+    }
+
+    /// Resets the competitive-update counter (a local reference).
+    pub fn reset_update_ctr(&mut self, block: BlockAddr) {
+        if let Some(l) = self.line_mut(block) {
+            l.update_ctr = 0;
+        }
+    }
+
+    /// Iterates over all present blocks (diagnostics, final-state checks).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.lines.iter().filter(|l| l.valid).map(|l| (BlockAddr(l.tag), l.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(4)
+    }
+
+    fn block_data(fill: Word) -> Box<[Word]> {
+        vec![fill; 16].into_boxed_slice()
+    }
+
+    #[test]
+    fn sized_like_the_paper() {
+        let c = Cache::new(CacheConfig::default());
+        assert_eq!(c.num_lines(), 1024);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b = g.block_of(0x40);
+        assert!(!c.contains(b));
+        assert!(c.fill(b, block_data(7), LineState::Shared).is_none());
+        assert_eq!(c.read_word(&g, 0x44), Some(7));
+        assert_eq!(c.state_of(b), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn write_word_updates_data() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b = g.block_of(0x80);
+        c.fill(b, block_data(0), LineState::Modified);
+        assert!(c.write_word(&g, 0x84, 99));
+        assert_eq!(c.read_word(&g, 0x84), Some(99));
+        assert_eq!(c.read_word(&g, 0x80), Some(0));
+        assert!(!c.write_word(&g, 0x1000, 1), "absent block is a write miss");
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b1 = g.block_of(0);
+        // Same index, different tag: 64 KB apart.
+        let b2 = g.block_of(64 * 1024);
+        c.fill(b1, block_data(1), LineState::Modified);
+        let ev = c.fill(b2, block_data(2), LineState::Shared).expect("conflict evicts");
+        assert_eq!(ev.block, b1);
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(ev.data[0], 1);
+        assert!(!c.contains(b1));
+        assert!(c.contains(b2));
+    }
+
+    #[test]
+    fn refill_same_block_does_not_evict() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b = g.block_of(0x140);
+        c.fill(b, block_data(1), LineState::Shared);
+        assert!(c.fill(b, block_data(2), LineState::Modified).is_none());
+        assert_eq!(c.read_word(&g, 0x140), Some(2));
+    }
+
+    #[test]
+    fn invalidate_returns_data() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b = g.block_of(0x200);
+        c.fill(b, block_data(5), LineState::Modified);
+        let (state, data) = c.invalidate(b).unwrap();
+        assert_eq!(state, LineState::Modified);
+        assert_eq!(data[0], 5);
+        assert!(!c.contains(b));
+        assert!(c.invalidate(b).is_none());
+    }
+
+    #[test]
+    fn update_counter_lifecycle() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        let b = g.block_of(0x300);
+        c.fill(b, block_data(0), LineState::Shared);
+        assert_eq!(c.bump_update_ctr(b), 1);
+        assert_eq!(c.bump_update_ctr(b), 2);
+        c.reset_update_ctr(b);
+        assert_eq!(c.bump_update_ctr(b), 1);
+        // Refill resets the counter too.
+        c.fill(b, block_data(0), LineState::Shared);
+        assert_eq!(c.bump_update_ctr(b), 1);
+        let _ = g;
+    }
+
+    #[test]
+    fn resident_blocks_enumerates() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::default());
+        c.fill(g.block_of(0x0), block_data(0), LineState::Shared);
+        c.fill(g.block_of(0x40), block_data(0), LineState::Modified);
+        let mut blocks: Vec<_> = c.resident_blocks().collect();
+        blocks.sort();
+        assert_eq!(
+            blocks,
+            vec![
+                (BlockAddr(0x0), LineState::Shared),
+                (BlockAddr(0x40), LineState::Modified)
+            ]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Address-space geometry: words, blocks, and home-node mapping.
+
+use sim_engine::NodeId;
+
+/// A shared-memory byte address.
+pub type Addr = u32;
+
+/// The value held in one memory word (the machine is 32-bit-word based, so
+/// a 64-byte block holds 16 words).
+pub type Word = u32;
+
+/// The base address of a cache block (aligned to the block size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(pub Addr);
+
+/// Static address-space parameters shared by every component.
+///
+/// The shared address space is divided into fixed-size *regions*, each owned
+/// (homed) by one node. The paper interleaves shared data across memories at
+/// block level but also states (Section 4) that "shared data are mapped to
+/// the processors that use them most frequently"; the allocator in
+/// [`crate::alloc`] implements that placement by carving each data structure
+/// out of its intended home's region. See DESIGN.md for the deviation note.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    /// Number of nodes in the machine.
+    pub num_nodes: usize,
+    /// Cache-block size in bytes (paper: 64).
+    pub block_bytes: u32,
+    /// log2 of the per-node home region size in bytes.
+    pub region_shift: u32,
+}
+
+impl Geometry {
+    /// Creates the geometry used throughout the paper: 64-byte blocks,
+    /// 4 MB home regions.
+    pub fn new(num_nodes: usize) -> Self {
+        Geometry { num_nodes, block_bytes: 64, region_shift: 22 }
+    }
+
+    /// Number of words in one block.
+    pub fn words_per_block(&self) -> u32 {
+        self.block_bytes / 4
+    }
+
+    /// The block containing `addr`.
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        BlockAddr(addr & !(self.block_bytes - 1))
+    }
+
+    /// Word index of `addr` within its block.
+    pub fn word_index(&self, addr: Addr) -> usize {
+        ((addr & (self.block_bytes - 1)) / 4) as usize
+    }
+
+    /// The node whose memory module is home for `addr`.
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        ((addr >> self.region_shift) as usize) % self.num_nodes
+    }
+
+    /// The lowest address of node `n`'s first home region.
+    pub fn region_base(&self, n: NodeId) -> Addr {
+        debug_assert!(n < self.num_nodes);
+        (n as Addr) << self.region_shift
+    }
+
+    /// Asserts `addr` is word-aligned and returns it (sanity helper).
+    pub fn check_word_aligned(&self, addr: Addr) -> Addr {
+        assert_eq!(addr % 4, 0, "address {addr:#x} is not word aligned");
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_math() {
+        let g = Geometry::new(32);
+        assert_eq!(g.words_per_block(), 16);
+        assert_eq!(g.block_of(0x1234), BlockAddr(0x1200));
+        assert_eq!(g.word_index(0x1200), 0);
+        assert_eq!(g.word_index(0x123c), 15);
+    }
+
+    #[test]
+    fn homes_cover_all_nodes() {
+        let g = Geometry::new(32);
+        for n in 0..32 {
+            assert_eq!(g.home_of(g.region_base(n)), n);
+            assert_eq!(g.home_of(g.region_base(n) + 0x1000), n);
+        }
+    }
+
+    #[test]
+    fn home_wraps_past_node_count() {
+        let g = Geometry::new(4);
+        // Region index 5 wraps to node 1.
+        assert_eq!(g.home_of(5u32 << 22), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn block_of_is_idempotent_and_aligned(addr in 0u32..0x4000_0000) {
+            let g = Geometry::new(32);
+            let b = g.block_of(addr);
+            prop_assert_eq!(b.0 % g.block_bytes, 0);
+            prop_assert_eq!(g.block_of(b.0), b);
+            prop_assert!(addr - b.0 < g.block_bytes);
+        }
+
+        #[test]
+        fn word_index_in_range(addr in (0u32..0x4000_0000).prop_map(|a| a & !3)) {
+            let g = Geometry::new(32);
+            prop_assert!(g.word_index(addr) < g.words_per_block() as usize);
+            // Address reconstructs from block base + word index.
+            let b = g.block_of(addr);
+            prop_assert_eq!(b.0 + (g.word_index(addr) as u32) * 4, addr);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Backing store for shared memory.
+
+use std::collections::HashMap;
+
+use crate::geometry::{Addr, BlockAddr, Geometry, Word};
+
+/// The machine's main memory contents, kept at block granularity.
+///
+/// The simulated address space is sparse (each node owns a multi-megabyte
+/// home region but kernels touch a few kilobytes), so blocks materialize on
+/// first touch, zero-filled — matching the usual zero-initialized shared
+/// segment the paper's kernels assume.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    blocks: HashMap<BlockAddr, Box<[Word]>>,
+}
+
+impl MemStore {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn block_mut(&mut self, geom: &Geometry, block: BlockAddr) -> &mut Box<[Word]> {
+        let words = geom.words_per_block() as usize;
+        self.blocks.entry(block).or_insert_with(|| vec![0; words].into_boxed_slice())
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read_word(&self, geom: &Geometry, addr: Addr) -> Word {
+        let block = geom.block_of(addr);
+        self.blocks.get(&block).map_or(0, |b| b[geom.word_index(addr)])
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write_word(&mut self, geom: &Geometry, addr: Addr, val: Word) {
+        let idx = geom.word_index(addr);
+        self.block_mut(geom, geom.block_of(addr))[idx] = val;
+    }
+
+    /// A copy of the whole block containing `addr` (for cache fills).
+    pub fn read_block(&mut self, geom: &Geometry, block: BlockAddr) -> Box<[Word]> {
+        self.block_mut(geom, block).clone()
+    }
+
+    /// Overwrites the whole block (writebacks).
+    pub fn write_block(&mut self, geom: &Geometry, block: BlockAddr, data: &[Word]) {
+        let b = self.block_mut(geom, block);
+        assert_eq!(data.len(), b.len());
+        b.copy_from_slice(data);
+    }
+
+    /// Number of materialized blocks (diagnostics).
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let g = Geometry::new(4);
+        let m = MemStore::new();
+        assert_eq!(m.read_word(&g, 0x1234 & !3), 0);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let g = Geometry::new(4);
+        let mut m = MemStore::new();
+        m.write_word(&g, 0x100, 42);
+        assert_eq!(m.read_word(&g, 0x100), 42);
+        assert_eq!(m.read_word(&g, 0x104), 0, "neighbors untouched");
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let g = Geometry::new(4);
+        let mut m = MemStore::new();
+        m.write_word(&g, 0x40, 1);
+        m.write_word(&g, 0x7c, 2);
+        let blk = m.read_block(&g, g.block_of(0x40));
+        assert_eq!(blk[0], 1);
+        assert_eq!(blk[15], 2);
+        let mut new = blk.clone();
+        new[3] = 9;
+        m.write_block(&g, g.block_of(0x40), &new);
+        assert_eq!(m.read_word(&g, 0x4c), 9);
+    }
+}

@@ -1,0 +1,221 @@
+//! Wormhole-routed bidirectional mesh network model.
+//!
+//! Reproduces the interconnect of the paper's simulated machine
+//! (Section 3.1):
+//!
+//! * bi-directional wormhole-routed mesh with dimension-ordered routing,
+//! * network clock equal to the processor clock,
+//! * 2-cycle switch delay applied to the header of each message at every hop,
+//! * 16-bit-wide datapath (one 2-byte flit per cycle),
+//! * contention modeled **only at the source and destination** of messages.
+//!
+//! Because contention is endpoint-only, the fabric itself is a fixed-latency
+//! pipe and each network interface reduces to two FIFO servers (transmit and
+//! receive). A message of `f` flits from `s` to `d` with `h` hops:
+//!
+//! 1. waits for the source transmit port, then occupies it for `f` cycles;
+//! 2. its header crosses the mesh in `2·h` cycles, flits streaming behind;
+//! 3. waits for the destination receive port, then occupies it for `f`
+//!    cycles; delivery completes when the last flit is accepted.
+
+pub mod mesh;
+
+pub use mesh::MeshShape;
+
+use sim_engine::{Cycle, FifoServer, NodeId};
+
+/// Static network parameters (defaults follow the paper).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Cycles a switch delays the header of a message at each hop.
+    pub switch_delay: Cycle,
+    /// Bytes carried per flit (16-bit datapath = 2 bytes).
+    pub flit_bytes: u32,
+    /// Bytes of header prepended to every message (routing + command info).
+    pub header_bytes: u32,
+    /// Latency of a node sending a message to itself (protocol transactions
+    /// whose home is the local node bypass the mesh entirely).
+    pub local_delay: Cycle,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { switch_delay: 2, flit_bytes: 2, header_bytes: 8, local_delay: 1 }
+    }
+}
+
+/// Aggregate traffic counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Messages that traversed the mesh (excludes node-local messages).
+    pub messages: u64,
+    /// Node-local (same source and destination) messages.
+    pub local_messages: u64,
+    /// Total flits injected into the mesh.
+    pub flits: u64,
+    /// Sum over messages of hop counts (for average-distance reporting).
+    pub total_hops: u64,
+}
+
+/// The mesh network: topology plus per-node interface ports.
+#[derive(Debug, Clone)]
+pub struct Network {
+    shape: MeshShape,
+    cfg: NetConfig,
+    tx: Vec<FifoServer>,
+    rx: Vec<FifoServer>,
+    counters: NetCounters,
+}
+
+impl Network {
+    /// Builds a network for `nodes` nodes using the squarest mesh shape.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        let shape = MeshShape::for_nodes(nodes);
+        Network {
+            shape,
+            cfg,
+            tx: vec![FifoServer::new(); nodes],
+            rx: vec![FifoServer::new(); nodes],
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// The mesh shape chosen for this node count.
+    pub fn shape(&self) -> MeshShape {
+        self.shape
+    }
+
+    /// Network configuration in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Number of flits a message with `payload_bytes` of payload occupies.
+    pub fn flits_for(&self, payload_bytes: u32) -> u64 {
+        let total = self.cfg.header_bytes + payload_bytes;
+        ((total + self.cfg.flit_bytes - 1) / self.cfg.flit_bytes) as u64
+    }
+
+    /// Injects a message at cycle `now` and returns its delivery cycle at
+    /// the destination.
+    ///
+    /// Endpoint contention is modeled by the two FIFO port servers; the mesh
+    /// in between is an uncontended pipeline (per the paper's methodology).
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, payload_bytes: u32) -> Cycle {
+        if src == dst {
+            self.counters.local_messages += 1;
+            return now + self.cfg.local_delay;
+        }
+        let flits = self.flits_for(payload_bytes);
+        let hops = self.shape.hops(src, dst) as Cycle;
+        self.counters.messages += 1;
+        self.counters.flits += flits;
+        self.counters.total_hops += hops;
+
+        // Source port: all flits leave the NI back to back.
+        let tx_start = self.tx[src].next_start(now);
+        let tx_done = self.tx[src].occupy(now, flits);
+        debug_assert_eq!(tx_done, tx_start + flits);
+        // Header pipelines through `hops` switches; the tail flit reaches the
+        // destination `flits` cycles after the header started out.
+        let head_arrival = tx_start + self.cfg.switch_delay * hops;
+        // Destination port: accepts one message at a time at flit rate.
+        self.rx[dst].occupy(head_arrival, flits)
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// Cycles node `n`'s transmit port spent moving flits.
+    pub fn tx_busy(&self, n: NodeId) -> Cycle {
+        self.tx[n].busy_cycles()
+    }
+
+    /// Cycles node `n`'s receive port spent accepting flits.
+    pub fn rx_busy(&self, n: NodeId) -> Cycle {
+        self.rx[n].busy_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: usize) -> Network {
+        Network::new(nodes, NetConfig::default())
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let n = net(4);
+        // 8-byte header + 4-byte word = 12 bytes = 6 flits.
+        assert_eq!(n.flits_for(4), 6);
+        // 8 + 64 = 72 bytes = 36 flits.
+        assert_eq!(n.flits_for(64), 36);
+        // Header alone: 4 flits; odd payload rounds up.
+        assert_eq!(n.flits_for(0), 4);
+        assert_eq!(n.flits_for(1), 5);
+    }
+
+    #[test]
+    fn uncontended_latency_formula() {
+        let mut n = net(32); // 8x4 mesh
+        let hops = n.shape().hops(0, 31) as u64;
+        let flits = n.flits_for(0);
+        let delivered = n.send(1000, 0, 31, 0);
+        assert_eq!(delivered, 1000 + 2 * hops + flits);
+    }
+
+    #[test]
+    fn local_messages_bypass_mesh() {
+        let mut n = net(4);
+        assert_eq!(n.send(10, 2, 2, 64), 11);
+        assert_eq!(n.counters().messages, 0);
+        assert_eq!(n.counters().local_messages, 1);
+    }
+
+    #[test]
+    fn source_port_serializes() {
+        let mut n = net(4);
+        let f = n.flits_for(0);
+        let first = n.send(0, 0, 1, 0);
+        let second = n.send(0, 0, 2, 0);
+        // The second message cannot start transmitting until the first's
+        // flits have left the source port.
+        assert_eq!(second, first + f);
+    }
+
+    #[test]
+    fn destination_port_serializes() {
+        let mut n = net(9); // 3x3
+        let f = n.flits_for(0);
+        // Two different sources, equidistant from destination 4 (center).
+        let a = n.send(0, 1, 4, 0);
+        let b = n.send(0, 7, 4, 0);
+        assert_eq!(n.shape().hops(1, 4), n.shape().hops(7, 4));
+        // Same head arrival; the receive port takes them one after another.
+        assert_eq!(b, a + f);
+    }
+
+    #[test]
+    fn longer_distance_takes_longer() {
+        let mut a = net(32);
+        let mut b = net(32);
+        let near = a.send(0, 0, 1, 16);
+        let far = b.send(0, 0, 31, 16);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut n = net(4);
+        n.send(0, 0, 1, 0);
+        n.send(0, 1, 0, 64);
+        let c = n.counters();
+        assert_eq!(c.messages, 2);
+        assert_eq!(c.flits, n.flits_for(0) + n.flits_for(64));
+        assert_eq!(c.total_hops, 2);
+    }
+}

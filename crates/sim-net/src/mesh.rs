@@ -1,0 +1,164 @@
+//! Mesh topology and dimension-ordered routing.
+
+use sim_engine::NodeId;
+
+/// A `cols × rows` bidirectional mesh.
+///
+/// Nodes are numbered row-major: node `i` sits at
+/// `(i % cols, i / cols)`. Dimension-ordered (X-then-Y) routing on a mesh
+/// yields a path length equal to the Manhattan distance, which is all the
+/// endpoint-contention network model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshShape {
+    /// Mesh width (X dimension).
+    pub cols: usize,
+    /// Mesh height (Y dimension).
+    pub rows: usize,
+}
+
+impl MeshShape {
+    /// The squarest mesh that holds exactly `nodes` nodes.
+    ///
+    /// Machine configurations used by the paper's experiments map to:
+    /// 1 → 1×1, 2 → 2×1, 4 → 2×2, 8 → 4×2, 16 → 4×4, 32 → 8×4.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `nodes == 0` or a node count with no near-square
+    /// factorization (all powers of two and perfect squares are fine).
+    pub fn for_nodes(nodes: usize) -> Self {
+        assert!(nodes > 0, "mesh needs at least one node");
+        // Find the factorization cols*rows == nodes with cols >= rows and
+        // cols/rows minimal.
+        let mut best: Option<(usize, usize)> = None;
+        let mut r = 1;
+        while r * r <= nodes {
+            if nodes % r == 0 {
+                best = Some((nodes / r, r));
+            }
+            r += 1;
+        }
+        let (cols, rows) = best.expect("factorization exists for any positive count");
+        MeshShape { cols, rows }
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Coordinates of node `id`.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        debug_assert!(id < self.nodes());
+        (id % self.cols, id / self.cols)
+    }
+
+    /// Node id at coordinates `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.cols && y < self.rows);
+        y * self.cols + x
+    }
+
+    /// Number of switch hops between two nodes under dimension-ordered
+    /// routing (the Manhattan distance; 0 for a node to itself).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The dimension-ordered route from `a` to `b`, inclusive of both
+    /// endpoints. Provided for tests and tooling; the latency model only
+    /// needs [`MeshShape::hops`].
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut path = vec![a];
+        let (mut x, mut y) = (ax, ay);
+        while x != bx {
+            x = if bx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != by {
+            y = if by > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_machine_shapes() {
+        assert_eq!(MeshShape::for_nodes(1), MeshShape { cols: 1, rows: 1 });
+        assert_eq!(MeshShape::for_nodes(2), MeshShape { cols: 2, rows: 1 });
+        assert_eq!(MeshShape::for_nodes(4), MeshShape { cols: 2, rows: 2 });
+        assert_eq!(MeshShape::for_nodes(8), MeshShape { cols: 4, rows: 2 });
+        assert_eq!(MeshShape::for_nodes(16), MeshShape { cols: 4, rows: 4 });
+        assert_eq!(MeshShape::for_nodes(32), MeshShape { cols: 8, rows: 4 });
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = MeshShape::for_nodes(32);
+        for id in 0..32 {
+            let (x, y) = m.coords(id);
+            assert_eq!(m.node_at(x, y), id);
+        }
+    }
+
+    #[test]
+    fn hop_examples() {
+        let m = MeshShape { cols: 8, rows: 4 };
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 7), 7);
+        assert_eq!(m.hops(0, 31), 7 + 3);
+        assert_eq!(m.hops(9, 10), 1);
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let m = MeshShape { cols: 4, rows: 4 };
+        // 0=(0,0) to 15=(3,3): X first, then Y.
+        assert_eq!(m.route(0, 15), vec![0, 1, 2, 3, 7, 11, 15]);
+        assert_eq!(m.route(5, 5), vec![5]);
+    }
+
+    proptest! {
+        #[test]
+        fn hops_symmetric_and_triangle(nodes in 1usize..64, a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+            let m = MeshShape::for_nodes(nodes);
+            let n = m.nodes();
+            let (a, b, c) = (a % n, b % n, c % n);
+            prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+            prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+            prop_assert_eq!(m.hops(a, a), 0);
+        }
+
+        #[test]
+        fn route_length_matches_hops(nodes in 1usize..64, a in 0usize..64, b in 0usize..64) {
+            let m = MeshShape::for_nodes(nodes);
+            let n = m.nodes();
+            let (a, b) = (a % n, b % n);
+            let route = m.route(a, b);
+            prop_assert_eq!(route.len(), m.hops(a, b) + 1);
+            prop_assert_eq!(route[0], a);
+            prop_assert_eq!(*route.last().unwrap(), b);
+            // Consecutive route nodes are mesh neighbors.
+            for w in route.windows(2) {
+                prop_assert_eq!(m.hops(w[0], w[1]), 1);
+            }
+        }
+
+        #[test]
+        fn shape_is_near_square(nodes in 1usize..256) {
+            let m = MeshShape::for_nodes(nodes);
+            prop_assert_eq!(m.nodes(), nodes);
+            prop_assert!(m.cols >= m.rows);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Handler outcomes.
+
+use sim_mem::{BlockAddr, Word};
+
+use crate::msg::Msg;
+
+/// What a protocol handler wants the machine to do.
+///
+/// Handlers are pure state transitions over one node; everything with a
+/// time dimension is expressed here and scheduled by `sim-machine`.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Messages to inject into the network now.
+    pub sends: Vec<Msg>,
+    /// Requests to re-process at this node's home memory (directory
+    /// transactions deferred while the block was busy). Each passes through
+    /// the memory server again.
+    pub requeue_home: Vec<Msg>,
+    /// A pending CPU read completed with this value.
+    pub read_done: Option<Word>,
+    /// The in-flight write-buffer head transaction completed; the machine
+    /// retires the entry and issues the next.
+    pub write_retired: bool,
+    /// A pending CPU atomic completed, returning the old value.
+    pub atomic_done: Option<Word>,
+    /// Cache lines of this node that changed (filled, updated, invalidated):
+    /// the machine wakes any processor spin-parked on them.
+    pub touched_blocks: Vec<BlockAddr>,
+    /// Ack bookkeeping advanced; the machine re-checks a pending fence.
+    pub sync_progress: bool,
+}
+
+impl Effects {
+    /// No-op effects.
+    pub fn none() -> Self {
+        Effects::default()
+    }
+
+    /// Effects consisting only of outgoing messages.
+    pub fn send(msgs: Vec<Msg>) -> Self {
+        Effects { sends: msgs, ..Default::default() }
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: Effects) {
+        self.sends.extend(other.sends);
+        self.requeue_home.extend(other.requeue_home);
+        debug_assert!(
+            !(self.read_done.is_some() && other.read_done.is_some()),
+            "two reads completed in one handler"
+        );
+        self.read_done = self.read_done.take().or(other.read_done);
+        self.write_retired |= other.write_retired;
+        debug_assert!(!(self.atomic_done.is_some() && other.atomic_done.is_some()));
+        self.atomic_done = self.atomic_done.take().or(other.atomic_done);
+        self.touched_blocks.extend(other.touched_blocks);
+        self.sync_progress |= other.sync_progress;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_combines_fields() {
+        let mut a = Effects { write_retired: true, ..Default::default() };
+        let b = Effects {
+            read_done: Some(7),
+            touched_blocks: vec![BlockAddr(0x40)],
+            sync_progress: true,
+            ..Default::default()
+        };
+        a.merge(b);
+        assert!(a.write_retired);
+        assert_eq!(a.read_done, Some(7));
+        assert_eq!(a.touched_blocks, vec![BlockAddr(0x40)]);
+        assert!(a.sync_progress);
+    }
+}

@@ -1,0 +1,263 @@
+//! Protocol messages.
+
+use sim_engine::NodeId;
+use sim_mem::{Addr, Word};
+
+/// The three atomic instructions of the simulated machine (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `fetch_and_add`: returns the old value, adds the operand.
+    FetchAdd,
+    /// `fetch_and_store`: returns the old value, stores the operand.
+    FetchStore,
+    /// `compare_and_swap`: returns the old value; stores `operand2` only if
+    /// the old value equals `operand`.
+    CompareAndSwap,
+}
+
+impl AtomicOp {
+    /// Applies the operation to `old`, returning `(new_value, wrote)`.
+    pub fn apply(self, old: Word, operand: Word, operand2: Word) -> (Word, bool) {
+        match self {
+            AtomicOp::FetchAdd => (old.wrapping_add(operand), true),
+            AtomicOp::FetchStore => (operand, true),
+            AtomicOp::CompareAndSwap => {
+                if old == operand {
+                    (operand2, true)
+                } else {
+                    (old, false)
+                }
+            }
+        }
+    }
+}
+
+/// Memory-module service required when a message reaches a home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemService {
+    /// No memory/directory access: handled by the cache controller.
+    None,
+    /// Single-word or directory-only access (paper: 20 cycles).
+    Word,
+    /// Whole-block access (paper: 20 + words−1 cycles).
+    Block,
+}
+
+/// Message payloads.
+///
+/// `addr` on the enclosing [`Msg`] is always the *word* address of the
+/// access that caused the transaction; block-granularity operations derive
+/// the block base from it. Carrying the word keeps enough information for
+/// the true/false-sharing classification at the receivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MsgKind {
+    // ---- cache → home requests -------------------------------------
+    /// Read miss: requester wants a shared copy.
+    ReadShared,
+    /// WI write miss: requester wants data + ownership.
+    GetX,
+    /// WI write hit on a shared copy: ownership only.
+    Upgrade,
+    /// PU/CU write-through of a cached (shared) block.
+    UpdateWrite { val: Word },
+    /// PU/CU write miss: write-through plus allocation of the block.
+    UpdateWriteAlloc { val: Word },
+    /// PU/CU atomic op, executed by the home memory.
+    AtomicReq { op: AtomicOp, operand: Word, operand2: Word },
+    /// Dirty eviction or flush of an owned block: block data travels home.
+    WriteBack { data: Box<[Word]> },
+    /// A clean copy was dropped (flush or replacement notification under
+    /// PU/CU, flush under WI): home removes the sender from the sharer set.
+    SharerDrop,
+    /// CU self-invalidation notice: stop sending updates to the sender.
+    StopUpdate,
+
+    // ---- home → cache replies and demands ---------------------------
+    /// Read reply with a shared copy.
+    Data { data: Box<[Word]> },
+    /// WI write reply: exclusive data plus the number of invalidation acks
+    /// the requester must collect.
+    DataX { data: Box<[Word]>, acks: u32 },
+    /// WI upgrade reply: ownership granted, collect `acks` acks.
+    UpgradeAck { acks: u32 },
+    /// PU/CU reply to `UpdateWrite`: expect `acks` update acks. When
+    /// `go_private` is set, the home observed the writer as the only sharer
+    /// and grants private-update mode (the PU optimization).
+    UpdateInfo { acks: u32, go_private: bool },
+    /// PU/CU reply to `UpdateWriteAlloc`: block data plus ack count.
+    DataUpd { data: Box<[Word]>, acks: u32 },
+    /// An update multicast to a sharer; `writer` performed the write.
+    UpdateMsg { val: Word, writer: NodeId, acks_to: NodeId },
+    /// PU/CU atomic reply: the old value; block data included when the
+    /// requester was not yet a sharer (atomics allocate), plus the ack
+    /// count for the updates the operation multicast.
+    AtomicReply { old: Word, data: Option<Box<[Word]>>, acks: u32 },
+    /// WI invalidation demand; the ack goes to `requester`. Carries the
+    /// word address of the causing write for classification.
+    Inval { requester: NodeId, writer: NodeId },
+    /// WI read recall: owner must demote to shared and supply data.
+    Fetch { requester: NodeId },
+    /// WI write recall: owner must invalidate and hand data to `requester`.
+    FetchInv { requester: NodeId, writer: NodeId },
+    /// PU/CU recall of a private-update block back to shared write-through.
+    RecallUpd { requester: NodeId, for_atomic: bool },
+
+    // ---- cache → cache / completion messages -------------------------
+    /// Invalidation ack, sent to the writing requester.
+    InvAck,
+    /// Update ack, sent to the writing processor.
+    UpdateAck,
+    /// Owner-forwarded shared data for a read (WI dirty read miss).
+    DataFwd { data: Box<[Word]> },
+    /// Owner-forwarded exclusive data for a write (WI dirty write miss).
+    DataXFwd { data: Box<[Word]> },
+    /// Owner → home: sharing writeback completing a read recall.
+    SharingWB { data: Box<[Word]>, requester: NodeId },
+    /// Owner → home: ownership transferred to `to` (write recall done).
+    OwnershipXfer { to: NodeId },
+    /// Private-update owner → home: block data; home resumes write-through.
+    RecallReply { data: Box<[Word]>, requester: NodeId, for_atomic: bool },
+    /// Owner no longer held the block (it raced an eviction); the home must
+    /// retry the embedded original request once the writeback lands.
+    FetchMiss { original: Box<Msg> },
+}
+
+/// A protocol message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Word address of the access this transaction serves.
+    pub addr: Addr,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+impl Msg {
+    /// Payload size in bytes (the fixed header is added by the network
+    /// layer). Block-carrying messages move a whole 64-byte block.
+    pub fn payload_bytes(&self) -> u32 {
+        use MsgKind::*;
+        match &self.kind {
+            Data { .. } | DataX { .. } | DataUpd { .. } | DataFwd { .. } | DataXFwd { .. }
+            | WriteBack { .. } | SharingWB { .. } | RecallReply { .. } => 64,
+            AtomicReply { data: Some(_), .. } => 64,
+            UpdateWrite { .. } | UpdateWriteAlloc { .. } | UpdateMsg { .. }
+            | AtomicReply { data: None, .. } | UpdateInfo { .. } => 4,
+            AtomicReq { .. } => 8,
+            FetchMiss { original } => original.payload_bytes(),
+            ReadShared | GetX | Upgrade | SharerDrop | StopUpdate | UpgradeAck { .. }
+            | Inval { .. } | Fetch { .. } | FetchInv { .. } | RecallUpd { .. } | InvAck
+            | UpdateAck | OwnershipXfer { .. } => 0,
+        }
+    }
+
+    /// Memory-module service this message needs on arrival (directory and
+    /// data live in the home memory; cache-side messages need none).
+    pub fn mem_service(&self) -> MemService {
+        use MsgKind::*;
+        match &self.kind {
+            ReadShared | GetX | UpdateWriteAlloc { .. } | AtomicReq { .. } | WriteBack { .. }
+            | SharingWB { .. } | RecallReply { .. } => MemService::Block,
+            Upgrade | UpdateWrite { .. } | SharerDrop | StopUpdate | OwnershipXfer { .. }
+            | FetchMiss { .. } => MemService::Word,
+            Data { .. } | DataX { .. } | DataUpd { .. } | UpgradeAck { .. } | UpdateInfo { .. }
+            | UpdateMsg { .. } | AtomicReply { .. } | Inval { .. } | Fetch { .. }
+            | FetchInv { .. } | RecallUpd { .. } | InvAck | UpdateAck | DataFwd { .. }
+            | DataXFwd { .. } => MemService::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_semantics() {
+        assert_eq!(AtomicOp::FetchAdd.apply(5, 3, 0), (8, true));
+        assert_eq!(AtomicOp::FetchAdd.apply(u32::MAX, 1, 0), (0, true), "wrapping");
+        assert_eq!(AtomicOp::FetchStore.apply(5, 9, 0), (9, true));
+        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 5, 7), (7, true));
+        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 4, 7), (5, false));
+    }
+
+    fn msg(kind: MsgKind) -> Msg {
+        Msg { src: 0, dst: 1, addr: 0x40, kind }
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let block = vec![0u32; 16].into_boxed_slice();
+        assert_eq!(msg(MsgKind::ReadShared).payload_bytes(), 0);
+        assert_eq!(msg(MsgKind::Data { data: block.clone() }).payload_bytes(), 64);
+        assert_eq!(msg(MsgKind::UpdateWrite { val: 1 }).payload_bytes(), 4);
+        assert_eq!(
+            msg(MsgKind::AtomicReq { op: AtomicOp::FetchAdd, operand: 1, operand2: 0 })
+                .payload_bytes(),
+            8
+        );
+        assert_eq!(
+            msg(MsgKind::AtomicReply { old: 0, data: Some(block.clone()), acks: 0 })
+                .payload_bytes(),
+            64
+        );
+        assert_eq!(
+            msg(MsgKind::AtomicReply { old: 0, data: None, acks: 0 }).payload_bytes(),
+            4
+        );
+        // FetchMiss wraps the original request's size.
+        let orig = msg(MsgKind::GetX);
+        assert_eq!(msg(MsgKind::FetchMiss { original: Box::new(orig) }).payload_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_service_classes() {
+        let block = vec![0u32; 16].into_boxed_slice();
+        assert_eq!(msg(MsgKind::ReadShared).mem_service(), MemService::Block);
+        assert_eq!(msg(MsgKind::Upgrade).mem_service(), MemService::Word);
+        assert_eq!(msg(MsgKind::Inval { requester: 0, writer: 0 }).mem_service(), MemService::None);
+        assert_eq!(msg(MsgKind::WriteBack { data: block }).mem_service(), MemService::Block);
+        assert_eq!(msg(MsgKind::UpdateWrite { val: 0 }).mem_service(), MemService::Word);
+        assert_eq!(msg(MsgKind::InvAck).mem_service(), MemService::None);
+    }
+}
+
+impl MsgKind {
+    /// Short variant name (tracing / diagnostics).
+    pub fn name(&self) -> &'static str {
+        use MsgKind::*;
+        match self {
+            ReadShared => "ReadShared",
+            GetX => "GetX",
+            Upgrade => "Upgrade",
+            UpdateWrite { .. } => "UpdateWrite",
+            UpdateWriteAlloc { .. } => "UpdateWriteAlloc",
+            AtomicReq { .. } => "AtomicReq",
+            WriteBack { .. } => "WriteBack",
+            SharerDrop => "SharerDrop",
+            StopUpdate => "StopUpdate",
+            Data { .. } => "Data",
+            DataX { .. } => "DataX",
+            UpgradeAck { .. } => "UpgradeAck",
+            UpdateInfo { .. } => "UpdateInfo",
+            DataUpd { .. } => "DataUpd",
+            UpdateMsg { .. } => "UpdateMsg",
+            AtomicReply { .. } => "AtomicReply",
+            Inval { .. } => "Inval",
+            Fetch { .. } => "Fetch",
+            FetchInv { .. } => "FetchInv",
+            RecallUpd { .. } => "RecallUpd",
+            InvAck => "InvAck",
+            UpdateAck => "UpdateAck",
+            DataFwd { .. } => "DataFwd",
+            DataXFwd { .. } => "DataXFwd",
+            SharingWB { .. } => "SharingWB",
+            OwnershipXfer { .. } => "OwnershipXfer",
+            RecallReply { .. } => "RecallReply",
+            FetchMiss { .. } => "FetchMiss",
+        }
+    }
+}

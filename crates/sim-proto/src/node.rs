@@ -1,0 +1,512 @@
+//! Per-node protocol state and dispatch.
+
+use sim_engine::{Cycle, NodeId};
+use sim_mem::{
+    Addr, BlockAddr, Cache, CacheConfig, Directory, Geometry, LineState, MemStore, Word,
+};
+use sim_stats::{Classifier, LossCause};
+
+use crate::effects::Effects;
+use crate::msg::{AtomicOp, Msg, MsgKind};
+use crate::{upd, wi};
+
+/// Which coherence protocol the machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// DASH-style write invalidate with release consistency.
+    WriteInvalidate,
+    /// Pure update (write-through with home-multicast updates).
+    PureUpdate,
+    /// Competitive update (pure update + per-line drop counters).
+    CompetitiveUpdate,
+}
+
+impl Protocol {
+    /// Whether this is one of the two update-based protocols.
+    pub fn is_update_based(self) -> bool {
+        matches!(self, Protocol::PureUpdate | Protocol::CompetitiveUpdate)
+    }
+
+    /// Short label used in reports ("i", "u", "c" in the paper's figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::WriteInvalidate => "i",
+            Protocol::PureUpdate => "u",
+            Protocol::CompetitiveUpdate => "c",
+        }
+    }
+}
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Active protocol.
+    pub protocol: Protocol,
+    /// Cache sizing.
+    pub cache: CacheConfig,
+    /// Competitive-update drop threshold (paper: 4).
+    pub cu_threshold: u32,
+    /// Pure-update private-data optimization (paper: on).
+    pub pu_private_opt: bool,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            protocol: Protocol::WriteInvalidate,
+            cache: CacheConfig::default(),
+            cu_threshold: 4,
+            pu_private_opt: true,
+        }
+    }
+}
+
+/// An outstanding CPU read (the processor is stalled on it).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRead {
+    /// Word being read.
+    pub addr: Addr,
+    /// When set, no request message was sent: the read rides on the fill of
+    /// an outstanding write/atomic transaction to the same block.
+    pub piggyback: bool,
+}
+
+/// The write-buffer head transaction in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingWrite {
+    /// Word being written.
+    pub addr: Addr,
+    /// Value to store.
+    pub val: Word,
+}
+
+/// An outstanding atomic operation (the processor is stalled on it).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingAtomic {
+    /// Target word.
+    pub addr: Addr,
+    /// Operation.
+    pub op: AtomicOp,
+    /// First operand.
+    pub operand: Word,
+    /// Second operand (CAS new value).
+    pub operand2: Word,
+}
+
+/// All protocol state of one node: its cache and in-flight transactions on
+/// the cache side, and the directory + memory of its home region.
+#[derive(Debug)]
+pub struct ProtoNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Address-space geometry.
+    pub geom: Geometry,
+    /// Protocol parameters.
+    pub cfg: ProtoConfig,
+    /// The node's data cache.
+    pub cache: Cache,
+    /// Directory for blocks homed at this node.
+    pub dir: Directory<Msg>,
+    /// Memory for blocks homed at this node.
+    pub mem: MemStore,
+    /// Outstanding CPU read.
+    pub pending_read: Option<PendingRead>,
+    /// Outstanding write transaction (write-buffer head).
+    pub pending_write: Option<PendingWrite>,
+    /// Outstanding atomic operation.
+    pub pending_atomic: Option<PendingAtomic>,
+    /// Acks this node must eventually collect (cumulative).
+    pub acks_expected: u64,
+    /// Acks collected so far (cumulative).
+    pub acks_received: u64,
+    /// `UpdateWrite`s sent whose `UpdateInfo` has not yet arrived.
+    pub update_infos_pending: u64,
+}
+
+impl ProtoNode {
+    /// Creates the protocol state for node `id`.
+    pub fn new(id: NodeId, geom: Geometry, cfg: ProtoConfig) -> Self {
+        ProtoNode {
+            id,
+            geom,
+            cache: Cache::new(cfg.cache),
+            cfg,
+            dir: Directory::new(),
+            mem: MemStore::new(),
+            pending_read: None,
+            pending_write: None,
+            pending_atomic: None,
+            acks_expected: 0,
+            acks_received: 0,
+            update_infos_pending: 0,
+        }
+    }
+
+    /// Home node of `addr`.
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        self.geom.home_of(addr)
+    }
+
+    /// Builds a message from this node.
+    pub fn msg(&self, dst: NodeId, addr: Addr, kind: MsgKind) -> Msg {
+        Msg { src: self.id, dst, addr, kind }
+    }
+
+    /// Whether a release fence may complete: no write or atomic in flight
+    /// and all expected acks collected. (The machine additionally requires
+    /// an empty write buffer.)
+    pub fn sync_complete(&self) -> bool {
+        self.pending_write.is_none()
+            && self.pending_atomic.is_none()
+            && self.update_infos_pending == 0
+            && self.acks_expected == self.acks_received
+    }
+
+    /// Installs a block, handling the direct-mapped victim: classification,
+    /// dirty writeback, clean replacement notification.
+    pub fn fill_block(
+        &mut self,
+        block: BlockAddr,
+        data: Box<[Word]>,
+        state: LineState,
+        clf: &mut Classifier,
+        now: Cycle,
+    ) -> Effects {
+        let mut fx = Effects::none();
+        if let Some(victim) = self.cache.fill(block, data, state) {
+            clf.copy_lost(self.id, victim.block, LossCause::Eviction, now);
+            let home = self.home_of(victim.block.0);
+            let kind = match victim.state {
+                LineState::Modified | LineState::PrivateUpd => {
+                    MsgKind::WriteBack { data: victim.data }
+                }
+                LineState::Shared => MsgKind::SharerDrop,
+            };
+            fx.sends.push(self.msg(home, victim.block.0, kind));
+            fx.touched_blocks.push(victim.block);
+        }
+        clf.copy_acquired(self.id, block);
+        fx.touched_blocks.push(block);
+        fx
+    }
+
+    /// Completes a piggybacked read (one that waited on this block's fill
+    /// instead of sending its own request), if any.
+    pub fn complete_piggyback_read(&mut self, block: BlockAddr) -> Option<Word> {
+        if let Some(pr) = self.pending_read {
+            if pr.piggyback && self.geom.block_of(pr.addr) == block {
+                let val = self
+                    .cache
+                    .read_word(&self.geom, pr.addr)
+                    .expect("piggybacked read after fill must hit");
+                self.pending_read = None;
+                return Some(val);
+            }
+        }
+        None
+    }
+
+    /// Whether an outstanding write or atomic targets `block` (so a read
+    /// miss to it should piggyback rather than issue its own request).
+    pub fn has_pending_store_on(&self, block: BlockAddr) -> bool {
+        let g = &self.geom;
+        self.pending_write.map(|w| g.block_of(w.addr)) == Some(block)
+            || self.pending_atomic.map(|a| g.block_of(a.addr)) == Some(block)
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol dispatch
+    // ------------------------------------------------------------------
+
+    /// CPU issues a shared read of `addr`. Returns `read_done` on a hit;
+    /// otherwise records the pending read and emits the miss request.
+    /// (The machine accounts the reference in the classifier.)
+    pub fn cpu_read(&mut self, addr: Addr, clf: &mut Classifier, now: Cycle) -> Effects {
+        match self.cfg.protocol {
+            Protocol::WriteInvalidate => wi::cpu_read(self, addr, clf, now),
+            _ => upd::cpu_read(self, addr, clf, now),
+        }
+    }
+
+    /// The write buffer issues its head write.
+    pub fn issue_write(&mut self, addr: Addr, val: Word, clf: &mut Classifier, now: Cycle) -> Effects {
+        match self.cfg.protocol {
+            Protocol::WriteInvalidate => wi::issue_write(self, addr, val, clf, now),
+            _ => upd::issue_write(self, addr, val, clf, now),
+        }
+    }
+
+    /// CPU issues an atomic operation (the machine has already drained the
+    /// write buffer and settled acks — atomics fence first).
+    pub fn cpu_atomic(
+        &mut self,
+        op: AtomicOp,
+        addr: Addr,
+        operand: Word,
+        operand2: Word,
+        clf: &mut Classifier,
+        now: Cycle,
+    ) -> Effects {
+        match self.cfg.protocol {
+            Protocol::WriteInvalidate => wi::cpu_atomic(self, op, addr, operand, operand2, clf, now),
+            _ => upd::cpu_atomic(self, op, addr, operand, operand2, clf, now),
+        }
+    }
+
+    /// CPU issues a user-level block flush of the block containing `addr`
+    /// (the PowerPC-style instruction the update-conscious MCS lock uses).
+    pub fn cpu_flush(&mut self, addr: Addr, clf: &mut Classifier, now: Cycle) -> Effects {
+        let block = self.geom.block_of(addr);
+        let Some(state) = self.cache.state_of(block) else {
+            return Effects::none();
+        };
+        let mut fx = Effects::none();
+        let home = self.home_of(addr);
+        let (_, data) = self.cache.invalidate(block).expect("state_of implies presence");
+        clf.copy_lost(self.id, block, LossCause::SelfInvalidate, now);
+        let kind = match state {
+            LineState::Modified | LineState::PrivateUpd => MsgKind::WriteBack { data },
+            LineState::Shared => MsgKind::SharerDrop,
+        };
+        fx.sends.push(self.msg(home, block.0, kind));
+        fx.touched_blocks.push(block);
+        fx
+    }
+
+    /// Handles a message delivered to this node (home-side messages arrive
+    /// here after their memory-module service).
+    pub fn handle_msg(&mut self, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
+        // Messages whose handling is identical under every protocol.
+        match &msg.kind {
+            MsgKind::SharerDrop | MsgKind::StopUpdate => {
+                return self.home_sharer_drop(msg);
+            }
+            MsgKind::WriteBack { .. } => {
+                return self.home_writeback(msg);
+            }
+            _ => {}
+        }
+        match self.cfg.protocol {
+            Protocol::WriteInvalidate => wi::handle_msg(self, msg, clf, now),
+            _ => upd::handle_msg(self, msg, clf, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared home-side handlers
+    // ------------------------------------------------------------------
+
+    fn home_sharer_drop(&mut self, msg: Msg) -> Effects {
+        debug_assert_eq!(self.home_of(msg.addr), self.id);
+        let block = self.geom.block_of(msg.addr);
+        let e = self.dir.entry(block);
+        e.sharers.remove(msg.src);
+        if e.state == sim_mem::DirState::Shared && e.sharers.is_empty() {
+            e.state = sim_mem::DirState::Uncached;
+        }
+        // A drop can cross a private-mode grant in flight: the home just
+        // promoted the dropper to owner, but its (clean) copy is gone and
+        // memory is current. Relinquish ownership — and release anything
+        // waiting on that phantom owner — or later requests would wait
+        // forever for a writeback that never comes.
+        let mut fx = Effects::none();
+        if e.state == sim_mem::DirState::Owned && e.owner == msg.src {
+            e.state = sim_mem::DirState::Uncached;
+            e.sharers = sim_mem::SharerSet::empty();
+            if e.busy {
+                e.busy = false;
+                while let Some(m) = e.waiting.pop_front() {
+                    fx.requeue_home.push(m);
+                }
+            }
+        }
+        fx
+    }
+
+    fn home_writeback(&mut self, msg: Msg) -> Effects {
+        debug_assert_eq!(self.home_of(msg.addr), self.id);
+        let block = self.geom.block_of(msg.addr);
+        let MsgKind::WriteBack { data } = &msg.kind else { unreachable!() };
+        self.mem.write_block(&self.geom, block, data);
+        let e = self.dir.entry(block);
+        if e.state == sim_mem::DirState::Owned && e.owner == msg.src {
+            e.state = sim_mem::DirState::Uncached;
+            e.sharers = sim_mem::SharerSet::empty();
+        }
+        let mut fx = Effects::none();
+        if e.busy {
+            // A recall raced this eviction; release anything the directory
+            // deferred while waiting for the owner's data.
+            e.busy = false;
+            while let Some(m) = e.waiting.pop_front() {
+                fx.requeue_home.push(m);
+            }
+        }
+        fx
+    }
+
+    /// Defers `msg` on the busy block `block`, to be requeued when the
+    /// in-flight transaction completes. Returns `true` if deferred.
+    pub fn defer_if_busy(&mut self, block: BlockAddr, msg: &Msg) -> bool {
+        let e = self.dir.entry(block);
+        if e.busy {
+            e.waiting.push_back(msg.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `block` busy and stashes `msg` to retry once the block's
+    /// in-flight writeback lands (owner == requester race).
+    pub fn wait_for_writeback(&mut self, block: BlockAddr, msg: Msg) {
+        let e = self.dir.entry(block);
+        e.busy = true;
+        e.waiting.push_back(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::DirState;
+
+    fn node(protocol: Protocol) -> ProtoNode {
+        let geom = Geometry::new(4);
+        ProtoNode::new(0, geom, ProtoConfig { protocol, ..Default::default() })
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::WriteInvalidate.label(), "i");
+        assert_eq!(Protocol::PureUpdate.label(), "u");
+        assert_eq!(Protocol::CompetitiveUpdate.label(), "c");
+        assert!(!Protocol::WriteInvalidate.is_update_based());
+        assert!(Protocol::PureUpdate.is_update_based());
+        assert!(Protocol::CompetitiveUpdate.is_update_based());
+    }
+
+    #[test]
+    fn sync_complete_tracks_counters() {
+        let mut n = node(Protocol::PureUpdate);
+        assert!(n.sync_complete());
+        n.acks_expected = 2;
+        assert!(!n.sync_complete());
+        n.acks_received = 2;
+        assert!(n.sync_complete());
+        n.update_infos_pending = 1;
+        assert!(!n.sync_complete());
+        n.update_infos_pending = 0;
+        n.pending_write = Some(PendingWrite { addr: 4, val: 1 });
+        assert!(!n.sync_complete());
+    }
+
+    #[test]
+    fn sharer_drop_empties_directory() {
+        let mut n = node(Protocol::PureUpdate);
+        let addr = n.geom.region_base(0) + 0x40;
+        let block = n.geom.block_of(addr);
+        {
+            let e = n.dir.entry(block);
+            e.state = DirState::Shared;
+            e.sharers.insert(2);
+        }
+        let fx = n.handle_msg(
+            Msg { src: 2, dst: 0, addr, kind: MsgKind::SharerDrop },
+            &mut Classifier::new(n.geom),
+            0,
+        );
+        assert!(fx.sends.is_empty());
+        assert_eq!(n.dir.entry(block).state, DirState::Uncached);
+    }
+
+    #[test]
+    fn writeback_clears_ownership_and_busy() {
+        let mut n = node(Protocol::WriteInvalidate);
+        let addr = n.geom.region_base(0) + 0x80;
+        let block = n.geom.block_of(addr);
+        {
+            let e = n.dir.entry(block);
+            e.state = DirState::Owned;
+            e.owner = 3;
+            e.busy = true;
+            e.waiting.push_back(Msg { src: 1, dst: 0, addr, kind: MsgKind::ReadShared });
+        }
+        let data = vec![9u32; 16].into_boxed_slice();
+        let fx = n.handle_msg(
+            Msg { src: 3, dst: 0, addr, kind: MsgKind::WriteBack { data } },
+            &mut Classifier::new(n.geom),
+            0,
+        );
+        assert_eq!(n.dir.entry(block).state, DirState::Uncached);
+        assert!(!n.dir.entry(block).busy);
+        assert_eq!(fx.requeue_home.len(), 1);
+        assert_eq!(n.mem.read_word(&n.geom, addr), 9);
+    }
+
+    #[test]
+    fn flush_of_absent_block_is_noop() {
+        let mut n = node(Protocol::PureUpdate);
+        let fx = n.cpu_flush(0x123 & !3, &mut Classifier::new(n.geom), 0);
+        assert!(fx.sends.is_empty() && fx.touched_blocks.is_empty());
+    }
+
+    #[test]
+    fn flush_of_shared_block_notifies_home() {
+        let mut n = node(Protocol::PureUpdate);
+        let mut clf = Classifier::new(n.geom);
+        let addr = n.geom.region_base(2) + 0x40; // homed at node 2
+        let block = n.geom.block_of(addr);
+        n.cache.fill(block, vec![0; 16].into_boxed_slice(), LineState::Shared);
+        clf.copy_acquired(0, block);
+        let fx = n.cpu_flush(addr, &mut clf, 5);
+        assert_eq!(fx.sends.len(), 1);
+        assert_eq!(fx.sends[0].dst, 2);
+        assert!(matches!(fx.sends[0].kind, MsgKind::SharerDrop));
+        assert!(!n.cache.contains(block));
+        // A later miss on the flushed block classifies as a drop miss.
+        assert_eq!(
+            clf.classify_miss(0, addr, 6),
+            sim_stats::MissClass::Drop
+        );
+    }
+
+    #[test]
+    fn flush_of_private_block_writes_back() {
+        let mut n = node(Protocol::PureUpdate);
+        let mut clf = Classifier::new(n.geom);
+        let addr = n.geom.region_base(1) + 0x40;
+        let block = n.geom.block_of(addr);
+        n.cache.fill(block, vec![7; 16].into_boxed_slice(), LineState::PrivateUpd);
+        let fx = n.cpu_flush(addr, &mut clf, 5);
+        assert!(matches!(&fx.sends[0].kind, MsgKind::WriteBack { data } if data[0] == 7));
+    }
+
+    #[test]
+    fn piggyback_read_completes_from_fill() {
+        let mut n = node(Protocol::WriteInvalidate);
+        let mut clf = Classifier::new(n.geom);
+        let addr = n.geom.region_base(1) + 0x40;
+        let block = n.geom.block_of(addr);
+        n.pending_read = Some(PendingRead { addr: addr + 4, piggyback: true });
+        n.fill_block(block, vec![5; 16].into_boxed_slice(), LineState::Modified, &mut clf, 0);
+        assert_eq!(n.complete_piggyback_read(block), Some(5));
+        assert!(n.pending_read.is_none());
+    }
+
+    #[test]
+    fn fill_evicts_dirty_victim_with_writeback() {
+        let mut n = node(Protocol::WriteInvalidate);
+        let mut clf = Classifier::new(n.geom);
+        let a1 = n.geom.region_base(1);
+        let b1 = n.geom.block_of(a1);
+        // Same cache index, different tag (64 KB apart).
+        let a2 = a1 + 64 * 1024;
+        let b2 = n.geom.block_of(a2);
+        n.fill_block(b1, vec![1; 16].into_boxed_slice(), LineState::Modified, &mut clf, 0);
+        let fx = n.fill_block(b2, vec![2; 16].into_boxed_slice(), LineState::Shared, &mut clf, 1);
+        assert!(matches!(&fx.sends[0].kind, MsgKind::WriteBack { .. }));
+        assert_eq!(fx.sends[0].dst, n.geom.home_of(a1));
+        assert_eq!(clf.classify_miss(0, a1, 2), sim_stats::MissClass::Eviction);
+    }
+}

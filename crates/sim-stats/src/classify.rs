@@ -1,0 +1,559 @@
+//! The event-driven classifier.
+
+use std::collections::HashMap;
+
+use sim_engine::{Cycle, NodeId};
+use sim_mem::{Addr, BlockAddr, Geometry};
+
+use crate::report::{MissClass, TrafficReport, UpdateClass};
+
+/// Why a cache copy went away — recorded when it happens, consumed when the
+/// node misses on the block again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// Invalidated by another processor's write; carries the written word's
+    /// address and the writer so the next miss can be split into true vs
+    /// false sharing.
+    External { word_addr: Addr, writer: NodeId },
+    /// Displaced by a direct-mapped conflict.
+    Eviction,
+    /// Self-invalidated: competitive-update drop or an explicit flush.
+    SelfInvalidate,
+}
+
+/// History of one (node, block) copy.
+#[derive(Debug, Clone, Copy, Default)]
+struct CopyHistory {
+    ever_cached: bool,
+    lost: Option<(Cycle, LossCause)>,
+}
+
+/// A live (delivered, not yet dead) update record.
+#[derive(Debug, Clone, Copy)]
+struct UpdateRec {
+    block_referenced: bool,
+}
+
+/// Classifies every miss and update message of a run, given raw events from
+/// the protocol layer.
+///
+/// Event order contract (enforced by the machine): for any word, the
+/// `word_written` commit event is emitted no later than the invalidations
+/// or update deliveries that the write causes.
+#[derive(Debug)]
+pub struct Classifier {
+    geom: Geometry,
+    /// Last globally-visible writer of each word.
+    last_writer: HashMap<Addr, (NodeId, Cycle)>,
+    /// Copy history per (node, block).
+    copies: HashMap<(NodeId, BlockAddr), CopyHistory>,
+    /// Live update records per (node, block) → word index → record.
+    live_updates: HashMap<(NodeId, BlockAddr), HashMap<usize, UpdateRec>>,
+    /// Registered data-structure address ranges for attribution.
+    structures: Vec<StructureRange>,
+    report: TrafficReport,
+    finished: bool,
+}
+
+/// A named address range for per-structure traffic attribution.
+#[derive(Debug, Clone)]
+struct StructureRange {
+    /// Kept for diagnostics (the report carries its own copy).
+    #[allow(dead_code)]
+    name: String,
+    lo: Addr,
+    hi: Addr,
+}
+
+impl Classifier {
+    /// Creates a classifier for a machine with the given geometry.
+    pub fn new(geom: Geometry) -> Self {
+        Classifier {
+            geom,
+            last_writer: HashMap::new(),
+            copies: HashMap::new(),
+            live_updates: HashMap::new(),
+            structures: Vec::new(),
+            report: TrafficReport::default(),
+            finished: false,
+        }
+    }
+
+    /// Registers a named address range (a shared data structure) so the
+    /// report can attribute classified traffic to it — the analysis style
+    /// the paper uses ("the vast majority of this useless traffic
+    /// corresponds to changes in the centralized counter"). Ranges are
+    /// half-open `[addr, addr + words*4)`; later registrations win on
+    /// overlap.
+    pub fn register_structure(&mut self, name: &str, addr: Addr, words: u32) {
+        self.structures.push(StructureRange { name: name.to_string(), lo: addr, hi: addr + 4 * words });
+        self.report.by_structure.push(crate::report::StructureTraffic {
+            name: name.to_string(),
+            misses: Default::default(),
+            updates: Default::default(),
+        });
+    }
+
+    fn structure_of(&self, addr: Addr) -> Option<usize> {
+        self.structures.iter().rposition(|r| (r.lo..r.hi).contains(&addr))
+    }
+
+    fn bump_miss(&mut self, addr: Addr, class: MissClass) {
+        self.report.misses.bump(class);
+        if let Some(i) = self.structure_of(addr) {
+            self.report.by_structure[i].misses.bump(class);
+        }
+    }
+
+    fn bump_update(&mut self, addr: Addr, class: UpdateClass) {
+        self.report.updates.bump(class);
+        if let Some(i) = self.structure_of(addr) {
+            self.report.by_structure[i].updates.bump(class);
+        }
+    }
+
+    fn copy(&mut self, node: NodeId, block: BlockAddr) -> &mut CopyHistory {
+        self.copies.entry((node, block)).or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting
+    // ------------------------------------------------------------------
+
+    /// A processor issued a shared read.
+    pub fn count_read(&mut self) {
+        self.report.shared_reads += 1;
+    }
+
+    /// A processor issued a shared write.
+    pub fn count_write(&mut self) {
+        self.report.shared_writes += 1;
+    }
+
+    /// A processor issued a shared atomic operation.
+    pub fn count_atomic(&mut self) {
+        self.report.shared_atomics += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Write visibility
+    // ------------------------------------------------------------------
+
+    /// A write to `addr` by `writer` became globally visible.
+    pub fn word_written(&mut self, writer: NodeId, addr: Addr, now: Cycle) {
+        self.last_writer.insert(addr, (writer, now));
+    }
+
+    // ------------------------------------------------------------------
+    // Copy lifecycle
+    // ------------------------------------------------------------------
+
+    /// `node` installed a copy of `block` in its cache.
+    pub fn copy_acquired(&mut self, node: NodeId, block: BlockAddr) {
+        let c = self.copy(node, block);
+        c.ever_cached = true;
+        c.lost = None;
+    }
+
+    /// `node` lost its copy of `block`. For [`LossCause::Eviction`] and
+    /// [`LossCause::SelfInvalidate`], any live update records die here too
+    /// (replacement updates, or leftover records at a drop/flush).
+    pub fn copy_lost(&mut self, node: NodeId, block: BlockAddr, cause: LossCause, now: Cycle) {
+        self.copy(node, block).lost = Some((now, cause));
+        if let Some(records) = self.live_updates.remove(&(node, block)) {
+            for (widx, rec) in records {
+                let class = match cause {
+                    LossCause::Eviction => UpdateClass::Replacement,
+                    // Records still live when the block self-invalidates or
+                    // is invalidated externally were never going to be
+                    // consumed: useless. Active false sharing wins over
+                    // proliferation, as in the paper's algorithm.
+                    LossCause::SelfInvalidate | LossCause::External { .. } => {
+                        if rec.block_referenced {
+                            UpdateClass::FalseSharing
+                        } else {
+                            UpdateClass::Proliferation
+                        }
+                    }
+                };
+                self.bump_update(block.0 + 4 * widx as Addr, class);
+            }
+        }
+    }
+
+    /// A write under WI hit a read-shared copy and issued an exclusive
+    /// (upgrade) request.
+    pub fn exclusive_request(&mut self, _node: NodeId, block: BlockAddr) {
+        self.report.misses.exclusive_requests += 1;
+        if let Some(i) = self.structure_of(block.0) {
+            self.report.by_structure[i].misses.exclusive_requests += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Misses
+    // ------------------------------------------------------------------
+
+    /// `node` missed on the word at `addr`; classify and count the miss.
+    /// Call at miss-detection time, before the refill's `copy_acquired`.
+    pub fn classify_miss(&mut self, node: NodeId, addr: Addr, now: Cycle) -> MissClass {
+        let block = self.geom.block_of(addr);
+        let history = *self.copy(node, block);
+        let class = if !history.ever_cached {
+            MissClass::Cold
+        } else {
+            match history.lost {
+                // A refill after a protocol-initiated state change that
+                // never removed the copy, or a re-miss with no recorded
+                // loss: treat conservatively as cold-start-like truth is
+                // unreachable; count as true sharing only with evidence.
+                None => MissClass::Cold,
+                Some((_, LossCause::Eviction)) => MissClass::Eviction,
+                Some((_, LossCause::SelfInvalidate)) => MissClass::Drop,
+                Some((lost_at, LossCause::External { word_addr, writer })) => {
+                    let same_word = word_addr == addr && writer != node;
+                    let later_write = self
+                        .last_writer
+                        .get(&addr)
+                        .is_some_and(|&(w, t)| w != node && t >= lost_at);
+                    if same_word || later_write {
+                        MissClass::TrueSharing
+                    } else {
+                        MissClass::FalseSharing
+                    }
+                }
+            }
+        };
+        let _ = now;
+        self.bump_miss(addr, class);
+        class
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// An update message for `addr` was applied at `node`'s cache. Kills
+    /// (and classifies) any live record for the same word, then opens a new
+    /// record.
+    pub fn update_delivered(&mut self, node: NodeId, addr: Addr) {
+        let block = self.geom.block_of(addr);
+        let widx = self.geom.word_index(addr);
+        let records = self.live_updates.entry((node, block)).or_default();
+        if let Some(old) = records.insert(widx, UpdateRec { block_referenced: false }) {
+            let class = if old.block_referenced {
+                UpdateClass::FalseSharing
+            } else {
+                UpdateClass::Proliferation
+            };
+            self.bump_update(addr, class);
+        }
+    }
+
+    /// The update for `addr` arriving at `node` tripped the competitive
+    /// threshold: it is a *drop* update and never opens a record.
+    pub fn update_caused_drop(&mut self, _node: NodeId, addr: Addr) {
+        self.bump_update(addr, UpdateClass::Drop);
+    }
+
+    /// `node`'s processor *read* the word at `addr` (plain load, spin
+    /// check, or atomic — all consume the value). Consumes a live record
+    /// for that word as a true-sharing update and marks sibling records'
+    /// blocks as referenced.
+    pub fn word_referenced(&mut self, node: NodeId, addr: Addr) {
+        let block = self.geom.block_of(addr);
+        let widx = self.geom.word_index(addr);
+        let mut consumed = false;
+        if let Some(records) = self.live_updates.get_mut(&(node, block)) {
+            consumed = records.remove(&widx).is_some();
+            for rec in records.values_mut() {
+                rec.block_referenced = true;
+            }
+            if records.is_empty() {
+                self.live_updates.remove(&(node, block));
+            }
+        }
+        if consumed {
+            self.bump_update(addr, UpdateClass::TrueSharing);
+        }
+    }
+
+    /// `node`'s processor *wrote* the word at `addr`. A write does not
+    /// consume an update's value, so a live record for the same word stays
+    /// live (it will die useless); sibling records observe block activity
+    /// for the false-sharing distinction.
+    pub fn word_write_referenced(&mut self, node: NodeId, addr: Addr) {
+        let block = self.geom.block_of(addr);
+        let widx = self.geom.word_index(addr);
+        if let Some(records) = self.live_updates.get_mut(&(node, block)) {
+            for (&w, rec) in records.iter_mut() {
+                if w != widx {
+                    rec.block_referenced = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    /// Ends the run: classifies all still-live update records (termination,
+    /// or false sharing when the block saw unrelated references) and
+    /// freezes the report.
+    pub fn finish(&mut self) -> &TrafficReport {
+        assert!(!self.finished, "Classifier::finish called twice");
+        self.finished = true;
+        let drained: Vec<_> = self.live_updates.drain().collect();
+        for ((_, block), records) in drained {
+            for (widx, rec) in records {
+                let class = if rec.block_referenced {
+                    UpdateClass::FalseSharing
+                } else {
+                    UpdateClass::Termination
+                };
+                self.bump_update(block.0 + 4 * widx as Addr, class);
+            }
+        }
+        &self.report
+    }
+
+    /// The report accumulated so far (final after [`Classifier::finish`]).
+    pub fn report(&self) -> &TrafficReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier() -> Classifier {
+        Classifier::new(Geometry::new(4))
+    }
+
+    const B: Addr = 0x1000; // block base
+    const W0: Addr = 0x1000;
+    const W1: Addr = 0x1004;
+
+    #[test]
+    fn first_touch_is_cold() {
+        let mut c = classifier();
+        assert_eq!(c.classify_miss(0, W0, 10), MissClass::Cold);
+        assert_eq!(c.report().misses.cold, 1);
+    }
+
+    #[test]
+    fn invalidation_on_same_word_is_true_sharing() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        // Node 1 writes W0; node 0's copy dies.
+        c.word_written(1, W0, 100);
+        c.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W0, writer: 1 }, 101);
+        assert_eq!(c.classify_miss(0, W0, 200), MissClass::TrueSharing);
+    }
+
+    #[test]
+    fn invalidation_on_other_word_is_false_sharing() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        c.word_written(1, W1, 100);
+        c.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W1, writer: 1 }, 101);
+        assert_eq!(c.classify_miss(0, W0, 200), MissClass::FalseSharing);
+    }
+
+    #[test]
+    fn later_write_to_missed_word_upgrades_to_true_sharing() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        // Invalidated by a write to W1, but before node 0 re-reads W0,
+        // node 2 also writes W0: the miss fetches genuinely new data.
+        c.word_written(1, W1, 100);
+        c.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W1, writer: 1 }, 101);
+        c.word_written(2, W0, 150);
+        assert_eq!(c.classify_miss(0, W0, 200), MissClass::TrueSharing);
+    }
+
+    #[test]
+    fn own_write_does_not_make_true_sharing() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        c.word_written(1, W1, 100);
+        c.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W1, writer: 1 }, 101);
+        // Node 0's own (earlier) write to W0 is not evidence of sharing.
+        c.word_written(0, W0, 150);
+        assert_eq!(c.classify_miss(0, W0, 200), MissClass::FalseSharing);
+    }
+
+    #[test]
+    fn eviction_and_drop_misses() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        c.copy_lost(0, BlockAddr(B), LossCause::Eviction, 10);
+        assert_eq!(c.classify_miss(0, W0, 20), MissClass::Eviction);
+        c.copy_acquired(0, BlockAddr(B));
+        c.copy_lost(0, BlockAddr(B), LossCause::SelfInvalidate, 30);
+        assert_eq!(c.classify_miss(0, W0, 40), MissClass::Drop);
+    }
+
+    #[test]
+    fn update_consumed_by_reference_is_true_sharing() {
+        let mut c = classifier();
+        c.copy_acquired(0, BlockAddr(B));
+        c.update_delivered(0, W0);
+        c.word_referenced(0, W0);
+        assert_eq!(c.report().updates.true_sharing, 1);
+        assert_eq!(c.report().updates.total(), 1);
+    }
+
+    #[test]
+    fn overwritten_unreferenced_update_is_proliferation() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        c.update_delivered(0, W0); // overwrites the first
+        assert_eq!(c.report().updates.proliferation, 1);
+        c.finish();
+        // The second record terminates.
+        assert_eq!(c.report().updates.termination, 1);
+    }
+
+    #[test]
+    fn overwritten_update_with_block_activity_is_false_sharing() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        c.word_referenced(0, W1); // touches another word of the block
+        c.update_delivered(0, W0);
+        assert_eq!(c.report().updates.false_sharing, 1);
+    }
+
+    #[test]
+    fn replaced_block_yields_replacement_updates() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        c.update_delivered(0, W1);
+        c.copy_lost(0, BlockAddr(B), LossCause::Eviction, 10);
+        assert_eq!(c.report().updates.replacement, 2);
+    }
+
+    #[test]
+    fn drop_update_classified_directly() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        // The 4th update trips the threshold; protocol reports it directly
+        // and invalidates the block.
+        c.update_caused_drop(0, W1);
+        c.copy_lost(0, BlockAddr(B), LossCause::SelfInvalidate, 10);
+        let u = c.report().updates;
+        assert_eq!(u.drop, 1);
+        assert_eq!(u.proliferation, 1, "the older live record dies useless");
+    }
+
+    #[test]
+    fn termination_vs_false_at_end() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        c.update_delivered(1, W0);
+        c.word_referenced(1, W1);
+        c.finish();
+        let u = c.report().updates;
+        assert_eq!(u.termination, 1, "node 0's record never saw block activity");
+        assert_eq!(u.false_sharing, 1, "node 1 touched the block elsewhere");
+    }
+
+    #[test]
+    fn reference_only_consumes_matching_word() {
+        let mut c = classifier();
+        c.update_delivered(0, W0);
+        c.word_referenced(0, W1);
+        assert_eq!(c.report().updates.true_sharing, 0);
+        c.word_referenced(0, W0);
+        assert_eq!(c.report().updates.true_sharing, 1);
+        // A second reference does not double count.
+        c.word_referenced(0, W0);
+        assert_eq!(c.report().updates.true_sharing, 1);
+    }
+
+    #[test]
+    fn refill_clears_loss_record() {
+        let mut c = classifier();
+        c.classify_miss(0, W0, 0);
+        c.copy_acquired(0, BlockAddr(B));
+        c.copy_lost(0, BlockAddr(B), LossCause::Eviction, 5);
+        c.classify_miss(0, W0, 10);
+        c.copy_acquired(0, BlockAddr(B));
+        // Copy present again; a (hypothetical) re-miss with no loss recorded
+        // falls back to cold classification.
+        assert_eq!(c.classify_miss(0, W0, 20), MissClass::Cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called twice")]
+    fn finish_twice_panics() {
+        let mut c = classifier();
+        c.finish();
+        c.finish();
+    }
+}
+
+#[cfg(test)]
+mod attribution_tests {
+    use super::*;
+
+    const B: Addr = 0x1000;
+
+    #[test]
+    fn traffic_attributes_to_registered_ranges() {
+        let mut c = Classifier::new(Geometry::new(4));
+        c.register_structure("counter", B, 1);
+        c.register_structure("flag", B + 4, 1);
+        // A miss on the counter word.
+        c.classify_miss(0, B, 0);
+        // An update on the flag word, consumed.
+        c.update_delivered(1, B + 4);
+        c.word_referenced(1, B + 4);
+        // An update outside any range.
+        c.update_delivered(1, B + 0x100);
+        c.word_referenced(1, B + 0x100);
+        let r = c.finish();
+        assert_eq!(r.by_structure.len(), 2);
+        assert_eq!(r.by_structure[0].name, "counter");
+        assert_eq!(r.by_structure[0].misses.cold, 1);
+        assert_eq!(r.by_structure[0].updates.total(), 0);
+        assert_eq!(r.by_structure[1].name, "flag");
+        assert_eq!(r.by_structure[1].updates.true_sharing, 1);
+        // Global totals include the unattributed update.
+        assert_eq!(r.updates.true_sharing, 2);
+    }
+
+    #[test]
+    fn later_registration_wins_on_overlap() {
+        let mut c = Classifier::new(Geometry::new(4));
+        c.register_structure("whole-block", B, 16);
+        c.register_structure("first-word", B, 1);
+        c.classify_miss(0, B, 0); // first-word
+        c.classify_miss(0, B + 4, 0); // whole-block
+        let r = c.finish();
+        assert_eq!(r.by_structure[1].misses.cold, 1, "first-word wins its overlap");
+        assert_eq!(r.by_structure[0].misses.cold, 1, "rest of the block still attributed");
+    }
+
+    #[test]
+    fn drop_and_termination_updates_attribute_too() {
+        let mut c = Classifier::new(Geometry::new(4));
+        c.register_structure("s", B, 16);
+        c.update_delivered(0, B);
+        c.update_caused_drop(0, B + 4);
+        c.copy_lost(0, BlockAddr(B), LossCause::SelfInvalidate, 1);
+        c.update_delivered(2, B + 8); // survives to the end
+        let r = c.finish();
+        let s = &r.by_structure[0];
+        assert_eq!(s.updates.drop, 1);
+        assert_eq!(s.updates.proliferation, 1);
+        assert_eq!(s.updates.termination, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Power-of-two latency histograms.
+
+use sim_engine::Cycle;
+
+/// A log₂-bucketed histogram of cycle latencies.
+///
+/// Bucket `k` holds samples in `[2^k, 2^(k+1))` (bucket 0 holds 0 and 1).
+/// Cheap to record into (a `leading_zeros` and an increment), exact enough
+/// for the simulator's latency-shape reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; 32],
+    count: u64,
+    sum: u64,
+    max: Cycle,
+}
+
+impl LatencyHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Cycle) {
+        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(31);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Cycle {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0.0..=1.0`).
+    pub fn quantile_bound(&self, p: f64) -> Cycle {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return 1u64 << (k + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(bucket lower bound, sample count)` for each non-empty bucket.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (Cycle, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (if k == 0 { 0 } else { 1u64 << k }, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = LatencyHist::new();
+        for v in [1u64, 2, 3, 100, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 200);
+        assert!((h.mean() - 61.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = LatencyHist::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let buckets: Vec<_> = h.nonempty_buckets().collect();
+        // 0 and 1 in bucket 0; 2 and 3 in bucket [2,4); 4 in [4,8).
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHist::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let q50 = h.quantile_bound(0.5);
+        let q90 = h.quantile_bound(0.9);
+        let q100 = h.quantile_bound(1.0);
+        assert!(q50 <= q90 && q90 <= q100);
+        assert!(q50 >= 256, "median of 0..1000 sits in the [512,1024) bucket region");
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = LatencyHist::new();
+        a.record(10);
+        let mut b = LatencyHist::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+}

@@ -1,0 +1,31 @@
+//! Communication-traffic classification.
+//!
+//! Implements the miss- and update-classification algorithms the paper uses
+//! as its core performance metric (Section 3.2):
+//!
+//! * **Cache misses** are classified as *cold start*, *true sharing*,
+//!   *false sharing*, *eviction*, or *drop* misses, following Dubois et
+//!   al. \[5\] as extended by Bianchini & Kontothanassis \[2\]. A sixth
+//!   category counts *exclusive request* (upgrade) transactions, which are
+//!   not misses but do generate traffic.
+//! * **Update messages** are classified at the end of their lifetime as
+//!   *true sharing*, *false sharing*, *proliferation*, *replacement*,
+//!   *termination*, or *drop* updates, following \[2\].
+//!
+//! Cold-start and true-sharing misses, and true-sharing updates, are
+//! *useful* traffic; everything else is useless and could in principle be
+//! eliminated.
+//!
+//! The [`Classifier`] is driven by raw events emitted from the protocol
+//! layer (word writes becoming globally visible, copies acquired and lost,
+//! updates delivered, CPU references). It holds all cross-node knowledge —
+//! per-word last writers, per-copy loss causes, live update records — so the
+//! protocol code stays free of bookkeeping.
+
+pub mod classify;
+pub mod hist;
+pub mod report;
+
+pub use classify::{Classifier, LossCause};
+pub use hist::LatencyHist;
+pub use report::{MissClass, MissStats, StructureTraffic, TrafficReport, UpdateClass, UpdateStats};

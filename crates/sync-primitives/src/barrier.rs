@@ -1,0 +1,324 @@
+//! Barriers: centralized, dissemination, tree.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crate::CachePadded;
+
+/// The sense-reversing centralized barrier (Figure 3 of the paper).
+///
+/// Threads decrement a shared counter; the last arrival resets it and
+/// flips the shared sense flag everyone else spins on. Simple and compact,
+/// but every episode funnels through two shared cache lines, which is why
+/// the paper only recommends it for small machines.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sync_primitives::CentralizedBarrier;
+///
+/// let barrier = Arc::new(CentralizedBarrier::new(2));
+/// let b = Arc::clone(&barrier);
+/// let t = std::thread::spawn(move || b.wait());
+/// barrier.wait();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct CentralizedBarrier {
+    participants: u32,
+    count: CachePadded<AtomicU32>,
+    sense: CachePadded<AtomicU32>,
+}
+
+impl CentralizedBarrier {
+    /// Creates a barrier for `participants` threads.
+    pub fn new(participants: u32) -> Self {
+        assert!(participants > 0);
+        CentralizedBarrier {
+            participants,
+            count: CachePadded(AtomicU32::new(participants)),
+            sense: CachePadded(AtomicU32::new(0)),
+        }
+    }
+
+    /// Blocks until all participants have called `wait` this episode.
+    ///
+    /// Unlike the simulator kernel (which keeps `local_sense` in a
+    /// register), the thread-local sense here is derived from the shared
+    /// sense at entry, which is equivalent: the shared sense only flips
+    /// once per episode, after every arrival.
+    pub fn wait(&self) {
+        let local_sense = 1 - self.sense.load(Ordering::Acquire);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.count.store(self.participants, Ordering::Relaxed);
+            self.sense.store(local_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                crate::backoff(&mut spins);
+            }
+        }
+    }
+}
+
+/// Per-thread flag pair used by [`DisseminationBarrier`].
+#[derive(Debug, Default)]
+struct DissemFlags {
+    /// `flags[parity * rounds + k]`, each on its own cache line.
+    flags: Vec<CachePadded<AtomicU32>>,
+    /// This thread's parity (only touched by its owner).
+    parity: CachePadded<AtomicU32>,
+    /// This thread's sense (only touched by its owner).
+    sense: CachePadded<AtomicU32>,
+}
+
+/// The dissemination barrier (Figure 4 of the paper).
+///
+/// ⌈log₂ P⌉ rounds of point-to-point signaling: in round `k`, thread `i`
+/// signals thread `(i + 2^k) mod P`. Every flag has exactly one writer and
+/// one reader — under the paper's update protocols this makes all its
+/// coherence traffic useful, and it is the recommended barrier at every
+/// machine size.
+///
+/// Threads must use stable, distinct ids in `0..participants`.
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    participants: usize,
+    rounds: u32,
+    nodes: Vec<DissemFlags>,
+}
+
+impl DisseminationBarrier {
+    /// Creates a barrier for `participants` threads.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0);
+        let rounds = if participants > 1 {
+            usize::BITS - (participants - 1).leading_zeros()
+        } else {
+            0
+        };
+        let nodes = (0..participants)
+            .map(|_| {
+                let mut f = DissemFlags::default();
+                f.sense.0 = AtomicU32::new(1);
+                f.flags = (0..(2 * rounds).max(1) as usize)
+                    .map(|_| CachePadded(AtomicU32::new(0)))
+                    .collect();
+                f
+            })
+            .collect();
+        DisseminationBarrier { participants, rounds, nodes }
+    }
+
+    /// Number of signaling rounds per episode.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Blocks thread `tid` until all participants have arrived.
+    pub fn wait(&self, tid: usize) {
+        assert!(tid < self.participants);
+        if self.participants == 1 {
+            return;
+        }
+        let me = &self.nodes[tid];
+        let parity = me.parity.load(Ordering::Relaxed);
+        let sense = me.sense.load(Ordering::Relaxed);
+        for k in 0..self.rounds {
+            let partner = (tid + (1 << k)) % self.participants;
+            let slot = (parity * self.rounds + k) as usize;
+            self.nodes[partner].flags[slot].store(sense, Ordering::Release);
+            let mut spins = 0u32;
+            while me.flags[slot].load(Ordering::Acquire) != sense {
+                crate::backoff(&mut spins);
+            }
+        }
+        if parity == 1 {
+            me.sense.store(1 - sense, Ordering::Relaxed);
+        }
+        me.parity.store(1 - parity, Ordering::Relaxed);
+    }
+}
+
+/// Per-thread node of the [`TreeBarrier`].
+#[derive(Debug, Default)]
+struct TreeNode {
+    /// `childnotready[j]`, each on its own cache line.
+    childnotready: [CachePadded<AtomicU32>; 4],
+    /// This thread's sense (only touched by its owner).
+    sense: CachePadded<AtomicU32>,
+}
+
+/// The 4-ary arrival-tree barrier with a global wake-up flag (Figure 5 of
+/// the paper, from Mellor-Crummey & Scott).
+///
+/// Arrival propagates up a 4-ary tree (thread `i`'s children are
+/// `4i+1..4i+4`); the root then flips a global sense flag that wakes
+/// everyone. Threads must use stable, distinct ids in `0..participants`.
+#[derive(Debug)]
+pub struct TreeBarrier {
+    participants: usize,
+    nodes: Vec<TreeNode>,
+    globalsense: CachePadded<AtomicU32>,
+}
+
+impl TreeBarrier {
+    /// Creates a barrier for `participants` threads.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0);
+        let nodes = (0..participants)
+            .map(|i| {
+                let n = TreeNode::default();
+                n.sense.store(1, Ordering::Relaxed);
+                for j in 0..4 {
+                    let child = 4 * i + j + 1;
+                    n.childnotready[j].store(u32::from(child < participants), Ordering::Relaxed);
+                }
+                n
+            })
+            .collect();
+        TreeBarrier { participants, nodes, globalsense: CachePadded(AtomicU32::new(0)) }
+    }
+
+    /// Blocks thread `tid` until all participants have arrived.
+    pub fn wait(&self, tid: usize) {
+        assert!(tid < self.participants);
+        let me = &self.nodes[tid];
+        let sense = me.sense.load(Ordering::Relaxed);
+        // Wait for the subtree.
+        for j in 0..4 {
+            let child = 4 * tid + j + 1;
+            if child < self.participants {
+                let mut spins = 0u32;
+                while me.childnotready[j].load(Ordering::Acquire) != 0 {
+                    crate::backoff(&mut spins);
+                }
+            }
+        }
+        // Re-arm for the next episode.
+        for j in 0..4 {
+            let child = 4 * tid + j + 1;
+            if child < self.participants {
+                me.childnotready[j].store(1, Ordering::Relaxed);
+            }
+        }
+        if tid == 0 {
+            self.globalsense.store(sense, Ordering::Release);
+        } else {
+            // Tell the parent this subtree has arrived.
+            let parent = &self.nodes[(tid - 1) / 4];
+            parent.childnotready[(tid - 1) % 4].store(0, Ordering::Release);
+            let mut spins = 0u32;
+            while self.globalsense.load(Ordering::Acquire) != sense {
+                crate::backoff(&mut spins);
+            }
+        }
+        me.sense.store(1 - sense, Ordering::Relaxed);
+    }
+}
+
+/// Counts barrier-phase violations in tests.
+#[derive(Debug, Default)]
+pub struct PhaseCheck {
+    phase: AtomicUsize,
+}
+
+impl PhaseCheck {
+    /// Records an arrival in `phase`; panics if a thread races ahead.
+    pub fn arrive(&self, expected_phase: usize) {
+        let seen = self.phase.load(Ordering::SeqCst);
+        assert!(
+            seen == expected_phase || seen == expected_phase + 1,
+            "phase skew: saw {seen}, expected {expected_phase}"
+        );
+    }
+
+    /// Advances to the next phase (call from one thread per episode).
+    pub fn advance(&self) {
+        self.phase.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exercise_counting<F>(threads: usize, episodes: u64, wait: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        // Each episode, every thread adds its id+1 to a shared sum; after
+        // the barrier, every thread must observe the full episode sum.
+        let wait = Arc::new(wait);
+        let sum = Arc::new(AtomicU64::new(0));
+        let per_episode: u64 = (1..=threads as u64).sum();
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let wait = Arc::clone(&wait);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    for ep in 1..=episodes {
+                        sum.fetch_add(tid as u64 + 1, Ordering::SeqCst);
+                        wait(tid);
+                        assert_eq!(
+                            sum.load(Ordering::SeqCst),
+                            per_episode * ep,
+                            "thread {tid} after episode {ep}"
+                        );
+                        wait(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn centralized_barrier_synchronizes() {
+        let b = Arc::new(CentralizedBarrier::new(4));
+        exercise_counting(4, 60, move |_| b.wait());
+    }
+
+    #[test]
+    fn dissemination_barrier_synchronizes() {
+        let b = Arc::new(DisseminationBarrier::new(4));
+        exercise_counting(4, 60, move |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn dissemination_odd_thread_count() {
+        let b = Arc::new(DisseminationBarrier::new(5));
+        exercise_counting(5, 40, move |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes() {
+        let b = Arc::new(TreeBarrier::new(6));
+        exercise_counting(6, 60, move |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn tree_barrier_deep_tree() {
+        // 21 threads: a root, 4 children, 16 grandchildren.
+        let b = Arc::new(TreeBarrier::new(21));
+        exercise_counting(21, 10, move |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn single_participant_barriers_return_immediately() {
+        CentralizedBarrier::new(1).wait();
+        DisseminationBarrier::new(1).wait(0);
+        TreeBarrier::new(1).wait(0);
+    }
+
+    #[test]
+    fn dissemination_round_count() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(5).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(32).rounds(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Native implementations of the paper's synchronization algorithms for
+//! real Rust threads.
+//!
+//! The simulator crates study these algorithms under simulated coherence
+//! protocols; this crate provides the same algorithms as usable library
+//! primitives over `std::sync::atomic`, so downstream users can adopt the
+//! constructs the study recommends:
+//!
+//! * [`TicketLock`] / [`TicketMutex`] — the centralized ticket lock
+//!   (Figure 1), FIFO-fair, best at low contention;
+//! * [`McsLock`] — the MCS list-based queuing lock (Figure 2), each waiter
+//!   spinning on its own cache line, best under high contention;
+//! * [`ClhLock`] and [`AndersonLock`] — the other classic queue locks
+//!   (implicit-queue CLH and Anderson's padded flag array), included for
+//!   completeness of the lock family the study draws on;
+//! * [`CentralizedBarrier`] — the sense-reversing counter barrier
+//!   (Figure 3), simplest and fine at small scale;
+//! * [`DisseminationBarrier`] — ⌈log₂ P⌉ rounds of pairwise signaling
+//!   (Figure 4), the paper's recommended scalable barrier;
+//! * [`TreeBarrier`] — the 4-ary arrival tree with a global wake-up flag
+//!   (Figure 5).
+
+pub mod barrier;
+pub mod lock;
+
+pub use barrier::{CentralizedBarrier, DisseminationBarrier, TreeBarrier};
+pub use lock::{AndersonLock, ClhLock, McsLock, TicketLock, TicketMutex};
+
+/// One busy-wait iteration with bounded spinning: spins in place a few
+/// dozen times, then yields to the OS scheduler. On a machine with enough
+/// cores the yield never triggers; on an oversubscribed (or single-core)
+/// machine it keeps spin-based primitives from burning whole timeslices
+/// waiting for a preempted peer.
+#[inline]
+pub fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Pads a value to a cache line so neighboring slots don't false-share —
+/// the same discipline the paper's placement rules enforce in the
+/// simulator.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_line_sized() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 64);
+    }
+}

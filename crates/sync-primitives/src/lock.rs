@@ -1,0 +1,585 @@
+//! Spin locks: ticket and MCS.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
+
+use crate::CachePadded;
+
+/// The centralized ticket lock (Figure 1 of the paper).
+///
+/// FIFO-fair: `fetch_add` hands out tickets, a second counter announces
+/// which ticket is being served. All waiters spin on the same location,
+/// which is why the paper finds it ideal only up to small machine sizes.
+///
+/// ```
+/// use sync_primitives::TicketLock;
+///
+/// let lock = TicketLock::new();
+/// lock.lock();
+/// // ... critical section ...
+/// lock.unlock();
+/// ```
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next_ticket: CachePadded<AtomicU32>,
+    now_serving: CachePadded<AtomicU32>,
+}
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires the lock, spinning until the ticket is served.
+    pub fn lock(&self) {
+        let my = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        while self.now_serving.load(Ordering::Acquire) != my {
+            crate::backoff(&mut spins);
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// Must only be called by the thread that holds it.
+    pub fn unlock(&self) {
+        // Only the holder stores to now_serving, so a plain wrapping
+        // increment published with release ordering suffices.
+        let next = self.now_serving.load(Ordering::Relaxed).wrapping_add(1);
+        self.now_serving.store(next, Ordering::Release);
+    }
+
+    /// Attempts to acquire without waiting; returns whether it succeeded.
+    pub fn try_lock(&self) -> bool {
+        let serving = self.now_serving.load(Ordering::Relaxed);
+        self.next_ticket
+            .compare_exchange(serving, serving.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+/// A `Mutex`-style wrapper over [`TicketLock`].
+///
+/// ```
+/// use sync_primitives::TicketMutex;
+///
+/// let counter = TicketMutex::new(0u64);
+/// *counter.lock() += 1;
+/// assert_eq!(*counter.lock(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TicketMutex<T> {
+    lock: TicketLock,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the ticket lock provides mutual exclusion over `value`.
+unsafe impl<T: Send> Send for TicketMutex<T> {}
+unsafe impl<T: Send> Sync for TicketMutex<T> {}
+
+impl<T> TicketMutex<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        TicketMutex { lock: TicketLock::new(), value: UnsafeCell::new(value) }
+    }
+
+    /// Acquires the lock, returning a guard that releases on drop.
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        self.lock.lock();
+        TicketGuard { mutex: self }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard for [`TicketMutex`].
+pub struct TicketGuard<'a, T> {
+    mutex: &'a TicketMutex<T>,
+}
+
+impl<T> Deref for TicketGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock exclusively.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.lock.unlock();
+    }
+}
+
+/// One waiter's queue node for the MCS lock. Cache-line aligned so each
+/// waiter spins on its own line — the property the whole algorithm exists
+/// to provide.
+#[derive(Debug)]
+#[repr(align(64))]
+struct McsNode {
+    next: AtomicPtr<McsNode>,
+    locked: AtomicU32,
+}
+
+/// The MCS list-based queuing lock (Figure 2 of the paper).
+///
+/// Waiters form an explicit queue; each spins on a flag in its own queue
+/// node, and the releaser hands the lock directly to its successor. This
+/// keeps contention off any shared location and is the paper's
+/// recommendation for highly contended locks (under WI or CU — under pure
+/// update, the study shows, its extra sharing becomes a liability).
+///
+/// This implementation heap-allocates one queue node per acquisition,
+/// trading a small allocation cost for a safe self-contained API (no
+/// caller-provided node to keep alive).
+///
+/// ```
+/// use sync_primitives::McsLock;
+///
+/// let lock = McsLock::new();
+/// let token = lock.lock();
+/// // ... critical section ...
+/// lock.unlock(token);
+/// ```
+#[derive(Debug, Default)]
+pub struct McsLock {
+    tail: CachePadded<AtomicPtr<McsNode>>,
+}
+
+/// Proof of lock ownership; pass back to [`McsLock::unlock`].
+#[must_use = "the lock stays held until the token is passed to unlock()"]
+pub struct McsToken {
+    node: *mut McsNode,
+}
+
+// Safety: the token is just a pointer to the owner's own queue node.
+unsafe impl Send for McsToken {}
+
+impl McsLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> McsToken {
+        let node = Box::into_raw(Box::new(McsNode {
+            next: AtomicPtr::new(ptr::null_mut()),
+            locked: AtomicU32::new(0),
+        }));
+        // predecessor := fetch_and_store(L, I)
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if !pred.is_null() {
+            // Safety: a predecessor stays alive until it hands us the lock
+            // (it cannot free its node before unlock() completes, and we
+            // are the unique successor writing its `next`).
+            unsafe {
+                (*node).locked.store(1, Ordering::Relaxed);
+                (*pred).next.store(node, Ordering::Release);
+                let mut spins = 0u32;
+                while (*node).locked.load(Ordering::Acquire) != 0 {
+                    crate::backoff(&mut spins);
+                }
+            }
+        }
+        McsToken { node }
+    }
+
+    /// Releases the lock acquired by `token`.
+    pub fn unlock(&self, token: McsToken) {
+        let node = token.node;
+        // Safety: `node` is the queue node we own; it stays valid until we
+        // free it below.
+        unsafe {
+            let mut succ = (*node).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                // No known successor: try to swing the tail back to nil.
+                if self
+                    .tail
+                    .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    drop(Box::from_raw(node));
+                    return;
+                }
+                // A successor is linking itself in; wait for the link.
+                let mut spins = 0u32;
+                loop {
+                    succ = (*node).next.load(Ordering::Acquire);
+                    if !succ.is_null() {
+                        break;
+                    }
+                    crate::backoff(&mut spins);
+                }
+            }
+            (*succ).locked.store(0, Ordering::Release);
+            drop(Box::from_raw(node));
+        }
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        let token = self.lock();
+        let r = f();
+        self.unlock(token);
+        r
+    }
+}
+
+impl Drop for McsLock {
+    fn drop(&mut self) {
+        // A correctly used lock is free at drop; any lingering node would
+        // mean an acquisition never released.
+        debug_assert!(self.tail.load(Ordering::Relaxed).is_null(), "McsLock dropped while held");
+    }
+}
+
+/// A simple spinning counter used by tests to observe contention fairness.
+#[derive(Debug, Default)]
+pub struct Fairness {
+    /// Total acquisitions observed.
+    pub total: AtomicUsize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn ticket_lock_mutual_exclusion() {
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut unsafe_counter = 0u64;
+        let ptr = &mut unsafe_counter as *mut u64 as usize;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.lock();
+                        // Non-atomic increment under the lock.
+                        unsafe { *(ptr as *mut u64) += 1 };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe_counter, 8_000);
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn ticket_mutex_guards() {
+        let m = Arc::new(TicketMutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8_000);
+    }
+
+    #[test]
+    fn ticket_try_lock() {
+        let lock = TicketLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock(), "already held");
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn mcs_lock_mutual_exclusion() {
+        let lock = Arc::new(McsLock::new());
+        let mut unsafe_counter = 0u64;
+        let ptr = &mut unsafe_counter as *mut u64 as usize;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.with(|| unsafe { *(ptr as *mut u64) += 1 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe_counter, 8_000);
+    }
+
+    #[test]
+    fn mcs_uncontended_cycle() {
+        let lock = McsLock::new();
+        for _ in 0..1000 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_single_thread() {
+        // Tickets increase monotonically.
+        let lock = TicketLock::new();
+        for _ in 0..100 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.next_ticket.load(Ordering::Relaxed), 100);
+        assert_eq!(lock.now_serving.load(Ordering::Relaxed), 100);
+    }
+}
+
+/// One CLH queue node: the flag a *successor* spins on.
+#[derive(Debug)]
+#[repr(align(64))]
+struct ClhNode {
+    locked: AtomicU32,
+}
+
+/// The CLH queuing lock (Craig; Landin & Hagersten) — MCS's sibling with
+/// an *implicit* queue: each waiter spins on its **predecessor's** node
+/// instead of its own, which suits cache-coherent machines (the spun-on
+/// line migrates to the spinner's cache) and needs no `next` pointer or
+/// release-side CAS.
+///
+/// Each acquisition allocates one node; a releaser's node is freed by its
+/// successor (or by the lock's `Drop` for the final one).
+///
+/// ```
+/// use sync_primitives::ClhLock;
+///
+/// let lock = ClhLock::new();
+/// let token = lock.lock();
+/// // ... critical section ...
+/// lock.unlock(token);
+/// ```
+#[derive(Debug)]
+pub struct ClhLock {
+    tail: CachePadded<AtomicPtr<ClhNode>>,
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Proof of CLH lock ownership; pass back to [`ClhLock::unlock`].
+#[must_use = "the lock stays held until the token is passed to unlock()"]
+pub struct ClhToken {
+    /// Our node: the one the successor is (or will be) spinning on.
+    node: *mut ClhNode,
+    /// The predecessor's node, which we now own and must free.
+    pred: *mut ClhNode,
+}
+
+// Safety: both pointers refer to heap nodes this token exclusively owns.
+unsafe impl Send for ClhToken {}
+
+impl ClhLock {
+    /// Creates an unlocked lock (the queue starts with one released node).
+    pub fn new() -> Self {
+        let sentinel = Box::into_raw(Box::new(ClhNode { locked: AtomicU32::new(0) }));
+        ClhLock { tail: CachePadded(AtomicPtr::new(sentinel)) }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> ClhToken {
+        let node = Box::into_raw(Box::new(ClhNode { locked: AtomicU32::new(1) }));
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        // Safety: the predecessor node stays alive until we free it; only
+        // we (its unique successor) may do so.
+        unsafe {
+            let mut spins = 0u32;
+            while (*pred).locked.load(Ordering::Acquire) != 0 {
+                crate::backoff(&mut spins);
+            }
+        }
+        ClhToken { node, pred }
+    }
+
+    /// Releases the lock acquired by `token`.
+    pub fn unlock(&self, token: ClhToken) {
+        // Safety: `pred` is exclusively ours now; `node` stays alive for
+        // our successor and is freed by them (or by Drop).
+        unsafe {
+            drop(Box::from_raw(token.pred));
+            (*token.node).locked.store(0, Ordering::Release);
+        }
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        let token = self.lock();
+        let r = f();
+        self.unlock(token);
+        r
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        // The tail always points at the last released (or sentinel) node.
+        let tail = self.tail.load(Ordering::Relaxed);
+        if !tail.is_null() {
+            // Safety: no threads hold the lock when it drops.
+            unsafe { drop(Box::from_raw(tail)) };
+        }
+    }
+}
+
+/// Anderson's array-based queue lock: `fetch_and_add` assigns each waiter
+/// a (cache-line-padded) slot to spin on; release hands the flag to the
+/// next slot. Supports at most `capacity` simultaneous waiters.
+///
+/// ```
+/// use sync_primitives::AndersonLock;
+///
+/// let lock = AndersonLock::new(8);
+/// let slot = lock.lock();
+/// // ... critical section ...
+/// lock.unlock(slot);
+/// ```
+#[derive(Debug)]
+pub struct AndersonLock {
+    slots: Vec<CachePadded<AtomicU32>>,
+    next: CachePadded<AtomicUsize>,
+}
+
+impl AndersonLock {
+    /// Creates a lock for up to `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        let slots: Vec<_> = (0..capacity).map(|i| CachePadded(AtomicU32::new(u32::from(i == 0)))).collect();
+        AndersonLock { slots, next: CachePadded(AtomicUsize::new(0)) }
+    }
+
+    /// Acquires the lock, returning the slot to pass to `unlock`.
+    pub fn lock(&self) -> usize {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let mut spins = 0u32;
+        while self.slots[slot].load(Ordering::Acquire) == 0 {
+            crate::backoff(&mut spins);
+        }
+        slot
+    }
+
+    /// Releases the lock held via `slot`.
+    pub fn unlock(&self, slot: usize) {
+        self.slots[slot].store(0, Ordering::Relaxed);
+        let next = (slot + 1) % self.slots.len();
+        self.slots[next].store(1, Ordering::Release);
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        let slot = self.lock();
+        let r = f();
+        self.unlock(slot);
+        r
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn clh_mutual_exclusion() {
+        let lock = Arc::new(ClhLock::new());
+        let mut counter = 0u64;
+        let ptr = &mut counter as *mut u64 as usize;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.with(|| unsafe { *(ptr as *mut u64) += 1 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter, 8_000);
+    }
+
+    #[test]
+    fn clh_uncontended_cycle_reclaims_nodes() {
+        let lock = ClhLock::new();
+        for _ in 0..10_000 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        // Drop reclaims the final node (asan/miri would flag leaks).
+    }
+
+    #[test]
+    fn anderson_mutual_exclusion() {
+        let lock = Arc::new(AndersonLock::new(4));
+        let mut counter = 0u64;
+        let ptr = &mut counter as *mut u64 as usize;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.with(|| unsafe { *(ptr as *mut u64) += 1 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter, 8_000);
+    }
+
+    #[test]
+    fn anderson_slots_rotate() {
+        let lock = AndersonLock::new(3);
+        assert_eq!(lock.lock(), 0);
+        lock.unlock(0);
+        assert_eq!(lock.lock(), 1);
+        lock.unlock(1);
+        assert_eq!(lock.lock(), 2);
+        lock.unlock(2);
+        assert_eq!(lock.lock(), 0, "wraps around");
+        lock.unlock(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Barrier scaling: how barrier algorithms and protocols interact.
+//!
+//! Runs the three barrier algorithms at increasing machine sizes under all
+//! three protocols, then prints the update-usefulness breakdown at 32
+//! processors — reproducing the paper's observation that the scalable
+//! barriers (dissemination, tree) generate *only useful* update traffic
+//! and are therefore ideal matches for update-based protocols.
+//!
+//! ```sh
+//! cargo run --release --example barrier_scaling
+//! ```
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::{BarrierKind, BarrierWorkload};
+use sim_proto::Protocol;
+
+fn main() {
+    let kinds = [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree];
+    let protocols =
+        [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+    println!("average barrier episode latency (cycles), 1000 episodes\n");
+    print!("{:<10}", "combo");
+    for p in [2usize, 4, 8, 16, 32] {
+        print!("{p:>9}");
+    }
+    println!();
+    for kind in kinds {
+        for protocol in protocols {
+            print!("{:<10}", format!("{} {}", kind.label(), protocol.label()));
+            for procs in [2usize, 4, 8, 16, 32] {
+                let spec = ExperimentSpec {
+                    procs,
+                    protocol,
+                    kernel: KernelSpec::Barrier(BarrierWorkload { kind, episodes: 1000 }),
+                };
+                let out = run_experiment(&spec);
+                print!("{:>9.1}", out.avg_latency);
+            }
+            println!();
+        }
+    }
+
+    println!("\nupdate usefulness at 32 processors (pure update protocol):");
+    for kind in kinds {
+        let spec = ExperimentSpec {
+            procs: 32,
+            protocol: Protocol::PureUpdate,
+            kernel: KernelSpec::Barrier(BarrierWorkload { kind, episodes: 1000 }),
+        };
+        let out = run_experiment(&spec);
+        let u = out.traffic.updates;
+        let pct = if u.total() > 0 { 100.0 * u.useful() as f64 / u.total() as f64 } else { 100.0 };
+        println!(
+            "  {:<4} {:>9} updates, {:>5.1}% useful",
+            kind.label(),
+            u.total(),
+            pct
+        );
+    }
+}

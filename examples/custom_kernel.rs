@@ -1,0 +1,75 @@
+//! Custom kernel: write your own program for the simulated machine.
+//!
+//! The public API is not limited to the paper's kernels — any shared-memory
+//! algorithm expressible in the mini-ISA can be studied under the three
+//! protocols. This example builds a producer/consumer pipeline: processor
+//! 0 streams values through a shared mailbox protected by a flag, and we
+//! compare how the handoff behaves under each protocol.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use sim_isa::{AluOp, ProgramBuilder};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+const ITEMS: u32 = 2000;
+
+fn main() {
+    println!("producer/consumer mailbox handoff, {ITEMS} items\n");
+    println!("{:<18}{:>12}{:>10}{:>10}{:>12}", "protocol", "cycles", "/item", "misses", "updates");
+    for protocol in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+        let mut m = Machine::new(MachineConfig::paper(2, protocol));
+        // Mailbox: value and flag in separate blocks, homed at the consumer.
+        let value = m.alloc().alloc_block_on(1, 1);
+        let flag = m.alloc().alloc_block_on(1, 1);
+        let sink = m.alloc().alloc_block_on(1, 1);
+
+        // Producer (cpu 0): for i in 1..=ITEMS { value = i; fence; flag = i;
+        // spin until flag == 0 } — the consumer acks by clearing the flag.
+        let mut p = ProgramBuilder::new();
+        p.imm(10, value).imm(11, flag).imm(12, 1).imm(15, ITEMS).imm(14, 0);
+        p.label("loop");
+        p.store(10, 0, 12); // value = i
+        p.fence();
+        p.store(11, 0, 12); // flag = i (publish)
+        p.spin_while_ne(11, 14); // wait for ack (flag == 0)
+        p.alui(AluOp::Add, 12, 12, 1);
+        p.alui(AluOp::Sub, 15, 15, 1);
+        p.bnz(15, "loop");
+        p.halt();
+        m.set_program(0, p.build());
+
+        // Consumer (cpu 1): spin until flag != 0; read value; accumulate;
+        // clear flag.
+        let mut c = ProgramBuilder::new();
+        c.imm(10, value).imm(11, flag).imm(13, sink).imm(14, 0).imm(15, ITEMS);
+        c.imm(5, 0); // accumulator
+        c.label("loop");
+        c.spin_while_eq(11, 14); // wait for an item
+        c.load(6, 10, 0); // read value
+        c.alu(AluOp::Add, 5, 5, 6);
+        c.fence();
+        c.store(11, 0, 14); // ack: flag = 0
+        c.alui(AluOp::Sub, 15, 15, 1);
+        c.bnz(15, "loop");
+        c.store(13, 0, 5); // publish the checksum
+        c.fence();
+        c.halt();
+        m.set_program(1, c.build());
+
+        let r = m.run();
+        let expected: u32 = (1..=ITEMS).sum();
+        assert_eq!(m.read_word(sink), expected, "checksum under {protocol:?}");
+        println!(
+            "{:<18}{:>12}{:>10.1}{:>10}{:>12}",
+            format!("{protocol:?}"),
+            r.cycles,
+            r.cycles as f64 / ITEMS as f64,
+            r.traffic.misses.total_misses(),
+            r.traffic.updates.total(),
+        );
+    }
+    println!("\nEvery handoff under WI costs an invalidation plus a re-fetch in each\ndirection; the update protocols push the new value (and the ack) straight\ninto the other processor's cache.");
+}

@@ -1,0 +1,46 @@
+//! Application study: a ring relaxation composing boundary exchange with a
+//! real dissemination barrier, across protocols and layouts.
+//!
+//! Demonstrates the paper's end-to-end moral: the protocol choice *and*
+//! the data layout together decide the traffic an application generates.
+//!
+//! ```sh
+//! cargo run --release --example grid_app
+//! ```
+
+use kernels::apps::{install_grid, verify_grid, GridApp};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+fn main() {
+    println!("ring relaxation, 16 processors, 500 sweeps\n");
+    println!(
+        "{:<18}{:>10}{:>12}{:>12}{:>12}{:>10}",
+        "protocol", "padded", "cycles", "misses", "updates", "useful%"
+    );
+    for protocol in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+        for pad in [true, false] {
+            let app = GridApp { iters: 500, interior_work: 100, pad_boundaries: pad };
+            let mut m = Machine::new(MachineConfig::paper(16, protocol));
+            let layout = install_grid(&mut m, &app);
+            let r = m.run();
+            verify_grid(&mut m, &app, &layout);
+            let u = r.traffic.updates;
+            let pct = if u.total() > 0 { 100.0 * u.useful() as f64 / u.total() as f64 } else { f64::NAN };
+            println!(
+                "{:<18}{:>10}{:>12}{:>12}{:>12}{:>10.1}",
+                format!("{protocol:?}"),
+                pad,
+                r.cycles,
+                r.traffic.misses.total_misses(),
+                u.total(),
+                pct
+            );
+        }
+    }
+    println!(
+        "\nPadding each boundary cell into its own block turns the exchange into\n\
+         pure producer-consumer traffic: under the update protocols every update\n\
+         is consumed by exactly the neighbor that needs it."
+    );
+}

@@ -1,0 +1,61 @@
+//! Lock showdown: which lock/protocol combination should you pick?
+//!
+//! Sweeps machine sizes for every lock algorithm under every protocol and
+//! prints the winner per configuration — the practical question the paper
+//! answers for machines with programmable protocol processors: *both* the
+//! construct's implementation *and* the coherence protocol must be chosen
+//! together.
+//!
+//! ```sh
+//! cargo run --release --example lock_showdown
+//! ```
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::{LockKind, LockWorkload, PostRelease};
+use sim_proto::Protocol;
+
+fn main() {
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious];
+    let protocols =
+        [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+    println!("average acquire-release latency (cycles), 8000 total acquires\n");
+    print!("{:<10}", "combo");
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        print!("{p:>9}");
+    }
+    println!();
+
+    let mut best: Vec<(usize, f64, String)> = Vec::new();
+    for procs in [1usize, 2, 4, 8, 16, 32] {
+        best.push((procs, f64::INFINITY, String::new()));
+    }
+    for kind in kinds {
+        for protocol in protocols {
+            print!("{:<10}", format!("{} {}", kind.label(), protocol.label()));
+            for (slot, procs) in [1usize, 2, 4, 8, 16, 32].into_iter().enumerate() {
+                let spec = ExperimentSpec {
+                    procs,
+                    protocol,
+                    kernel: KernelSpec::Lock(LockWorkload {
+                        kind,
+                        total_acquires: 8000,
+                        cs_cycles: 50,
+                        post_release: PostRelease::None,
+                    }),
+                };
+                let out = run_experiment(&spec);
+                print!("{:>9.1}", out.avg_latency);
+                if out.avg_latency < best[slot].1 {
+                    best[slot] = (procs, out.avg_latency, format!("{} {}", kind.label(), protocol.label()));
+                }
+            }
+            println!();
+        }
+    }
+
+    println!("\nbest combination per machine size:");
+    for (procs, latency, combo) in best {
+        println!("  {procs:>2} processors: {combo:<8} ({latency:.1} cycles)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Native primitives: the paper's algorithms as real Rust synchronization.
+//!
+//! The `sync-primitives` crate implements the same ticket/MCS locks and
+//! centralized/dissemination/tree barriers over `std::sync::atomic`. This
+//! example times them against `std::sync::Mutex`/`Barrier` on the host.
+//!
+//! ```sh
+//! cargo run --release --example native_sync
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use sync_primitives::{CentralizedBarrier, DisseminationBarrier, McsLock, TicketLock, TreeBarrier};
+
+const THREADS: usize = 4;
+const LOCK_ITERS: usize = 20_000;
+const BARRIER_EPISODES: usize = 2_000;
+
+fn time_lock(name: &str, f: impl Fn() + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || {
+                for _ in 0..LOCK_ITERS {
+                    f();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS * LOCK_ITERS;
+    println!(
+        "  {name:<22}{:>8.1} ns/op",
+        start.elapsed().as_nanos() as f64 / total as f64
+    );
+}
+
+fn time_barrier(name: &str, f: impl Fn(usize) + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || {
+                for _ in 0..BARRIER_EPISODES {
+                    f(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!(
+        "  {name:<22}{:>8.1} ns/episode",
+        start.elapsed().as_nanos() as f64 / BARRIER_EPISODES as f64
+    );
+}
+
+fn main() {
+    println!("{THREADS} threads on this host\n");
+    println!("locks ({LOCK_ITERS} acquisitions/thread):");
+    {
+        let c = Arc::new(AtomicU64::new(0));
+        let lock = Arc::new(TicketLock::new());
+        let cc = Arc::clone(&c);
+        time_lock("ticket lock", move || {
+            lock.lock();
+            cc.fetch_add(1, Ordering::Relaxed);
+            lock.unlock();
+        });
+    }
+    {
+        let c = Arc::new(AtomicU64::new(0));
+        let lock = Arc::new(McsLock::new());
+        let cc = Arc::clone(&c);
+        time_lock("MCS lock", move || {
+            lock.with(|| {
+                cc.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+    {
+        let c = Arc::new(Mutex::new(0u64));
+        time_lock("std::sync::Mutex", move || {
+            *c.lock().unwrap() += 1;
+        });
+    }
+
+    println!("\nbarriers ({BARRIER_EPISODES} episodes):");
+    {
+        let b = Arc::new(CentralizedBarrier::new(THREADS as u32));
+        time_barrier("centralized", move |_| b.wait());
+    }
+    {
+        let b = Arc::new(DisseminationBarrier::new(THREADS));
+        time_barrier("dissemination", move |tid| b.wait(tid));
+    }
+    {
+        let b = Arc::new(TreeBarrier::new(THREADS));
+        time_barrier("tree", move |tid| b.wait(tid));
+    }
+    {
+        let b = Arc::new(Barrier::new(THREADS));
+        time_barrier("std::sync::Barrier", move |_| {
+            b.wait();
+        });
+    }
+}

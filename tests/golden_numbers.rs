@@ -1,0 +1,62 @@
+//! Golden-number regression tests.
+//!
+//! The simulator is fully deterministic, so these fixed-scale runs must
+//! reproduce their recorded measurements *exactly*. Any intentional change
+//! to timing, protocol behavior, or classification shows up here first —
+//! re-record by running the `golden_gen` bench binary and auditing the
+//! diff against EXPERIMENTS.md.
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
+    ReductionWorkload,
+};
+use sim_proto::Protocol;
+
+/// (name, cycles, total misses, total updates, network messages)
+const GOLDEN: [(&str, u64, u64, u64, u64); 8] = [
+    ("tk_wi_8", 292578, 4140, 0, 18751),
+    ("mcs_pu_8", 48539, 32, 7612, 16695),
+    ("uc_cu_8", 57706, 1038, 3063, 9644),
+    ("db_pu_8", 13145, 104, 2400, 7200),
+    ("cb_wi_8", 95623, 1417, 0, 5513),
+    ("tb_cu_8", 29692, 30, 2095, 4909),
+    ("sr_pu_8", 15569, 31, 721, 1470),
+    ("pr_wi_8", 17957, 46, 0, 141),
+];
+
+fn spec_of(name: &str) -> ExperimentSpec {
+    let lock = |kind| {
+        KernelSpec::Lock(LockWorkload {
+            kind,
+            total_acquires: 512,
+            cs_cycles: 50,
+            post_release: PostRelease::None,
+        })
+    };
+    let barrier = |kind| KernelSpec::Barrier(BarrierWorkload { kind, episodes: 100 });
+    let reduction = |kind| KernelSpec::Reduction(ReductionWorkload { kind, episodes: 100, skew: 0 });
+    let (protocol, kernel) = match name {
+        "tk_wi_8" => (Protocol::WriteInvalidate, lock(LockKind::Ticket)),
+        "mcs_pu_8" => (Protocol::PureUpdate, lock(LockKind::Mcs)),
+        "uc_cu_8" => (Protocol::CompetitiveUpdate, lock(LockKind::McsUpdateConscious)),
+        "db_pu_8" => (Protocol::PureUpdate, barrier(BarrierKind::Dissemination)),
+        "cb_wi_8" => (Protocol::WriteInvalidate, barrier(BarrierKind::Centralized)),
+        "tb_cu_8" => (Protocol::CompetitiveUpdate, barrier(BarrierKind::Tree)),
+        "sr_pu_8" => (Protocol::PureUpdate, reduction(ReductionKind::Sequential)),
+        "pr_wi_8" => (Protocol::WriteInvalidate, reduction(ReductionKind::Parallel)),
+        other => panic!("unknown golden case {other}"),
+    };
+    ExperimentSpec { procs: 8, protocol, kernel }
+}
+
+#[test]
+fn golden_measurements_are_stable() {
+    for (name, cycles, misses, updates, messages) in GOLDEN {
+        let out = run_experiment(&spec_of(name));
+        assert_eq!(out.cycles, cycles, "{name}: cycles");
+        assert_eq!(out.traffic.misses.total_misses(), misses, "{name}: misses");
+        assert_eq!(out.traffic.updates.total(), updates, "{name}: updates");
+        assert_eq!(out.net.messages, messages, "{name}: messages");
+    }
+}

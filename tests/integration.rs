@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: whole-machine runs of every kernel under
+//! every protocol, checking functional postconditions, coherence
+//! invariants, and determinism.
+
+use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
+    ReductionWorkload,
+};
+use kernels::{barriers, locks, reductions};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+fn lock_w(kind: LockKind, total: u32) -> LockWorkload {
+    LockWorkload { kind, total_acquires: total, cs_cycles: 20, post_release: PostRelease::None }
+}
+
+#[test]
+fn every_lock_is_coherent_after_running() {
+    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+        for protocol in PROTOCOLS {
+            for procs in [2usize, 5, 8] {
+                let w = lock_w(kind, 120);
+                let mut m = Machine::new(MachineConfig::paper(procs, protocol));
+                let layout = locks::install(&mut m, &w);
+                m.run();
+                locks::verify(&mut m, &w, &layout);
+                m.assert_coherent();
+            }
+        }
+    }
+}
+
+#[test]
+fn every_barrier_is_coherent_after_running() {
+    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree] {
+        for protocol in PROTOCOLS {
+            for procs in [2usize, 5, 8] {
+                let w = BarrierWorkload { kind, episodes: 25 };
+                let mut m = Machine::new(MachineConfig::paper(procs, protocol));
+                let layout = barriers::install(&mut m, &w);
+                m.run();
+                barriers::verify(&mut m, &w, &layout);
+                m.assert_coherent();
+            }
+        }
+    }
+}
+
+#[test]
+fn every_reduction_is_coherent_after_running() {
+    for kind in [ReductionKind::Parallel, ReductionKind::Sequential] {
+        for protocol in PROTOCOLS {
+            for procs in [2usize, 5, 8] {
+                let w = ReductionWorkload { kind, episodes: 12, skew: 0 };
+                let mut m = Machine::new(MachineConfig::paper(procs, protocol));
+                let layout = reductions::install(&mut m, &w);
+                m.run();
+                reductions::verify(&mut m, &w, &layout);
+                m.assert_coherent();
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    // Identical specs produce bit-identical measurements, including under
+    // the randomized workload variants (the PRNG is seeded).
+    let spec = ExperimentSpec {
+        procs: 8,
+        protocol: Protocol::CompetitiveUpdate,
+        kernel: KernelSpec::Lock(LockWorkload {
+            kind: LockKind::Mcs,
+            total_acquires: 160,
+            cs_cycles: 20,
+            post_release: PostRelease::Random { bound: 64 },
+        }),
+    };
+    let a = run_experiment(&spec);
+    let b = run_experiment(&spec);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.traffic.misses, b.traffic.misses);
+    assert_eq!(a.traffic.updates, b.traffic.updates);
+    assert_eq!(a.net.messages, b.net.messages);
+    assert_eq!(a.net.flits, b.net.flits);
+}
+
+#[test]
+fn invalidate_protocol_generates_no_updates_ever() {
+    for kernel in [
+        KernelSpec::Lock(lock_w(LockKind::Ticket, 96)),
+        KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Dissemination, episodes: 20 }),
+        KernelSpec::Reduction(ReductionWorkload { kind: ReductionKind::Parallel, episodes: 8, skew: 0 }),
+    ] {
+        let out = run_experiment(&ExperimentSpec {
+            procs: 8,
+            protocol: Protocol::WriteInvalidate,
+            kernel,
+        });
+        assert_eq!(out.traffic.updates.total(), 0);
+    }
+}
+
+#[test]
+fn update_protocols_generate_no_upgrade_requests() {
+    // Exclusive (upgrade) requests are a WI concept; write-through update
+    // protocols never issue them.
+    for protocol in [Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+        let out = run_experiment(&ExperimentSpec {
+            procs: 8,
+            protocol,
+            kernel: KernelSpec::Lock(lock_w(LockKind::Ticket, 96)),
+        });
+        assert_eq!(out.traffic.misses.exclusive_requests, 0, "{protocol:?}");
+    }
+}
+
+#[test]
+fn pure_update_never_drops() {
+    let out = run_experiment(&ExperimentSpec {
+        procs: 8,
+        protocol: Protocol::PureUpdate,
+        kernel: KernelSpec::Lock(lock_w(LockKind::Mcs, 160)),
+    });
+    assert_eq!(out.traffic.updates.drop, 0);
+    assert_eq!(out.traffic.misses.drop, 0, "PU never self-invalidates (no flushes here)");
+}
+
+#[test]
+fn competitive_update_drops_under_useless_traffic() {
+    // The MCS lock showers stale sharers with updates; CU must cut them
+    // off at the threshold.
+    let out = run_experiment(&ExperimentSpec {
+        procs: 8,
+        protocol: Protocol::CompetitiveUpdate,
+        kernel: KernelSpec::Lock(lock_w(LockKind::Mcs, 320)),
+    });
+    assert!(out.traffic.updates.drop > 0, "drop updates observed");
+    assert!(out.traffic.misses.drop > 0, "drop misses observed");
+}
+
+#[test]
+fn replacement_updates_never_observed_in_paper_workloads() {
+    // Footnote 1 of the paper: the replacement-update category never
+    // occurs in these synthetic programs (their working sets fit easily).
+    for kernel in [
+        KernelSpec::Lock(lock_w(LockKind::Mcs, 160)),
+        KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Tree, episodes: 20 }),
+        KernelSpec::Reduction(ReductionWorkload { kind: ReductionKind::Sequential, episodes: 10, skew: 0 }),
+    ] {
+        for protocol in [Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+            let out = run_experiment(&ExperimentSpec { procs: 8, protocol, kernel });
+            assert_eq!(out.traffic.updates.replacement, 0);
+            assert_eq!(out.traffic.misses.eviction, 0);
+        }
+    }
+}
+
+#[test]
+fn lock_latency_grows_with_contention_under_wi() {
+    let latency = |procs| {
+        run_experiment(&ExperimentSpec {
+            procs,
+            protocol: Protocol::WriteInvalidate,
+            kernel: KernelSpec::Lock(lock_w(LockKind::Ticket, 256)),
+        })
+        .avg_latency
+    };
+    let (l2, l16) = (latency(2), latency(16));
+    assert!(l16 > l2 * 2.0, "ticket/WI latency must grow with P: {l2} -> {l16}");
+}
+
+#[test]
+fn network_messages_scale_with_work() {
+    let msgs = |total| {
+        run_experiment(&ExperimentSpec {
+            procs: 4,
+            protocol: Protocol::PureUpdate,
+            kernel: KernelSpec::Lock(lock_w(LockKind::Ticket, total)),
+        })
+        .net
+        .messages
+    };
+    let (small, large) = (msgs(64), msgs(256));
+    assert!(large > small * 2, "4x the acquires must produce >2x the messages");
+}

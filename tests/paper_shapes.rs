@@ -1,0 +1,291 @@
+//! The paper's qualitative results, asserted at test scale.
+//!
+//! These tests pin the *shape* of the reproduction — who wins, in which
+//! regime — at iteration counts small enough for CI. The full-scale
+//! numbers live in `crates/bench` (see EXPERIMENTS.md).
+
+use kernels::runner::{run_experiment, ExperimentOutcome, ExperimentSpec, KernelSpec};
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
+    ReductionWorkload,
+};
+use sim_proto::Protocol;
+
+fn lock(kind: LockKind, protocol: Protocol, procs: usize) -> ExperimentOutcome {
+    run_experiment(&ExperimentSpec {
+        procs,
+        protocol,
+        kernel: KernelSpec::Lock(LockWorkload {
+            kind,
+            total_acquires: 960,
+            cs_cycles: 50,
+            post_release: PostRelease::None,
+        }),
+    })
+}
+
+fn barrier(kind: BarrierKind, protocol: Protocol, procs: usize) -> ExperimentOutcome {
+    run_experiment(&ExperimentSpec {
+        procs,
+        protocol,
+        kernel: KernelSpec::Barrier(BarrierWorkload { kind, episodes: 150 }),
+    })
+}
+
+fn reduction(kind: ReductionKind, protocol: Protocol, procs: usize) -> ExperimentOutcome {
+    run_experiment(&ExperimentSpec {
+        procs,
+        protocol,
+        kernel: KernelSpec::Reduction(ReductionWorkload { kind, episodes: 150, skew: 0 }),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Section 4.1 — spin locks
+// ---------------------------------------------------------------------
+
+#[test]
+fn ticket_lock_update_protocols_beat_wi_at_scale() {
+    // Figure 8: "both [update] protocols perform significantly better than
+    // WI for all machine configurations" (centralized lock).
+    for procs in [8usize, 16] {
+        let wi = lock(LockKind::Ticket, Protocol::WriteInvalidate, procs).avg_latency;
+        let pu = lock(LockKind::Ticket, Protocol::PureUpdate, procs).avg_latency;
+        let cu = lock(LockKind::Ticket, Protocol::CompetitiveUpdate, procs).avg_latency;
+        assert!(pu < wi / 2.0, "P={procs}: PU {pu} ≪ WI {wi}");
+        assert!(cu < wi / 2.0, "P={procs}: CU {cu} ≪ WI {wi}");
+    }
+}
+
+#[test]
+fn mcs_under_cu_is_best_at_scale() {
+    // Figure 8: "the MCS lock under CU performs best for larger numbers of
+    // processors".
+    let procs = 16;
+    let mcs_cu = lock(LockKind::Mcs, Protocol::CompetitiveUpdate, procs).avg_latency;
+    for (kind, proto) in [
+        (LockKind::Ticket, Protocol::WriteInvalidate),
+        (LockKind::Ticket, Protocol::PureUpdate),
+        (LockKind::Ticket, Protocol::CompetitiveUpdate),
+        (LockKind::Mcs, Protocol::WriteInvalidate),
+        (LockKind::Mcs, Protocol::PureUpdate),
+    ] {
+        let other = lock(kind, proto, procs).avg_latency;
+        assert!(
+            mcs_cu <= other * 1.05,
+            "MCS/CU ({mcs_cu}) should be best; {kind:?}/{proto:?} got {other}"
+        );
+    }
+}
+
+#[test]
+fn mcs_beats_ticket_under_wi_at_high_contention() {
+    // The classic Mellor-Crummey & Scott result the paper builds on.
+    let procs = 16;
+    let tk = lock(LockKind::Ticket, Protocol::WriteInvalidate, procs).avg_latency;
+    let mcs = lock(LockKind::Mcs, Protocol::WriteInvalidate, procs).avg_latency;
+    assert!(mcs < tk, "MCS {mcs} < ticket {tk} under WI at P={procs}");
+}
+
+#[test]
+fn mcs_update_traffic_dwarfs_ticket_update_traffic_under_pu() {
+    // Section 4.1: the MCS lock "increases the amount of sharing ...
+    // causing intense messaging activity (proliferation updates mostly)".
+    let tk = lock(LockKind::Ticket, Protocol::PureUpdate, 16).traffic;
+    let mcs = lock(LockKind::Mcs, Protocol::PureUpdate, 16).traffic;
+    assert!(mcs.updates.total() > tk.updates.total());
+    assert!(
+        mcs.updates.proliferation > mcs.updates.useful(),
+        "MCS/PU updates are mostly useless: {:?}",
+        mcs.updates
+    );
+}
+
+#[test]
+fn update_conscious_mcs_trades_updates_for_misses() {
+    // Section 4.1: the flushes cut update traffic substantially (the paper
+    // reports 39%) at the cost of a large rise in (drop) misses.
+    let procs = 16;
+    let mcs = lock(LockKind::Mcs, Protocol::PureUpdate, procs).traffic;
+    let uc = lock(LockKind::McsUpdateConscious, Protocol::PureUpdate, procs).traffic;
+    assert!(
+        (uc.updates.total() as f64) < 0.9 * mcs.updates.total() as f64,
+        "uc updates {} vs mcs {}",
+        uc.updates.total(),
+        mcs.updates.total()
+    );
+    assert!(uc.misses.total_misses() > 5 * mcs.misses.total_misses());
+    assert!(uc.misses.drop > 0, "the new misses are flush-induced drops");
+}
+
+#[test]
+fn most_lock_updates_are_useless_whatever_the_lock() {
+    // Section 4.1: "independently of the lock implementation, the vast
+    // majority of updates under an update-based protocol is useless."
+    // For the MCS lock that is overwhelming; for the ticket lock the
+    // useless share is structurally bounded near half (each handoff sends
+    // P−1 useful now_serving updates that every spinner consumes and P−1
+    // useless next_ticket updates), so we assert "substantial" there —
+    // see EXPERIMENTS.md.
+    let t = lock(LockKind::Mcs, Protocol::PureUpdate, 16).traffic;
+    assert!(t.updates.useless() > 2 * t.updates.useful(), "MCS: {:?}", t.updates);
+    let t = lock(LockKind::Ticket, Protocol::PureUpdate, 16).traffic;
+    assert!(
+        (t.updates.useless() as f64) > 0.4 * t.updates.total() as f64,
+        "ticket: {:?}",
+        t.updates
+    );
+}
+
+// ---------------------------------------------------------------------
+// Section 4.2 — barriers
+// ---------------------------------------------------------------------
+
+#[test]
+fn scalable_barriers_prefer_update_protocols_everywhere() {
+    // Figure 11: dissemination and tree barriers beat WI under PU and CU
+    // for all machine sizes.
+    for kind in [BarrierKind::Dissemination, BarrierKind::Tree] {
+        for procs in [4usize, 8, 16] {
+            let wi = barrier(kind, Protocol::WriteInvalidate, procs).avg_latency;
+            let pu = barrier(kind, Protocol::PureUpdate, procs).avg_latency;
+            let cu = barrier(kind, Protocol::CompetitiveUpdate, procs).avg_latency;
+            assert!(pu < wi, "{kind:?} P={procs}: PU {pu} < WI {wi}");
+            assert!(cu < wi, "{kind:?} P={procs}: CU {cu} < WI {wi}");
+        }
+    }
+}
+
+#[test]
+fn dissemination_pu_and_cu_perform_equally_well() {
+    // Figure 11: "for the dissemination barrier CU and PU perform equally
+    // well" — because no update is ever useless, CU never drops.
+    for procs in [8usize, 16] {
+        let pu = barrier(BarrierKind::Dissemination, Protocol::PureUpdate, procs);
+        let cu = barrier(BarrierKind::Dissemination, Protocol::CompetitiveUpdate, procs);
+        let ratio = pu.avg_latency / cu.avg_latency;
+        assert!((0.95..=1.05).contains(&ratio), "P={procs}: ratio {ratio}");
+        assert_eq!(cu.traffic.updates.drop, 0, "nothing to drop");
+    }
+}
+
+#[test]
+fn dissemination_updates_are_entirely_useful() {
+    // Figure 13: the dissemination barrier's update traffic has no useless
+    // component at all.
+    let t = barrier(BarrierKind::Dissemination, Protocol::PureUpdate, 16).traffic;
+    assert!(t.updates.total() > 0);
+    assert_eq!(t.updates.useless(), 0, "{:?}", t.updates);
+}
+
+#[test]
+fn centralized_barrier_update_traffic_is_mostly_useless() {
+    // Figure 13: "the amount of update traffic [the centralized barrier]
+    // generates is substantial and mostly useless", dominated by the
+    // arrival counter.
+    let t = barrier(BarrierKind::Centralized, Protocol::PureUpdate, 16).traffic;
+    assert!(t.updates.useless() > 3 * t.updates.useful(), "{:?}", t.updates);
+}
+
+#[test]
+fn dissemination_is_the_barrier_of_choice_under_update_protocols() {
+    // Section 4.2's conclusion.
+    for procs in [8usize, 16] {
+        let db = barrier(BarrierKind::Dissemination, Protocol::PureUpdate, procs).avg_latency;
+        let cb = barrier(BarrierKind::Centralized, Protocol::PureUpdate, procs).avg_latency;
+        let tb = barrier(BarrierKind::Tree, Protocol::PureUpdate, procs).avg_latency;
+        assert!(db < cb && db < tb, "P={procs}: db {db} cb {cb} tb {tb}");
+    }
+}
+
+#[test]
+fn wi_barrier_misses_dominate_scalable_barrier_cost() {
+    // Figure 12: WI pays per-episode misses on the flag arrays that the
+    // update protocols eliminate entirely.
+    for kind in [BarrierKind::Dissemination, BarrierKind::Tree] {
+        let wi = barrier(kind, Protocol::WriteInvalidate, 16).traffic;
+        let pu = barrier(kind, Protocol::PureUpdate, 16).traffic;
+        assert!(wi.misses.total_misses() > 20 * pu.misses.total_misses().max(1), "{kind:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 4.3 — reductions
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_reduction_wins_under_wi() {
+    // Figure 14: "under the WI protocol, parallel reduction outperforms
+    // its sequential counterpart."
+    for procs in [8usize, 16] {
+        let pr = reduction(ReductionKind::Parallel, Protocol::WriteInvalidate, procs).avg_latency;
+        let sr = reduction(ReductionKind::Sequential, Protocol::WriteInvalidate, procs).avg_latency;
+        assert!(pr < sr, "P={procs}: parallel {pr} < sequential {sr} under WI");
+    }
+}
+
+#[test]
+fn sequential_reduction_wins_under_update_protocols() {
+    // Figure 14: "for update-based protocols sequential reduction is the
+    // ideal strategy."
+    for protocol in [Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
+        let pr = reduction(ReductionKind::Parallel, protocol, 16).avg_latency;
+        let sr = reduction(ReductionKind::Sequential, protocol, 16).avg_latency;
+        assert!(sr < pr, "{protocol:?}: sequential {sr} < parallel {pr}");
+    }
+}
+
+#[test]
+fn update_sequential_beats_wi_parallel_overall() {
+    // Section 4.3: "update-based sequential reductions always exhibit
+    // better performance than parallel reductions under WI."
+    for procs in [8usize, 16] {
+        let sr_u = reduction(ReductionKind::Sequential, Protocol::PureUpdate, procs).avg_latency;
+        let pr_i = reduction(ReductionKind::Parallel, Protocol::WriteInvalidate, procs).avg_latency;
+        assert!(sr_u < pr_i, "P={procs}: sr/PU {sr_u} < pr/WI {pr_i}");
+    }
+}
+
+#[test]
+fn reduction_updates_are_largely_useful() {
+    // Figure 16: "both parallel and sequential reductions exhibit a large
+    // percentage of useful updates."
+    for kind in [ReductionKind::Sequential, ReductionKind::Parallel] {
+        let t = reduction(kind, Protocol::PureUpdate, 16).traffic;
+        if t.updates.total() > 0 {
+            assert!(
+                t.updates.useful() * 2 >= t.updates.total(),
+                "{kind:?}: {:?}",
+                t.updates
+            );
+        }
+    }
+}
+
+#[test]
+fn imbalance_helps_parallel_reductions() {
+    // Section 4.3's modified experiment: load imbalance reduces lock
+    // contention, and parallel reductions close the gap (or win) — while
+    // update-based parallel still beats WI parallel.
+    let skewed = |kind, protocol| {
+        run_experiment(&ExperimentSpec {
+            procs: 16,
+            protocol,
+            kernel: KernelSpec::Reduction(ReductionWorkload { kind, episodes: 150, skew: 1500 }),
+        })
+        .avg_latency
+    };
+    let pr_u = skewed(ReductionKind::Parallel, Protocol::PureUpdate);
+    let pr_i = skewed(ReductionKind::Parallel, Protocol::WriteInvalidate);
+    assert!(pr_u < pr_i, "parallel/PU {pr_u} < parallel/WI {pr_i} under imbalance");
+
+    // And the parallel-vs-sequential gap shrinks versus the tight case.
+    let tight_gap = reduction(ReductionKind::Parallel, Protocol::PureUpdate, 16).avg_latency
+        - reduction(ReductionKind::Sequential, Protocol::PureUpdate, 16).avg_latency;
+    let skewed_gap = skewed(ReductionKind::Parallel, Protocol::PureUpdate)
+        - skewed(ReductionKind::Sequential, Protocol::PureUpdate);
+    assert!(
+        skewed_gap < tight_gap,
+        "imbalance shrinks the parallel deficit: tight {tight_gap} vs skewed {skewed_gap}"
+    );
+}

@@ -1,0 +1,155 @@
+//! Functional equivalence across protocols and against the reference
+//! executor: coherence protocols change *timing and traffic*, never
+//! *results*. Every kernel must compute the same final shared-memory
+//! values under WI, PU, and CU — and agree with the timing-free
+//! sequentially-consistent reference machine where the result is
+//! schedule-independent.
+
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
+    ReductionWorkload,
+};
+use kernels::{barriers, locks, reductions};
+use sim_isa::reference::RefMachine;
+use sim_isa::{AluOp, ProgramBuilder};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+#[test]
+fn ticket_lock_final_counters_match_across_protocols() {
+    let w = LockWorkload {
+        kind: LockKind::Ticket,
+        total_acquires: 200,
+        cs_cycles: 10,
+        post_release: PostRelease::None,
+    };
+    for protocol in PROTOCOLS {
+        let mut m = Machine::new(MachineConfig::paper(5, protocol));
+        let layout = locks::install(&mut m, &w);
+        m.run();
+        assert_eq!(m.read_word(layout.next_ticket), 200, "{protocol:?}");
+        assert_eq!(m.read_word(layout.now_serving), 200, "{protocol:?}");
+    }
+}
+
+#[test]
+fn sequential_reduction_result_matches_reference_value() {
+    // The sequential reduction's result is schedule-independent, so every
+    // protocol must produce exactly the oracle value.
+    let w = ReductionWorkload { kind: ReductionKind::Sequential, episodes: 9, skew: 0 };
+    let expected: u32 = (0..6)
+        .flat_map(|i| (0..9).map(move |ep| reductions::value_of(i, ep)))
+        .max()
+        .unwrap();
+    for protocol in PROTOCOLS {
+        let mut m = Machine::new(MachineConfig::paper(6, protocol));
+        let layout = reductions::install(&mut m, &w);
+        m.run();
+        assert_eq!(m.read_word(layout.max), expected, "{protocol:?}");
+    }
+}
+
+#[test]
+fn parallel_reduction_matches_sequential_result() {
+    // Both strategies reduce the same inputs; their final max must agree
+    // (and equal the oracle) regardless of protocol.
+    for protocol in PROTOCOLS {
+        let mut results = Vec::new();
+        for kind in [ReductionKind::Parallel, ReductionKind::Sequential] {
+            let w = ReductionWorkload { kind, episodes: 7, skew: 0 };
+            let mut m = Machine::new(MachineConfig::paper(4, protocol));
+            let layout = reductions::install(&mut m, &w);
+            m.run();
+            results.push(m.read_word(layout.max));
+        }
+        assert_eq!(results[0], results[1], "{protocol:?}");
+    }
+}
+
+#[test]
+fn barrier_completion_counts_match_across_protocols() {
+    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree] {
+        let w = BarrierWorkload { kind, episodes: 30 };
+        for protocol in PROTOCOLS {
+            let mut m = Machine::new(MachineConfig::paper(7, protocol));
+            let layout = barriers::install(&mut m, &w);
+            m.run();
+            for (i, &d) in layout.done.iter().enumerate() {
+                assert_eq!(m.read_word(d), 30, "{kind:?} {protocol:?} cpu {i}");
+            }
+        }
+    }
+}
+
+/// Builds a small racy histogram program: each CPU fetch_adds a shared
+/// counter and stores a value derived from its ticket into a shared slot.
+fn histogram_programs(counter: u32, slots: u32, cpus: usize, iters: u32) -> Vec<sim_isa::Program> {
+    (0..cpus)
+        .map(|_| {
+            let mut b = ProgramBuilder::new();
+            b.imm(10, counter).imm(11, 1).imm(15, iters);
+            b.label("loop");
+            b.fetch_add(0, 10, 11); // my index
+            // slots[index] = index + 1
+            b.alui(AluOp::Mul, 1, 0, 4);
+            b.alui(AluOp::Add, 1, 1, slots);
+            b.alui(AluOp::Add, 2, 0, 1);
+            b.store(1, 0, 2);
+            b.fence();
+            b.alui(AluOp::Sub, 15, 15, 1);
+            b.bnz(15, "loop");
+            b.halt();
+            b.build()
+        })
+        .collect()
+}
+
+#[test]
+fn atomic_histogram_matches_reference_under_all_protocols() {
+    // fetch_add hands every CPU a distinct index, so the final slot
+    // contents are schedule-independent: slots[k] == k+1.
+    let cpus = 4;
+    let iters = 8;
+    for protocol in PROTOCOLS {
+        let mut m = Machine::new(MachineConfig::paper(cpus, protocol));
+        let counter = m.alloc().alloc_block_on(0, 1);
+        let slots = m.alloc().alloc_block_on(1, cpus as u32 * iters);
+        for (i, p) in histogram_programs(counter, slots, cpus, iters).into_iter().enumerate() {
+            m.set_program(i, p);
+        }
+        let r = m.run();
+        assert!(r.cycles > 0);
+        for k in 0..cpus as u32 * iters {
+            assert_eq!(m.read_word(slots + 4 * k), k + 1, "{protocol:?} slot {k}");
+        }
+    }
+    // And the reference machine agrees.
+    let mut reference = RefMachine::new(histogram_programs(0x100, 0x200, cpus, iters), 99);
+    reference.poke(0x100, 0);
+    let out = reference.run(1_000_000);
+    assert!(out.all_halted);
+    for k in 0..cpus as u32 * iters {
+        assert_eq!(out.word(0x200 + 4 * k), k + 1, "reference slot {k}");
+    }
+}
+
+#[test]
+fn mcs_queue_drains_under_every_protocol_and_size() {
+    for protocol in PROTOCOLS {
+        for procs in [2usize, 3, 6] {
+            let w = LockWorkload {
+                kind: LockKind::Mcs,
+                total_acquires: 90,
+                cs_cycles: 5,
+                post_release: PostRelease::None,
+            };
+            let mut m = Machine::new(MachineConfig::paper(procs, protocol));
+            let layout = locks::install(&mut m, &w);
+            m.run();
+            assert_eq!(m.read_word(layout.tail), 0, "{protocol:?} x{procs}");
+        }
+    }
+}

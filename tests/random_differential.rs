@@ -1,0 +1,150 @@
+//! Property-based differential testing: random programs whose final
+//! shared-memory state is schedule-independent must produce *identical*
+//! results on the cycle-accurate machine (under every protocol) and on the
+//! timing-free sequentially-consistent reference executor.
+//!
+//! Schedule independence is guaranteed by construction: cross-processor
+//! mutation happens only through commutative `fetch_and_add`s, and plain
+//! stores target per-processor slots no one else writes.
+
+use proptest::prelude::*;
+use sim_isa::reference::RefMachine;
+use sim_isa::{AluOp, Program, ProgramBuilder};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+/// One random operation in a generated program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `counters[idx] += amount` (atomic, commutative).
+    Add { idx: usize, amount: u32 },
+    /// `my_slots[slot] = val` (only this processor writes it).
+    StoreMine { slot: usize, val: u32 },
+    /// Read a counter (no effect on the final state).
+    LoadCounter { idx: usize },
+    /// Local work.
+    Work { cycles: u32 },
+}
+
+const COUNTERS: usize = 3;
+const SLOTS: usize = 2;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..COUNTERS, 1u32..100).prop_map(|(idx, amount)| Op::Add { idx, amount }),
+        (0..SLOTS, 0u32..1000).prop_map(|(slot, val)| Op::StoreMine { slot, val }),
+        (0..COUNTERS).prop_map(|idx| Op::LoadCounter { idx }),
+        (1u32..40).prop_map(|cycles| Op::Work { cycles }),
+    ]
+}
+
+fn build_program(ops: &[Op], counters: &[u32], my_slots: &[u32]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for op in ops {
+        match *op {
+            Op::Add { idx, amount } => {
+                b.imm(0, counters[idx]);
+                b.imm(1, amount);
+                b.fetch_add(2, 0, 1);
+            }
+            Op::StoreMine { slot, val } => {
+                b.imm(0, my_slots[slot]);
+                b.imm(1, val);
+                b.store(0, 0, 1);
+            }
+            Op::LoadCounter { idx } => {
+                b.imm(0, counters[idx]);
+                b.load(3, 0, 0);
+                // Fold the loaded value so the read is not dead code.
+                b.alu(AluOp::Xor, 4, 4, 3);
+            }
+            Op::Work { cycles } => {
+                b.delay(cycles);
+            }
+        }
+    }
+    b.fence();
+    b.halt();
+    b.build()
+}
+
+/// Expected final value of each counter and slot, computed directly.
+fn expected_state(per_cpu_ops: &[Vec<Op>]) -> (Vec<u32>, Vec<Vec<Option<u32>>>) {
+    let mut counters = vec![0u32; COUNTERS];
+    let mut slots = vec![vec![None; SLOTS]; per_cpu_ops.len()];
+    for (cpu, ops) in per_cpu_ops.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::Add { idx, amount } => counters[idx] = counters[idx].wrapping_add(amount),
+                Op::StoreMine { slot, val } => slots[cpu][slot] = Some(val),
+                _ => {}
+            }
+        }
+    }
+    (counters, slots)
+}
+
+fn run_case(per_cpu_ops: &[Vec<Op>], protocol: Protocol) {
+    let cpus = per_cpu_ops.len();
+    let mut m = Machine::new(MachineConfig::paper(cpus, protocol));
+    let counter_addrs: Vec<u32> = (0..COUNTERS).map(|i| m.alloc().alloc_block_on(i % cpus, 1)).collect();
+    let slot_addrs: Vec<Vec<u32>> = (0..cpus)
+        .map(|c| (0..SLOTS).map(|_| m.alloc().alloc_block_on(c, 1)).collect())
+        .collect();
+    for (cpu, ops) in per_cpu_ops.iter().enumerate() {
+        m.set_program(cpu, build_program(ops, &counter_addrs, &slot_addrs[cpu]));
+    }
+    let r = m.run();
+    m.assert_coherent();
+    assert!(r.cycles > 0 || per_cpu_ops.iter().all(|o| o.is_empty()));
+
+    // Against direct computation.
+    let (exp_counters, exp_slots) = expected_state(per_cpu_ops);
+    for (i, &a) in counter_addrs.iter().enumerate() {
+        assert_eq!(m.read_word(a), exp_counters[i], "{protocol:?} counter {i}");
+    }
+    for (cpu, slots) in exp_slots.iter().enumerate() {
+        for (s, v) in slots.iter().enumerate() {
+            if let Some(v) = v {
+                assert_eq!(m.read_word(slot_addrs[cpu][s]), *v, "{protocol:?} cpu {cpu} slot {s}");
+            }
+        }
+    }
+
+    // Against the reference executor (same programs, same addresses).
+    let progs: Vec<Program> = per_cpu_ops
+        .iter()
+        .enumerate()
+        .map(|(cpu, ops)| build_program(ops, &counter_addrs, &slot_addrs[cpu]))
+        .collect();
+    let reference = RefMachine::new(progs, 7).run(10_000_000);
+    assert!(reference.all_halted);
+    for (i, &a) in counter_addrs.iter().enumerate() {
+        assert_eq!(reference.word(a), exp_counters[i], "reference counter {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn machine_matches_oracle_under_wi(
+        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
+    ) {
+        run_case(&ops, Protocol::WriteInvalidate);
+    }
+
+    #[test]
+    fn machine_matches_oracle_under_pu(
+        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
+    ) {
+        run_case(&ops, Protocol::PureUpdate);
+    }
+
+    #[test]
+    fn machine_matches_oracle_under_cu(
+        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
+    ) {
+        run_case(&ops, Protocol::CompetitiveUpdate);
+    }
+}
