@@ -1,77 +1,72 @@
-//! Criterion benches of the native `sync-primitives` crate on the host:
-//! uncontended fast paths plus a small contended smoke test.
+//! Benches of the native `sync-primitives` crate on the host: uncontended
+//! fast paths plus a small contended smoke test.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`) so the workspace
+//! builds without external bench frameworks. Run with
+//! `cargo bench -p ppc-bench --bench native_primitives`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sync_primitives::{CentralizedBarrier, DisseminationBarrier, McsLock, TicketLock, TreeBarrier};
 
-fn bench_uncontended_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native/lock_uncontended");
+/// Times `iters` invocations of `f` and reports nanoseconds per call.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f(); // warm up
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.1} ns/iter", per * 1e9);
+}
+
+fn main() {
     let ticket = TicketLock::new();
-    g.bench_function("ticket", |b| {
-        b.iter(|| {
-            ticket.lock();
-            ticket.unlock();
-        })
+    bench("native/lock_uncontended/ticket", 1_000_000, || {
+        ticket.lock();
+        ticket.unlock();
     });
     let mcs = McsLock::new();
-    g.bench_function("mcs", |b| {
-        b.iter(|| {
-            let t = mcs.lock();
-            mcs.unlock(t);
-        })
+    bench("native/lock_uncontended/mcs", 1_000_000, || {
+        let t = mcs.lock();
+        mcs.unlock(t);
     });
     let std_mutex = Mutex::new(());
-    g.bench_function("std_mutex", |b| {
-        b.iter(|| {
-            drop(std_mutex.lock().unwrap());
-        })
+    bench("native/lock_uncontended/std_mutex", 1_000_000, || {
+        drop(std_mutex.lock().unwrap());
     });
-    g.finish();
-}
 
-fn bench_single_thread_barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native/barrier_single");
     let cb = CentralizedBarrier::new(1);
-    g.bench_function("centralized", |b| b.iter(|| cb.wait()));
+    bench("native/barrier_single/centralized", 1_000_000, || cb.wait());
     let db = DisseminationBarrier::new(1);
-    g.bench_function("dissemination", |b| b.iter(|| db.wait(0)));
+    bench("native/barrier_single/dissemination", 1_000_000, || db.wait(0));
     let tb = TreeBarrier::new(1);
-    g.bench_function("tree", |b| b.iter(|| tb.wait(0)));
-    g.finish();
-}
+    bench("native/barrier_single/tree", 1_000_000, || tb.wait(0));
 
-fn bench_contended_ticket(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native/lock_contended");
-    g.sample_size(10);
-    g.bench_function("ticket_2threads", |b| {
-        b.iter(|| {
-            let lock = Arc::new(TicketLock::new());
-            let counter = Arc::new(AtomicU64::new(0));
-            let handles: Vec<_> = (0..2)
-                .map(|_| {
-                    let lock = Arc::clone(&lock);
-                    let counter = Arc::clone(&counter);
-                    thread::spawn(move || {
-                        for _ in 0..200 {
-                            lock.lock();
-                            counter.fetch_add(1, Ordering::Relaxed);
-                            lock.unlock();
-                        }
-                    })
+    bench("native/lock_contended/ticket_2threads", 50, || {
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        lock.lock();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
                 })
-                .collect();
-            for h in handles {
-                h.join().unwrap();
-            }
-            assert_eq!(counter.load(Ordering::Relaxed), 400);
-        })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_uncontended_locks, bench_single_thread_barriers, bench_contended_ticket);
-criterion_main!(benches);

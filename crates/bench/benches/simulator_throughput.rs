@@ -1,75 +1,64 @@
-//! Criterion benches of the simulator itself: how fast the event engine
-//! retires simulated work. (The paper-figure workloads live in the
-//! `src/bin` binaries; these benches track the *harness's* performance so
-//! regressions in the event loop or protocol hot paths are caught.)
+//! Benches of the simulator itself: how fast the event engine retires
+//! simulated work. (The paper-figure workloads live in the `src/bin`
+//! binaries; these benches track the *harness's* performance so regressions
+//! in the event loop or protocol hot paths are caught.)
+//!
+//! Plain `std::time::Instant` harness (`harness = false`) so the workspace
+//! builds without external bench frameworks. Run with
+//! `cargo bench -p ppc-bench --bench simulator_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use sim_proto::Protocol;
 
-fn bench_lock_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim/lock");
-    g.sample_size(10);
+/// Runs `f` a few times and reports the best wall time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const SAMPLES: u32 = 5;
+    f(); // warm up
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{name:<40} {:>10.3} ms/iter (best of {SAMPLES})", best * 1e3);
+}
+
+fn main() {
     for protocol in [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate] {
-        g.bench_with_input(
-            BenchmarkId::new("ticket_8p_512acq", protocol.label()),
-            &protocol,
-            |b, &protocol| {
-                b.iter(|| {
-                    run_experiment(&ExperimentSpec {
-                        procs: 8,
-                        protocol,
-                        kernel: KernelSpec::Lock(LockWorkload {
-                            kind: LockKind::Ticket,
-                            total_acquires: 512,
-                            cs_cycles: 50,
-                            post_release: PostRelease::None,
-                        }),
-                    })
-                })
-            },
-        );
+        bench(&format!("sim/lock/ticket_8p_512acq/{}", protocol.label()), || {
+            run_experiment(&ExperimentSpec {
+                procs: 8,
+                protocol,
+                kernel: KernelSpec::Lock(LockWorkload {
+                    kind: LockKind::Ticket,
+                    total_acquires: 512,
+                    cs_cycles: 50,
+                    post_release: PostRelease::None,
+                }),
+            });
+        });
     }
-    g.finish();
-}
-
-fn bench_barrier_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim/barrier");
-    g.sample_size(10);
     for kind in [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree] {
-        g.bench_with_input(BenchmarkId::new("pu_8p_128ep", kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                run_experiment(&ExperimentSpec {
-                    procs: 8,
-                    protocol: Protocol::PureUpdate,
-                    kernel: KernelSpec::Barrier(BarrierWorkload { kind, episodes: 128 }),
-                })
-            })
+        bench(&format!("sim/barrier/pu_8p_128ep/{}", kind.label()), || {
+            run_experiment(&ExperimentSpec {
+                procs: 8,
+                protocol: Protocol::PureUpdate,
+                kernel: KernelSpec::Barrier(BarrierWorkload { kind, episodes: 128 }),
+            });
         });
     }
-    g.finish();
-}
-
-fn bench_reduction_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim/reduction");
-    g.sample_size(10);
     for kind in [ReductionKind::Sequential, ReductionKind::Parallel] {
-        g.bench_with_input(BenchmarkId::new("cu_8p_128ep", kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                run_experiment(&ExperimentSpec {
-                    procs: 8,
-                    protocol: Protocol::CompetitiveUpdate,
-                    kernel: KernelSpec::Reduction(ReductionWorkload { kind, episodes: 128, skew: 0 }),
-                })
-            })
+        bench(&format!("sim/reduction/cu_8p_128ep/{}", kind.label()), || {
+            run_experiment(&ExperimentSpec {
+                procs: 8,
+                protocol: Protocol::CompetitiveUpdate,
+                kernel: KernelSpec::Reduction(ReductionWorkload { kind, episodes: 128, skew: 0 }),
+            });
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_lock_kernels, bench_barrier_kernels, bench_reduction_kernels);
-criterion_main!(benches);

@@ -13,7 +13,10 @@ use sim_proto::Protocol;
 
 fn main() {
     println!("\nAblation A2: PU private-data optimization");
-    println!("{:<8}{:<8}{:>10}{:>12}{:>12}{:>12}", "procs", "lock", "private", "latency", "misses", "updates");
+    println!(
+        "{:<8}{:<8}{:>10}{:>12}{:>12}{:>12}",
+        "procs", "lock", "private", "latency", "misses", "updates"
+    );
     for procs in [1usize, 2, 32] {
         for kind in [LockKind::Ticket, LockKind::Mcs] {
             for opt in [true, false] {

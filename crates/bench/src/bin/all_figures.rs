@@ -4,11 +4,20 @@
 fn main() {
     ppc_bench::latency_table("Figure 8: spin-lock acquire-release latency (cycles)", &ppc_bench::lock_rows());
     ppc_bench::miss_table("Figure 9: spin-lock miss traffic at 32 processors", &ppc_bench::lock_rows());
-    ppc_bench::update_table("Figure 10: spin-lock update traffic at 32 processors", &ppc_bench::lock_update_rows());
+    ppc_bench::update_table(
+        "Figure 10: spin-lock update traffic at 32 processors",
+        &ppc_bench::lock_update_rows(),
+    );
     ppc_bench::latency_table("Figure 11: barrier episode latency (cycles)", &ppc_bench::barrier_rows());
     ppc_bench::miss_table("Figure 12: barrier miss traffic at 32 processors", &ppc_bench::barrier_rows());
-    ppc_bench::update_table("Figure 13: barrier update traffic at 32 processors", &ppc_bench::barrier_update_rows());
+    ppc_bench::update_table(
+        "Figure 13: barrier update traffic at 32 processors",
+        &ppc_bench::barrier_update_rows(),
+    );
     ppc_bench::latency_table("Figure 14: reduction latency (cycles)", &ppc_bench::reduction_rows());
     ppc_bench::miss_table("Figure 15: reduction miss traffic at 32 processors", &ppc_bench::reduction_rows());
-    ppc_bench::update_table("Figure 16: reduction update traffic at 32 processors", &ppc_bench::reduction_update_rows());
+    ppc_bench::update_table(
+        "Figure 16: reduction update traffic at 32 processors",
+        &ppc_bench::reduction_update_rows(),
+    );
 }

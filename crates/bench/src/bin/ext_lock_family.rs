@@ -25,8 +25,5 @@ fn main() {
         })
     })
     .collect();
-    ppc_bench::latency_table(
-        "Extension: full lock family acquire-release latency (cycles)",
-        &rows,
-    );
+    ppc_bench::latency_table("Extension: full lock family acquire-release latency (cycles)", &rows);
 }

@@ -5,8 +5,5 @@
 //! work; release}; the reported latency is `T/32000 − 50`.
 
 fn main() {
-    ppc_bench::latency_table(
-        "Figure 8: spin-lock acquire-release latency (cycles)",
-        &ppc_bench::lock_rows(),
-    );
+    ppc_bench::latency_table("Figure 8: spin-lock acquire-release latency (cycles)", &ppc_bench::lock_rows());
 }

@@ -3,8 +3,5 @@
 //! plus exclusive-request transactions).
 
 fn main() {
-    ppc_bench::miss_table(
-        "Figure 9: spin-lock miss traffic at 32 processors",
-        &ppc_bench::lock_rows(),
-    );
+    ppc_bench::miss_table("Figure 9: spin-lock miss traffic at 32 processors", &ppc_bench::lock_rows());
 }

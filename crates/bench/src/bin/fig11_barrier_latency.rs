@@ -5,8 +5,5 @@
 //! latency is `T/5000`.
 
 fn main() {
-    ppc_bench::latency_table(
-        "Figure 11: barrier episode latency (cycles)",
-        &ppc_bench::barrier_rows(),
-    );
+    ppc_bench::latency_table("Figure 11: barrier episode latency (cycles)", &ppc_bench::barrier_rows());
 }

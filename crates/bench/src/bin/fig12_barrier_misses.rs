@@ -2,8 +2,5 @@
 //! 32 processors.
 
 fn main() {
-    ppc_bench::miss_table(
-        "Figure 12: barrier miss traffic at 32 processors",
-        &ppc_bench::barrier_rows(),
-    );
+    ppc_bench::miss_table("Figure 12: barrier miss traffic at 32 processors", &ppc_bench::barrier_rows());
 }

@@ -5,8 +5,5 @@
 //! simulator's zero-traffic magic primitives, as in Section 4.3.
 
 fn main() {
-    ppc_bench::latency_table(
-        "Figure 14: reduction latency (cycles)",
-        &ppc_bench::reduction_rows(),
-    );
+    ppc_bench::latency_table("Figure 14: reduction latency (cycles)", &ppc_bench::reduction_rows());
 }

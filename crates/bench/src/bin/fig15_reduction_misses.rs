@@ -2,8 +2,5 @@
 //! at 32 processors.
 
 fn main() {
-    ppc_bench::miss_table(
-        "Figure 15: reduction miss traffic at 32 processors",
-        &ppc_bench::reduction_rows(),
-    );
+    ppc_bench::miss_table("Figure 15: reduction miss traffic at 32 processors", &ppc_bench::reduction_rows());
 }

@@ -4,16 +4,85 @@ use sim_proto::Protocol;
 
 fn main() {
     for (name, procs, protocol, kernel) in [
-        ("tk_wi_8", 8, Protocol::WriteInvalidate, KernelSpec::Lock(LockWorkload{kind:LockKind::Ticket,total_acquires:512,cs_cycles:50,post_release:PostRelease::None})),
-        ("mcs_pu_8", 8, Protocol::PureUpdate, KernelSpec::Lock(LockWorkload{kind:LockKind::Mcs,total_acquires:512,cs_cycles:50,post_release:PostRelease::None})),
-        ("uc_cu_8", 8, Protocol::CompetitiveUpdate, KernelSpec::Lock(LockWorkload{kind:LockKind::McsUpdateConscious,total_acquires:512,cs_cycles:50,post_release:PostRelease::None})),
-        ("db_pu_8", 8, Protocol::PureUpdate, KernelSpec::Barrier(BarrierWorkload{kind:BarrierKind::Dissemination,episodes:100})),
-        ("cb_wi_8", 8, Protocol::WriteInvalidate, KernelSpec::Barrier(BarrierWorkload{kind:BarrierKind::Centralized,episodes:100})),
-        ("tb_cu_8", 8, Protocol::CompetitiveUpdate, KernelSpec::Barrier(BarrierWorkload{kind:BarrierKind::Tree,episodes:100})),
-        ("sr_pu_8", 8, Protocol::PureUpdate, KernelSpec::Reduction(ReductionWorkload{kind:ReductionKind::Sequential,episodes:100,skew:0})),
-        ("pr_wi_8", 8, Protocol::WriteInvalidate, KernelSpec::Reduction(ReductionWorkload{kind:ReductionKind::Parallel,episodes:100,skew:0})),
+        (
+            "tk_wi_8",
+            8,
+            Protocol::WriteInvalidate,
+            KernelSpec::Lock(LockWorkload {
+                kind: LockKind::Ticket,
+                total_acquires: 512,
+                cs_cycles: 50,
+                post_release: PostRelease::None,
+            }),
+        ),
+        (
+            "mcs_pu_8",
+            8,
+            Protocol::PureUpdate,
+            KernelSpec::Lock(LockWorkload {
+                kind: LockKind::Mcs,
+                total_acquires: 512,
+                cs_cycles: 50,
+                post_release: PostRelease::None,
+            }),
+        ),
+        (
+            "uc_cu_8",
+            8,
+            Protocol::CompetitiveUpdate,
+            KernelSpec::Lock(LockWorkload {
+                kind: LockKind::McsUpdateConscious,
+                total_acquires: 512,
+                cs_cycles: 50,
+                post_release: PostRelease::None,
+            }),
+        ),
+        (
+            "db_pu_8",
+            8,
+            Protocol::PureUpdate,
+            KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Dissemination, episodes: 100 }),
+        ),
+        (
+            "cb_wi_8",
+            8,
+            Protocol::WriteInvalidate,
+            KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Centralized, episodes: 100 }),
+        ),
+        (
+            "tb_cu_8",
+            8,
+            Protocol::CompetitiveUpdate,
+            KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Tree, episodes: 100 }),
+        ),
+        (
+            "sr_pu_8",
+            8,
+            Protocol::PureUpdate,
+            KernelSpec::Reduction(ReductionWorkload {
+                kind: ReductionKind::Sequential,
+                episodes: 100,
+                skew: 0,
+            }),
+        ),
+        (
+            "pr_wi_8",
+            8,
+            Protocol::WriteInvalidate,
+            KernelSpec::Reduction(ReductionWorkload {
+                kind: ReductionKind::Parallel,
+                episodes: 100,
+                skew: 0,
+            }),
+        ),
     ] {
-        let o = run_experiment(&ExperimentSpec{procs, protocol, kernel});
-        println!("(\"{name}\", {}, {}, {}, {}),", o.cycles, o.traffic.misses.total_misses(), o.traffic.updates.total(), o.net.messages);
+        let o = run_experiment(&ExperimentSpec { procs, protocol, kernel });
+        println!(
+            "(\"{name}\", {}, {}, {}, {}),",
+            o.cycles,
+            o.traffic.misses.total_misses(),
+            o.traffic.updates.total(),
+            o.net.messages
+        );
     }
 }

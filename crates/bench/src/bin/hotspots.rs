@@ -30,11 +30,7 @@ fn report(name: &str, spec: ExperimentSpec) {
     let r = m.run();
     let total = r.cycles.max(1);
     let home = &r.per_node[0];
-    let peak_other = r.per_node[1..]
-        .iter()
-        .map(|n| n.mem_busy)
-        .max()
-        .unwrap_or(0);
+    let peak_other = r.per_node[1..].iter().map(|n| n.mem_busy).max().unwrap_or(0);
     println!(
         "{:<34}{:>10}{:>12.1}{:>12.1}{:>12.1}{:>12.1}",
         name,

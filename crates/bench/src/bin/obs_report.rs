@@ -1,0 +1,155 @@
+//! End-to-end observability demo: runs one kernel under all three
+//! protocols with cycle accounting, periodic sampling, and message tracing
+//! enabled, then writes two artifacts into the output directory:
+//!
+//! * `report.json` — per-protocol measurements: classified traffic, the
+//!   full observability report (per-node stall accounts, per-phase splits,
+//!   component gauges, message counts/latencies, link flits, time series);
+//! * `trace.json` — a Chrome `trace_event` array (open in Perfetto or
+//!   `chrome://tracing`) with one process per protocol: CPU state timelines
+//!   as tracks, matched send→handle async flows, halt markers.
+//!
+//! Usage: `obs_report [kernel] [procs] [out_dir]` (defaults: `mcs-lock 8
+//! obs-out`). Kernels: `ticket-lock`, `mcs-lock`, `uc-mcs-lock`,
+//! `tas-lock`, `ttas-lock`, `anderson-lock`, `central-barrier`,
+//! `dissemination-barrier`, `tree-barrier`, `par-reduction`,
+//! `seq-reduction`. Workloads honor `PPC_SCALE` like the figure binaries.
+
+use std::process::ExitCode;
+
+use kernels::workloads::{BarrierKind, LockKind, ReductionKind};
+use kernels::{barriers, locks, phase, reductions, KernelSpec};
+use ppc_bench::{barrier_workload, lock_workload, reduction_workload, PROTOCOLS};
+use sim_machine::{export_run, Machine, MachineConfig, RunResult, Trace, TraceEvent};
+use sim_proto::Protocol;
+use sim_stats::{ChromeTrace, Json};
+
+fn kernel_by_name(name: &str) -> Option<KernelSpec> {
+    Some(match name {
+        "ticket-lock" => KernelSpec::Lock(lock_workload(LockKind::Ticket)),
+        "mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::Mcs)),
+        "uc-mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::McsUpdateConscious)),
+        "tas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndSet)),
+        "ttas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndTestAndSet)),
+        "anderson-lock" => KernelSpec::Lock(lock_workload(LockKind::AndersonQueue)),
+        "central-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Centralized)),
+        "dissemination-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Dissemination)),
+        "tree-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Tree)),
+        "par-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Parallel)),
+        "seq-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Sequential)),
+        _ => return None,
+    })
+}
+
+/// Runs `kernel` on an observed machine with full message tracing; returns
+/// the result (phase names installed) and the recorded event stream.
+fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<TraceEvent>) {
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
+    let mut r = match kernel {
+        KernelSpec::Lock(w) => {
+            let layout = locks::install(&mut m, w);
+            let r = m.run();
+            locks::verify(&mut m, w, &layout);
+            r
+        }
+        KernelSpec::Barrier(w) => {
+            let layout = barriers::install(&mut m, w);
+            let r = m.run();
+            barriers::verify(&mut m, w, &layout);
+            r
+        }
+        KernelSpec::Reduction(w) => {
+            let layout = reductions::install(&mut m, w);
+            let r = m.run();
+            reductions::verify(&mut m, w, &layout);
+            r
+        }
+    };
+    if let Some(obs) = r.obs.as_mut() {
+        obs.set_phase_names(phase::names());
+    }
+    let trace = m.take_trace().expect("tracing was enabled");
+    (r, trace.events().to_vec())
+}
+
+fn protocol_name(p: Protocol) -> &'static str {
+    match p {
+        Protocol::WriteInvalidate => "WI",
+        Protocol::PureUpdate => "PU",
+        Protocol::CompetitiveUpdate => "CU",
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args.first().map(String::as_str).unwrap_or("mcs-lock");
+    let procs: usize = match args.get(1) {
+        None => 8,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid processor count {s:?}; expected an integer >= 1");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let out_dir = args.get(2).map(String::as_str).unwrap_or("obs-out");
+    let Some(kernel) = kernel_by_name(kernel_name) else {
+        eprintln!("unknown kernel {kernel_name:?}; see the doc comment for the list");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut runs = Vec::new();
+    let mut trace = ChromeTrace::new();
+    let mut next_flow_id = 0;
+    for (i, protocol) in PROTOCOLS.into_iter().enumerate() {
+        let (r, events) = run_observed(procs, protocol, &kernel);
+        let pid = i as u64 + 1;
+        let label = protocol_name(protocol);
+        let stats = export_run(&mut trace, pid, label, &r, &events, next_flow_id);
+        next_flow_id = stats.next_flow_id;
+        println!(
+            "{label}: {} cycles, {} flow pairs, {} state slices{}",
+            r.cycles,
+            stats.flow_pairs,
+            stats.slices,
+            if r.trace_dropped > 0 {
+                format!(" ({} trace events dropped)", r.trace_dropped)
+            } else {
+                String::new()
+            }
+        );
+        let obs = r.obs.as_ref().expect("machine ran observed");
+        runs.push(Json::obj([
+            ("protocol", Json::from(label)),
+            ("cycles", Json::U64(r.cycles)),
+            ("instructions", Json::U64(r.instructions)),
+            ("trace_dropped", Json::U64(r.trace_dropped)),
+            ("traffic", r.traffic.to_json()),
+            ("obs", obs.to_json()),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("kernel", Json::from(kernel_name)),
+        ("procs", Json::from(procs)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    let report_path = format!("{out_dir}/report.json");
+    let trace_path = format!("{out_dir}/trace.json");
+    if let Err(e) = std::fs::write(&report_path, report.render_pretty()) {
+        eprintln!("cannot write {report_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&trace_path, trace.render()) {
+        eprintln!("cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {report_path} and {trace_path} ({} trace events)", trace.len());
+    ExitCode::SUCCESS
+}

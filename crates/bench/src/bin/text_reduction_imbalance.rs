@@ -17,8 +17,5 @@ fn main() {
             })
         })
         .collect();
-    ppc_bench::latency_table(
-        "Section 4.3 variant: reduction latency under load imbalance (cycles)",
-        &rows,
-    );
+    ppc_bench::latency_table("Section 4.3 variant: reduction latency under load imbalance (cycles)", &rows);
 }

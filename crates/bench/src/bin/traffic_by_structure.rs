@@ -51,19 +51,13 @@ fn print_breakdown(title: &str, traffic: &TrafficReport) {
 
 fn main() {
     let cases: Vec<(&str, KernelSpec)> = vec![
-        (
-            "ticket lock, 32p, PU",
-            KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket)),
-        ),
+        ("ticket lock, 32p, PU", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
         ("MCS lock, 32p, PU", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Mcs))),
         (
             "centralized barrier, 32p, PU",
             KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Centralized)),
         ),
-        (
-            "tree barrier, 32p, PU",
-            KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Tree)),
-        ),
+        ("tree barrier, 32p, PU", KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Tree))),
         (
             "sequential reduction, 32p, PU",
             KernelSpec::Reduction(ppc_bench::reduction_workload(ReductionKind::Sequential)),

@@ -94,9 +94,8 @@ pub fn latency_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
         print!("{p:>10}");
     }
     println!();
-    let mut csv: Vec<Vec<String>> = vec![std::iter::once("combo".to_string())
-        .chain(PROC_SWEEP.iter().map(|p| p.to_string()))
-        .collect()];
+    let mut csv: Vec<Vec<String>> =
+        vec![std::iter::once("combo".to_string()).chain(PROC_SWEEP.iter().map(|p| p.to_string())).collect()];
     for (label, kernel, protocol) in rows {
         print!("{label:<10}");
         let mut csv_row = vec![label.clone()];

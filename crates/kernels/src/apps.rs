@@ -26,8 +26,8 @@ use sim_mem::Addr;
 
 use crate::barriers::{emit_dissemination_episode, emit_dissemination_prologue, log2_ceil};
 use crate::locks::{
-    emit_mcs_acquire, emit_mcs_prologue, emit_mcs_release, emit_ticket_acquire,
-    emit_ticket_prologue, emit_ticket_release, McsFlush,
+    emit_mcs_acquire, emit_mcs_prologue, emit_mcs_release, emit_ticket_acquire, emit_ticket_prologue,
+    emit_ticket_release, McsFlush,
 };
 use crate::regs::*;
 use crate::workloads::LockKind;
@@ -83,9 +83,8 @@ pub fn install_grid(m: &mut Machine, app: &GridApp) -> GridLayout {
             }
         })
         .collect();
-    let flags: Vec<Vec<Addr>> = (0..p)
-        .map(|i| (0..2 * rounds.max(1)).map(|_| m.alloc().alloc_block_on(i, 1)).collect())
-        .collect();
+    let flags: Vec<Vec<Addr>> =
+        (0..p).map(|i| (0..2 * rounds.max(1)).map(|_| m.alloc().alloc_block_on(i, 1)).collect()).collect();
     let done: Vec<Addr> = (0..p).map(|i| m.alloc().alloc_block_on(i, 1)).collect();
     for (i, &(l, r)) in cells.iter().enumerate() {
         m.register_structure(&format!("cells[{i}].left"), l, 1);
@@ -218,7 +217,7 @@ pub fn install_task_farm(m: &mut Machine, app: &TaskFarmApp) -> TaskFarmLayout {
         b.alui(AluOp::Shr, A1, A1, 20); // the task's contribution
         b.alui(AluOp::And, A2, A1, app.work_bound.next_power_of_two() - 1);
         b.delay_reg(A2); // simulate the task
-        // Fold into the shared accumulator under the lock.
+                         // Fold into the shared accumulator under the lock.
         if use_mcs {
             emit_mcs_acquire(&mut b, flush, "t");
         } else {
@@ -288,14 +287,13 @@ mod tests {
         let layout = install_grid(&mut m, &app);
         let r = m.run();
         verify_grid(&mut m, &app, &layout);
-        r.traffic
-            .by_structure
-            .iter()
-            .filter(|s| s.name.starts_with("cells"))
-            .fold(sim_stats::UpdateStats::default(), |mut acc, s| {
+        r.traffic.by_structure.iter().filter(|s| s.name.starts_with("cells")).fold(
+            sim_stats::UpdateStats::default(),
+            |mut acc, s| {
                 acc.merge(&s.updates);
                 acc
-            })
+            },
+        )
     }
 
     #[test]
@@ -304,10 +302,7 @@ mod tests {
         // producer-consumer: every cell update is consumed by its reader.
         let u = cell_updates(Protocol::PureUpdate, true);
         assert!(u.total() > 0);
-        assert!(
-            u.useful() * 10 >= u.total() * 9,
-            "≥90% of boundary updates consumed: {u:?}"
-        );
+        assert!(u.useful() * 10 >= u.total() * 9, "≥90% of boundary updates consumed: {u:?}");
     }
 
     #[test]
@@ -315,10 +310,7 @@ mod tests {
         // With both cells in one block, each neighbor also receives the
         // *other* neighbor's cell — half the updates are false sharing.
         let u = cell_updates(Protocol::PureUpdate, false);
-        assert!(
-            u.false_sharing * 3 >= u.total(),
-            "substantial false sharing expected: {u:?}"
-        );
+        assert!(u.false_sharing * 3 >= u.total(), "substantial false sharing expected: {u:?}");
     }
 
     #[test]

@@ -107,11 +107,11 @@ pub fn install(m: &mut Machine, w: &BarrierWorkload) -> BarrierLayout {
     }
     // global_sense starts false; per-processor sense starts true.
 
-    for i in 0..p {
+    for (i, &done_i) in done.iter().enumerate() {
         let prog = match w.kind {
-            BarrierKind::Centralized => central_program(w, count, sense, p as u32, done[i]),
-            BarrierKind::Dissemination => dissemination_program(w, &flags, i, rounds, done[i]),
-            BarrierKind::Tree => tree_program(w, &tree_nodes, global_sense, i, p, done[i]),
+            BarrierKind::Centralized => central_program(w, count, sense, p as u32, done_i),
+            BarrierKind::Dissemination => dissemination_program(w, &flags, i, rounds, done_i),
+            BarrierKind::Tree => tree_program(w, &tree_nodes, global_sense, i, p, done_i),
         };
         m.set_program(i, prog);
     }
@@ -234,11 +234,7 @@ fn tree_program(
     done: Addr,
 ) -> Program {
     let children: Vec<usize> = (0..4).map(|j| 4 * i + j + 1).filter(|&c| c < p).collect();
-    let parent_slot = if i > 0 {
-        Some(tree_nodes[(i - 1) / 4][(i - 1) % 4])
-    } else {
-        None
-    };
+    let parent_slot = if i > 0 { Some(tree_nodes[(i - 1) / 4][(i - 1) % 4]) } else { None };
     let mut b = ProgramBuilder::new();
     b.imm(BASE2, global_sense);
     b.imm(ONE, 1);
@@ -247,13 +243,13 @@ fn tree_program(
     b.imm(ITER, w.episodes);
     b.label("loop");
     // repeat until childnotready = {false, false, false, false}
-    for j in 0..children.len() {
-        b.imm(T0, tree_nodes[i][j]);
+    for &slot in &tree_nodes[i][..children.len()] {
+        b.imm(T0, slot);
         b.spin_while_ne(T0, ZERO);
     }
     // childnotready := havechild (slots without a child never change)
-    for j in 0..children.len() {
-        b.imm(T0, tree_nodes[i][j]);
+    for &slot in &tree_nodes[i][..children.len()] {
+        b.imm(T0, slot);
         b.store(T0, 0, ONE);
     }
     match parent_slot {
@@ -303,7 +299,12 @@ mod tests {
     const PROTOCOLS: [Protocol; 3] =
         [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
 
-    fn run(kind: BarrierKind, protocol: Protocol, procs: usize, episodes: u32) -> (u64, sim_stats::TrafficReport) {
+    fn run(
+        kind: BarrierKind,
+        protocol: Protocol,
+        procs: usize,
+        episodes: u32,
+    ) -> (u64, sim_stats::TrafficReport) {
         let w = BarrierWorkload { kind, episodes };
         let mut m = Machine::new(MachineConfig::paper(procs, protocol));
         let layout = install(&mut m, &w);
@@ -368,11 +369,7 @@ mod tests {
     #[test]
     fn centralized_generates_mostly_useless_updates_under_pu() {
         let (_, t) = run(BarrierKind::Centralized, Protocol::PureUpdate, 8, 30);
-        assert!(
-            t.updates.useless() > t.updates.useful(),
-            "counter churn dominates: {:?}",
-            t.updates
-        );
+        assert!(t.updates.useless() > t.updates.useful(), "counter churn dominates: {:?}", t.updates);
     }
 
     #[test]

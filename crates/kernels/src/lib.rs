@@ -30,6 +30,7 @@
 pub mod apps;
 pub mod barriers;
 pub mod locks;
+pub mod phase;
 pub mod reductions;
 pub mod runner;
 pub mod workloads;

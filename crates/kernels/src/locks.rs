@@ -13,6 +13,7 @@ use sim_isa::{AluOp, Program, ProgramBuilder};
 use sim_machine::Machine;
 use sim_mem::Addr;
 
+use crate::phase;
 use crate::regs::*;
 use crate::workloads::{LockKind, LockWorkload, PostRelease};
 
@@ -100,8 +101,9 @@ pub fn install_with_options(
     }
     // 32000/P iterations per processor; distribute any remainder so the
     // machine-wide total is exact.
-    let iters: Vec<u32> =
-        (0..p).map(|i| w.total_acquires / p as u32 + u32::from((i as u32) < w.total_acquires % p as u32)).collect();
+    let iters: Vec<u32> = (0..p)
+        .map(|i| w.total_acquires / p as u32 + u32::from((i as u32) < w.total_acquires % p as u32))
+        .collect();
     for i in 0..p {
         let prog = match w.kind {
             LockKind::Ticket => ticket_program(w, next_ticket, now_serving, iters[i], done[i]),
@@ -161,9 +163,13 @@ fn ticket_program(w: &LockWorkload, next_ticket: Addr, now_serving: Addr, iters:
     emit_ticket_prologue(&mut b, next_ticket, now_serving);
     b.imm(ITER, iters);
     b.label("loop");
+    b.phase(phase::ACQUIRE);
     emit_ticket_acquire(&mut b);
+    b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
+    b.phase(phase::RELEASE);
     emit_ticket_release(&mut b);
+    b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");
@@ -173,7 +179,14 @@ fn ticket_program(w: &LockWorkload, next_ticket: Addr, now_serving: Addr, iters:
 
 /// The MCS list-based queuing lock (Figure 2) in the synthetic loop, with
 /// the update-conscious flushes when `uc` is set.
-fn mcs_program(w: &LockWorkload, tail: Addr, qnode: Addr, iters: u32, done: Addr, flush: McsFlush) -> Program {
+fn mcs_program(
+    w: &LockWorkload,
+    tail: Addr,
+    qnode: Addr,
+    iters: u32,
+    done: Addr,
+    flush: McsFlush,
+) -> Program {
     let mut b = ProgramBuilder::new();
     if iters == 0 {
         emit_epilogue(&mut b, done, 0);
@@ -182,9 +195,13 @@ fn mcs_program(w: &LockWorkload, tail: Addr, qnode: Addr, iters: u32, done: Addr
     emit_mcs_prologue(&mut b, tail, qnode);
     b.imm(ITER, iters);
     b.label("loop");
+    b.phase(phase::ACQUIRE);
     emit_mcs_acquire(&mut b, flush, "m");
+    b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
+    b.phase(phase::RELEASE);
     emit_mcs_release(&mut b, flush, "m");
+    b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");
@@ -283,6 +300,7 @@ fn tas_program(w: &LockWorkload, lock: Addr, iters: u32, done: Addr, test_first:
     b.imm(K2, 1024); // backoff cap
     b.imm(ITER, iters);
     b.label("loop");
+    b.phase(phase::ACQUIRE);
     b.imm(K1, 4); // reset backoff each acquire
     b.label("try");
     if test_first {
@@ -297,9 +315,12 @@ fn tas_program(w: &LockWorkload, lock: Addr, iters: u32, done: Addr, test_first:
     b.mov(K1, K2);
     b.jmp("try");
     b.label("got");
+    b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
+    b.phase(phase::RELEASE);
     b.fence(); // release
     b.store(BASE, 0, ZERO);
+    b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");
@@ -311,14 +332,7 @@ fn tas_program(w: &LockWorkload, lock: Addr, iters: u32, done: Addr, test_first:
 /// (the shared slot counter) reuses the `tail` slot; `slots` is the base
 /// of P contiguous block-padded flag slots (flag = word 0 of each block;
 /// 1 = has-lock, 0 = must-wait).
-fn anderson_program(
-    w: &LockWorkload,
-    counter: Addr,
-    slots: Addr,
-    p: u32,
-    iters: u32,
-    done: Addr,
-) -> Program {
+fn anderson_program(w: &LockWorkload, counter: Addr, slots: Addr, p: u32, iters: u32, done: Addr) -> Program {
     let mut b = ProgramBuilder::new();
     if iters == 0 {
         emit_epilogue(&mut b, done, 0);
@@ -331,13 +345,16 @@ fn anderson_program(
     b.imm(K1, p);
     b.imm(ITER, iters);
     b.label("loop");
+    b.phase(phase::ACQUIRE);
     // my slot = fetch_and_add(counter) mod P
     b.fetch_add(T0, BASE, ONE);
     b.alu(AluOp::Mod, T0, T0, K1);
     b.alui(AluOp::Shl, T1, T0, 6); // * 64-byte stride
     b.alu(AluOp::Add, T1, T1, BASE2);
     b.spin_while_eq(T1, ZERO); // while must_wait
+    b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
+    b.phase(phase::RELEASE);
     // release: my flag back to must_wait, hand the lock to the next slot
     b.fence();
     b.store(T1, 0, ZERO);
@@ -346,6 +363,7 @@ fn anderson_program(
     b.alui(AluOp::Shl, T2, T2, 6);
     b.alu(AluOp::Add, T2, T2, BASE2);
     b.store(T2, 0, ONE);
+    b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");

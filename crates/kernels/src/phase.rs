@@ -1,0 +1,50 @@
+//! Program-phase ids shared by the kernel builders.
+//!
+//! Kernels mark phase boundaries with the zero-cost `Instr::Phase` marker
+//! (via `ProgramBuilder::phase`), and the machine's observability layer
+//! splits each processor's cycle account by the active phase. The ids here
+//! name the lock kernels' episode structure; a processor starts in
+//! [`SETUP`] (phase 0) until its first marker.
+
+/// Register and address setup before the first episode (the initial phase).
+pub const SETUP: u16 = 0;
+/// Acquiring the lock (atomic + spin until granted).
+pub const ACQUIRE: u16 = 1;
+/// Holding the lock (the critical section).
+pub const HOLD: u16 = 2;
+/// Releasing the lock (release fence + hand-off).
+pub const RELEASE: u16 = 3;
+/// Between episodes (post-release delay, loop bookkeeping, epilogue).
+pub const OUTSIDE: u16 = 4;
+
+/// Display name for a phase id (unknown ids render as `phase<N>`).
+pub fn name(phase: u16) -> &'static str {
+    match phase {
+        SETUP => "setup",
+        ACQUIRE => "acquire",
+        HOLD => "hold",
+        RELEASE => "release",
+        OUTSIDE => "outside",
+        _ => "phase?",
+    }
+}
+
+/// All `(id, name)` pairs, shaped for `ObsReport::set_phase_names`.
+pub fn names() -> impl Iterator<Item = (u16, String)> {
+    [SETUP, ACQUIRE, HOLD, RELEASE, OUTSIDE].into_iter().map(|p| (p, name(p).to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_and_named() {
+        let pairs: Vec<_> = names().collect();
+        assert_eq!(pairs.len(), 5);
+        let ids: std::collections::BTreeSet<u16> = pairs.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ids.len(), 5, "phase ids are distinct");
+        assert_eq!(name(ACQUIRE), "acquire");
+        assert_eq!(name(999), "phase?");
+    }
+}

@@ -75,10 +75,10 @@ pub fn install(m: &mut Machine, w: &ReductionWorkload) -> ReductionLayout {
     for (i, &a) in local_max.iter().enumerate() {
         m.register_structure(&format!("local_max[{i}]"), a, 1);
     }
-    for i in 0..p {
+    for (i, &done_i) in done.iter().enumerate() {
         let prog = match w.kind {
-            ReductionKind::Parallel => parallel_program(w, max, i, done[i]),
-            ReductionKind::Sequential => sequential_program(w, max, &local_max, i, done[i]),
+            ReductionKind::Parallel => parallel_program(w, max, i, done_i),
+            ReductionKind::Sequential => sequential_program(w, max, &local_max, i, done_i),
         };
         m.set_program(i, prog);
     }
@@ -184,10 +184,7 @@ pub fn verify(m: &mut Machine, w: &ReductionWorkload, layout: &ReductionLayout) 
     for i in 0..p {
         assert_eq!(m.read_word(layout.done[i]), w.episodes, "processor {i} completed");
     }
-    let expected: u32 = (0..p)
-        .flat_map(|i| (0..w.episodes).map(move |ep| value_of(i, ep)))
-        .max()
-        .unwrap();
+    let expected: u32 = (0..p).flat_map(|i| (0..w.episodes).map(move |ep| value_of(i, ep))).max().unwrap();
     assert_eq!(m.read_word(layout.max), expected, "final reduction value");
     if w.kind == ReductionKind::Sequential {
         let last = w.episodes - 1;
@@ -206,7 +203,12 @@ mod tests {
     const PROTOCOLS: [Protocol; 3] =
         [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
 
-    fn run(kind: ReductionKind, protocol: Protocol, procs: usize, episodes: u32) -> (u64, sim_stats::TrafficReport) {
+    fn run(
+        kind: ReductionKind,
+        protocol: Protocol,
+        procs: usize,
+        episodes: u32,
+    ) -> (u64, sim_stats::TrafficReport) {
         let w = ReductionWorkload { kind, episodes, skew: 0 };
         let mut m = Machine::new(MachineConfig::paper(procs, protocol));
         let layout = install(&mut m, &w);
@@ -267,11 +269,7 @@ mod tests {
     fn sequential_updates_mostly_useful_under_pu() {
         // Figure 16's shape: reductions are update-friendly.
         let (_, t) = run(ReductionKind::Sequential, Protocol::PureUpdate, 8, 20);
-        assert!(
-            t.updates.useful() * 2 >= t.updates.total(),
-            "at least half useful: {:?}",
-            t.updates
-        );
+        assert!(t.updates.useful() * 2 >= t.updates.total(), "at least half useful: {:?}", t.updates);
     }
 
     #[test]

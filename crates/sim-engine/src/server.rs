@@ -25,6 +25,7 @@ use crate::Cycle;
 pub struct FifoServer {
     free_at: Cycle,
     busy_cycles: Cycle,
+    wait_cycles: Cycle,
     requests: u64,
 }
 
@@ -38,6 +39,7 @@ impl FifoServer {
     /// returns its completion cycle.
     pub fn occupy(&mut self, now: Cycle, service: Cycle) -> Cycle {
         let start = self.free_at.max(now);
+        self.wait_cycles += start - now;
         self.free_at = start + service;
         self.busy_cycles += service;
         self.requests += 1;
@@ -53,6 +55,12 @@ impl FifoServer {
     /// Total cycles of service performed so far (a utilization numerator).
     pub fn busy_cycles(&self) -> Cycle {
         self.busy_cycles
+    }
+
+    /// Total cycles requests spent queued before service began (a
+    /// contention measure: zero means every request found the server idle).
+    pub fn wait_cycles(&self) -> Cycle {
+        self.wait_cycles
     }
 
     /// Number of requests served so far.
@@ -94,6 +102,10 @@ mod tests {
         s.occupy(0, 3);
         assert_eq!(s.busy_cycles(), 10);
         assert_eq!(s.requests(), 2);
+        // The second request queued for the first's full 7-cycle service.
+        assert_eq!(s.wait_cycles(), 7);
+        s.occupy(100, 5);
+        assert_eq!(s.wait_cycles(), 7, "an idle-server request adds no wait");
     }
 
     #[test]

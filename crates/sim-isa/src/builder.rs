@@ -176,6 +176,11 @@ impl ProgramBuilder {
         self.raw(Instr::MagicRelease(lock))
     }
 
+    /// Zero-cost observability marker: enter program phase `id`.
+    pub fn phase(&mut self, id: u16) -> &mut Self {
+        self.raw(Instr::Phase(id))
+    }
+
     /// Stop the processor.
     pub fn halt(&mut self) -> &mut Self {
         self.raw(Instr::Halt)
@@ -188,10 +193,7 @@ impl ProgramBuilder {
     /// Panics on undefined labels or invalid register/target indices.
     pub fn build(mut self) -> Program {
         for (idx, name) in std::mem::take(&mut self.fixups) {
-            let &target = self
-                .labels
-                .get(&name)
-                .unwrap_or_else(|| panic!("undefined label {name:?}"));
+            let &target = self.labels.get(&name).unwrap_or_else(|| panic!("undefined label {name:?}"));
             match &mut self.code[idx] {
                 Instr::Jmp(t) | Instr::Bez(_, t) | Instr::Bnz(_, t) => *t = target,
                 other => unreachable!("fixup on non-branch {other:?}"),

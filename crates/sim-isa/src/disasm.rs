@@ -51,6 +51,7 @@ impl fmt::Display for Instr {
             Instr::MagicBarrier => write!(f, "magic_barrier"),
             Instr::MagicAcquire(l) => write!(f, "magic_acquire {l}"),
             Instr::MagicRelease(l) => write!(f, "magic_release {l}"),
+            Instr::Phase(p) => write!(f, "phase {p}"),
             Instr::Halt => write!(f, "halt"),
         }
     }
@@ -102,9 +103,7 @@ impl Program {
                 Instr::Fence => s.fences += 1,
                 Instr::Flush(..) => s.flushes += 1,
                 Instr::Jmp(..) | Instr::Bez(..) | Instr::Bnz(..) => s.branches += 1,
-                Instr::MagicBarrier | Instr::MagicAcquire(..) | Instr::MagicRelease(..) => {
-                    s.magic += 1
-                }
+                Instr::MagicBarrier | Instr::MagicAcquire(..) | Instr::MagicRelease(..) => s.magic += 1,
                 _ => {}
             }
         }

@@ -112,6 +112,10 @@ pub enum Instr {
     MagicAcquire(u32),
     /// Zero-traffic lock release (lock id `imm`).
     MagicRelease(u32),
+    /// Observability marker: the processor enters program phase `imm`.
+    /// Costs zero cycles, retires no instruction, and generates no traffic —
+    /// annotated and unannotated programs behave identically.
+    Phase(u16),
     /// Stop this processor.
     Halt,
 }
@@ -171,9 +175,7 @@ impl Program {
                     ck_reg(i, a)?;
                     ck_reg(i, b)?;
                 }
-                Instr::Alu(_, a, b, c)
-                | Instr::FetchAdd(a, b, c)
-                | Instr::FetchStore(a, b, c) => {
+                Instr::Alu(_, a, b, c) | Instr::FetchAdd(a, b, c) | Instr::FetchStore(a, b, c) => {
                     ck_reg(i, a)?;
                     ck_reg(i, b)?;
                     ck_reg(i, c)?;
@@ -190,6 +192,7 @@ impl Program {
                 | Instr::MagicBarrier
                 | Instr::MagicAcquire(_)
                 | Instr::MagicRelease(_)
+                | Instr::Phase(_)
                 | Instr::Halt => {}
             }
         }
@@ -236,12 +239,7 @@ mod tests {
     #[test]
     fn validate_accepts_good_program() {
         let p = Program {
-            code: vec![
-                Instr::Imm(0, 5),
-                Instr::AluI(AluOp::Sub, 0, 0, 1),
-                Instr::Bnz(0, 1),
-                Instr::Halt,
-            ],
+            code: vec![Instr::Imm(0, 5), Instr::AluI(AluOp::Sub, 0, 0, 1), Instr::Bnz(0, 1), Instr::Halt],
         };
         assert!(p.validate().is_ok());
     }

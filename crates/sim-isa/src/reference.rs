@@ -147,8 +147,7 @@ impl RefMachine {
             }
             Instr::LoadPriv(rd, ra, off) => {
                 let addr = self.threads[tid].regs[ra].wrapping_add(off);
-                self.threads[tid].regs[rd] =
-                    *self.threads[tid].private.get(&addr).unwrap_or(&0);
+                self.threads[tid].regs[rd] = *self.threads[tid].private.get(&addr).unwrap_or(&0);
             }
             Instr::StorePriv(ra, off, rs) => {
                 let addr = self.threads[tid].regs[ra].wrapping_add(off);
@@ -179,8 +178,7 @@ impl RefMachine {
                 }
                 self.threads[tid].regs[rd] = old;
             }
-            Instr::Flush(_) | Instr::Fence | Instr::Delay(_) | Instr::DelayReg(_)
-            | Instr::RandDelay(_) => {}
+            Instr::Flush(_) | Instr::Fence | Instr::Delay(_) | Instr::DelayReg(_) | Instr::RandDelay(_) => {}
             Instr::SpinWhileEq(ra, rb) => {
                 let t = &self.threads[tid];
                 if self.read(t.regs[ra]) == t.regs[rb] {
@@ -236,12 +234,11 @@ impl RefMachine {
                 assert_eq!(*slot, Some(tid), "release of a lock not held");
                 *slot = None;
                 // Wake one waiter (lowest id for determinism).
-                if let Some(w) = (0..self.threads.len())
-                    .find(|&i| self.threads[i].waiting_lock == Some(l))
-                {
+                if let Some(w) = (0..self.threads.len()).find(|&i| self.threads[i].waiting_lock == Some(l)) {
                     self.threads[w].waiting_lock = None;
                 }
             }
+            Instr::Phase(_) => {} // observability marker: no semantic effect
             Instr::Halt => {
                 self.threads[tid].halted = true;
                 next_pc = self.threads[tid].pc;

@@ -1,0 +1,154 @@
+//! Chrome-trace export of a finished run.
+//!
+//! Glues a [`RunResult`]'s observability data and the machine's message
+//! trace into one `sim_stats::ChromeTrace`:
+//!
+//! - each node's state timeline becomes a track of `"X"` slices (track id =
+//!   node id) named by [`sim_stats::CpuClass`], with the program phase as an
+//!   argument;
+//! - every traced send→handle message pair becomes a matched `"b"`/`"e"`
+//!   async flow (via [`FlowPairer`], so truncated traces never produce
+//!   dangling arrows);
+//! - processor halts become `"i"` instant markers.
+//!
+//! Several runs (e.g. the three protocols on the same kernel) can share one
+//! trace by exporting each under a distinct `pid` — the viewer shows them
+//! as separate processes with aligned clocks.
+
+use sim_stats::{ChromeTrace, FlowPairer, Json};
+
+use crate::result::RunResult;
+use crate::trace::TraceEvent;
+
+/// What one [`export_run`] call contributed to the trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExportStats {
+    /// CPU state slices emitted as `"X"` events.
+    pub slices: usize,
+    /// Matched send→handle flow pairs emitted.
+    pub flow_pairs: u64,
+    /// Handles whose send was missing from the event stream (nonzero means
+    /// the message trace overflowed; see `RunResult::trace_dropped`).
+    pub unmatched_handles: u64,
+    /// Sends whose handle was missing from the event stream.
+    pub unmatched_sends: u64,
+    /// First flow id not used, to pass as the next export's `first_flow_id`.
+    pub next_flow_id: u64,
+}
+
+/// Exports one run into `trace` as process `pid` labeled `label`.
+///
+/// `result` supplies the per-node state timelines (recorded only when the
+/// machine ran with `MachineConfig::obs` enabled and `timeline` on — without
+/// them only flows and halts are emitted). `events` is the machine's message
+/// trace (see `Machine::take_trace`). `first_flow_id` offsets async-flow
+/// ids so multiple exports into one trace cannot collide.
+pub fn export_run(
+    trace: &mut ChromeTrace,
+    pid: u64,
+    label: &str,
+    result: &RunResult,
+    events: &[TraceEvent],
+    first_flow_id: u64,
+) -> ExportStats {
+    trace.process_name(pid, label);
+    let mut stats = ExportStats { next_flow_id: first_flow_id, ..Default::default() };
+
+    if let Some(obs) = &result.obs {
+        for (n, node) in obs.per_node.iter().enumerate() {
+            trace.thread_name(pid, n as u64, &format!("cpu{n}"));
+            for s in &node.timeline {
+                let phase =
+                    obs.phase_names.get(&s.phase).cloned().unwrap_or_else(|| format!("phase{}", s.phase));
+                trace.complete(
+                    pid,
+                    n as u64,
+                    s.class.name(),
+                    "cpu",
+                    s.start,
+                    s.end - s.start,
+                    vec![("phase".to_string(), Json::from(phase))],
+                );
+                stats.slices += 1;
+            }
+        }
+    }
+
+    let mut pairer = FlowPairer::new(first_flow_id);
+    for ev in events {
+        match ev {
+            TraceEvent::Send { at, src, dst, kind, addr } => {
+                pairer.send(*src, *dst, kind, *addr, *at);
+            }
+            TraceEvent::Handle { at, src, dst, kind, addr } => {
+                pairer.handle(trace, pid, *src, *dst, kind, *addr, *at);
+            }
+            TraceEvent::Halt { at, node } => {
+                trace.instant(pid, *node as u64, "halt", *at);
+            }
+        }
+    }
+    stats.flow_pairs = pairer.pairs();
+    stats.unmatched_handles = pairer.unmatched_handles();
+    stats.unmatched_sends = pairer.unmatched_sends();
+    stats.next_flow_id = first_flow_id + pairer.pairs();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::machine::Machine;
+    use crate::trace::Trace;
+    use sim_isa::ProgramBuilder;
+    use sim_proto::Protocol;
+
+    #[test]
+    fn exports_timelines_flows_and_halts() {
+        let mut m = Machine::new(MachineConfig::paper_observed(2, Protocol::WriteInvalidate));
+        m.enable_trace(Trace::new(10_000));
+        let addr = m.alloc().alloc_block_on(0, 1);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, addr).imm(1, 7).store(0, 0, 1).fence().halt();
+        m.set_program(0, b.build());
+        let mut b1 = ProgramBuilder::new();
+        b1.imm(0, addr).imm(1, 7).spin_while_ne(0, 1).halt();
+        m.set_program(1, b1.build());
+        let r = m.run();
+        let events = m.take_trace().unwrap();
+
+        let mut trace = ChromeTrace::new();
+        let stats = export_run(&mut trace, 1, "WI", &r, events.events(), 0);
+        assert!(stats.slices > 0, "observed run has state slices");
+        assert!(stats.flow_pairs > 0, "the handoff sent messages");
+        assert_eq!(stats.unmatched_handles, 0);
+        assert_eq!(stats.next_flow_id, stats.flow_pairs);
+
+        let parsed = Json::parse(&trace.render()).expect("valid JSON array");
+        let events = parsed.as_arr().unwrap();
+        let count =
+            |ph: &str| events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph)).count();
+        assert_eq!(count("X"), stats.slices);
+        assert_eq!(count("b"), count("e"), "flows are matched");
+        assert_eq!(count("i"), 2, "one halt marker per cpu");
+        assert!(count("M") >= 3, "process + one thread name per cpu");
+    }
+
+    #[test]
+    fn unobserved_run_still_exports_flows() {
+        let mut m = Machine::new(MachineConfig::paper(2, Protocol::WriteInvalidate));
+        m.enable_trace(Trace::new(10_000));
+        let addr = m.alloc().alloc_block_on(0, 1);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, addr).imm(1, 3).store(0, 0, 1).fence().halt();
+        m.set_program(0, b.build());
+        let r = m.run();
+        let events = m.take_trace().unwrap();
+        assert!(r.obs.is_none());
+        let mut trace = ChromeTrace::new();
+        let stats = export_run(&mut trace, 0, "bare", &r, events.events(), 0);
+        assert_eq!(stats.slices, 0);
+        assert!(stats.flow_pairs > 0);
+    }
+}

@@ -4,6 +4,7 @@ use sim_engine::Cycle;
 use sim_mem::{CacheConfig, MemTiming};
 use sim_net::NetConfig;
 use sim_proto::{ProtoConfig, Protocol};
+use sim_stats::ObsConfig;
 
 /// Full configuration of a simulated machine. Defaults reproduce the
 /// paper's 32-node DASH-like multiprocessor (Section 3.1).
@@ -39,6 +40,10 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Abort the run if the clock passes this (deadlock/livelock guard).
     pub max_cycles: Cycle,
+    /// Observability switches (cycle accounting, sampling, timelines).
+    /// Disabled by default: the default path performs no accounting and
+    /// produces bit-identical results to a build without the subsystem.
+    pub obs: ObsConfig,
 }
 
 impl MachineConfig {
@@ -59,7 +64,14 @@ impl MachineConfig {
             magic_barrier_cycles: 10,
             seed: 0x5eed,
             max_cycles: 2_000_000_000,
+            obs: ObsConfig::default(),
         }
+    }
+
+    /// The paper machine with observability enabled (cycle accounting,
+    /// periodic sampling, and state timelines).
+    pub fn paper_observed(num_procs: usize, protocol: Protocol) -> Self {
+        MachineConfig { obs: ObsConfig::enabled(), ..Self::paper(num_procs, protocol) }
     }
 
     /// Protocol-layer slice of this configuration.
@@ -87,5 +99,15 @@ mod tests {
         assert_eq!(c.mem.first_word, 20);
         assert_eq!(c.net.switch_delay, 2);
         assert_eq!(c.cu_threshold, 4);
+        assert!(!c.obs.enabled, "observability is opt-in");
+    }
+
+    #[test]
+    fn observed_variant_flips_only_obs() {
+        let c = MachineConfig::paper_observed(8, Protocol::PureUpdate);
+        assert!(c.obs.enabled);
+        assert_eq!(c.obs.sample_interval, 1000);
+        assert_eq!(c.num_procs, 8);
+        assert_eq!(c.seed, MachineConfig::paper(8, Protocol::PureUpdate).seed);
     }
 }

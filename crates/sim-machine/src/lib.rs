@@ -22,12 +22,14 @@
 //! simulator speedup; `tests/spin_parking_equivalence.rs` checks it does not
 //! change results.
 
+pub mod chrome_export;
 pub mod config;
 pub mod cpu;
 pub mod machine;
 pub mod result;
 pub mod trace;
 
+pub use chrome_export::{export_run, ExportStats};
 pub use config::MachineConfig;
 pub use cpu::{Cpu, CpuState};
 pub use machine::Machine;

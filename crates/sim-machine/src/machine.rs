@@ -7,7 +7,7 @@ use sim_isa::{Instr, Program};
 use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
-use sim_stats::Classifier;
+use sim_stats::{Classifier, CpuClass, LinkFlits, NodeGauges, NodeSample, ObsCollector, Sample};
 
 use crate::config::MachineConfig;
 use crate::cpu::{Cpu, CpuState, PendingAtomicIssue};
@@ -24,6 +24,26 @@ enum Ev {
     HomeHandle(Msg),
     /// Try to issue the head of node `n`'s write buffer.
     WbIssue(NodeId),
+    /// Take a periodic observability sample (only when `obs` is enabled).
+    Sample,
+}
+
+/// The observability class a processor state's cycles are charged to.
+fn class_of(state: &CpuState) -> CpuClass {
+    match state {
+        CpuState::Ready => CpuClass::Busy,
+        CpuState::StallRead { .. } | CpuState::StallSpinRead => CpuClass::ReadStall,
+        // Fence and flush stalls wait for the write pipeline, same as a
+        // full buffer.
+        CpuState::StallWbFull { .. } | CpuState::StallFence { .. } | CpuState::StallFlush { .. } => {
+            CpuClass::WbFullStall
+        }
+        CpuState::StallAtomic { .. } => CpuClass::AtomicStall,
+        CpuState::SpinParked { .. } | CpuState::SpinSleep | CpuState::InBarrier | CpuState::WaitLock(_) => {
+            CpuClass::BarrierWait
+        }
+        CpuState::Halted => CpuClass::Halted,
+    }
 }
 
 /// State of one zero-traffic magic lock.
@@ -56,6 +76,9 @@ pub struct Machine {
     trace: Option<crate::trace::Trace>,
     read_latency: sim_stats::LatencyHist,
     atomic_latency: sim_stats::LatencyHist,
+    /// Cycle-accounting collector; `Some` only when `cfg.obs.enabled`, so
+    /// the default path pays nothing beyond a `None` check per transition.
+    obs: Option<ObsCollector>,
 }
 
 impl Machine {
@@ -64,16 +87,17 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         let geom = Geometry::new(cfg.num_procs);
         let proto_cfg = cfg.proto_config();
+        let mut net = Network::new(cfg.num_procs, cfg.net.clone());
+        let obs = cfg.obs.enabled.then(|| ObsCollector::new(cfg.num_procs, cfg.obs));
+        if obs.is_some() {
+            net.enable_link_stats();
+        }
         Machine {
             geom,
-            net: Network::new(cfg.num_procs, cfg.net.clone()),
+            net,
             mem_srv: vec![FifoServer::new(); cfg.num_procs],
-            nodes: (0..cfg.num_procs)
-                .map(|i| ProtoNode::new(i, geom, proto_cfg.clone()))
-                .collect(),
-            cpus: (0..cfg.num_procs)
-                .map(|i| Cpu::new(Program::default(), cfg.seed, i, 4096))
-                .collect(),
+            nodes: (0..cfg.num_procs).map(|i| ProtoNode::new(i, geom, proto_cfg.clone())).collect(),
+            cpus: (0..cfg.num_procs).map(|i| Cpu::new(Program::default(), cfg.seed, i, 4096)).collect(),
             wbs: vec![],
             clf: Classifier::new(geom),
             alloc: SharedAlloc::new(geom),
@@ -84,9 +108,20 @@ impl Machine {
             trace: None,
             read_latency: sim_stats::LatencyHist::new(),
             atomic_latency: sim_stats::LatencyHist::new(),
+            obs,
             queue: EventQueue::new(),
             cfg,
         }
+    }
+
+    /// Moves processor `n` into `state` at cycle `at`, attributing the
+    /// elapsed interval to the outgoing state's class when observability is
+    /// on. Every CPU state change during a run goes through here.
+    fn set_state(&mut self, n: NodeId, state: CpuState, at: Cycle) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.transition(n, class_of(&state), at);
+        }
+        self.cpus[n].state = state;
     }
 
     /// Enables message-level tracing into a buffer of `capacity` events
@@ -165,6 +200,9 @@ impl Machine {
         for n in 0..self.cfg.num_procs {
             self.queue.schedule(0, Ev::CpuStep(n));
         }
+        if self.obs.is_some() {
+            self.queue.schedule(self.cfg.obs.sample_interval.max(1), Ev::Sample);
+        }
         while self.halted < self.cfg.num_procs {
             let Some((now, ev)) = self.queue.pop() else {
                 panic!(
@@ -200,6 +238,24 @@ impl Machine {
                 rx_busy: self.net.rx_busy(n),
             })
             .collect();
+        let obs = self.obs.take().map(|collector| {
+            let gauges = (0..self.cfg.num_procs)
+                .map(|n| NodeGauges {
+                    mem_queue_wait: self.mem_srv[n].wait_cycles(),
+                    mem_busy: self.mem_srv[n].busy_cycles(),
+                    tx_busy: self.net.tx_busy(n),
+                    rx_busy: self.net.rx_busy(n),
+                    wb_high_water: self.wbs[n].high_water(),
+                })
+                .collect();
+            let links = self
+                .net
+                .link_flits()
+                .into_iter()
+                .map(|(src, dst, flits)| LinkFlits { src, dst, flits })
+                .collect();
+            collector.finish(self.last_halt, gauges, links)
+        });
         RunResult {
             cycles: self.last_halt,
             traffic,
@@ -208,6 +264,8 @@ impl Machine {
             per_node,
             read_latency: std::mem::take(&mut self.read_latency),
             atomic_latency: std::mem::take(&mut self.atomic_latency),
+            obs,
+            trace_dropped: self.trace.as_ref().map(|t| t.dropped()).unwrap_or(0),
         }
     }
 
@@ -216,7 +274,7 @@ impl Machine {
             Ev::CpuStep(n) => match self.cpus[n].state {
                 CpuState::Ready => self.run_cpu(n, now),
                 CpuState::SpinSleep => {
-                    self.cpus[n].state = CpuState::Ready;
+                    self.set_state(n, CpuState::Ready, now);
                     self.run_cpu(n, now);
                 }
                 // A stale wake (the CPU moved on for another reason).
@@ -242,6 +300,36 @@ impl Machine {
                 self.process_effects(dst, fx, now);
             }
             Ev::WbIssue(n) => self.try_issue_wb(n, now),
+            Ev::Sample => self.take_sample(now),
+        }
+    }
+
+    /// Records one periodic observability sample and schedules the next.
+    fn take_sample(&mut self, now: Cycle) {
+        // Stop sampling once the run is over (the post-halt drain still
+        // pops queued events) — samples describe execution time only.
+        if self.halted >= self.cfg.num_procs {
+            return;
+        }
+        let Some(obs) = self.obs.as_ref() else { return };
+        let nodes = (0..self.cfg.num_procs)
+            .map(|n| NodeSample {
+                class: obs.class_of(n),
+                phase: obs.phase_of(n),
+                wb_len: self.wbs[n].len(),
+                mem_busy: self.mem_srv[n].busy_cycles(),
+                tx_busy: self.net.tx_busy(n),
+                rx_busy: self.net.rx_busy(n),
+            })
+            .collect();
+        let c = self.net.counters();
+        let sample = Sample { at: now, nodes, msgs_sent: c.messages + c.local_messages, flits_sent: c.flits };
+        self.obs.as_mut().unwrap().record_sample(sample);
+        // Reschedule only while other events are pending: an empty queue
+        // with stalled processors must still trip the deadlock panic in
+        // `run`, and sampling alone cannot keep a dead machine "alive".
+        if !self.queue.is_empty() {
+            self.queue.schedule(now + self.cfg.obs.sample_interval.max(1), Ev::Sample);
         }
     }
 
@@ -302,6 +390,16 @@ impl Machine {
             if time_sensitive && t > now {
                 self.queue.schedule(t, Ev::CpuStep(n));
                 return;
+            }
+            // Phase markers cost zero cycles and retire no instruction, so
+            // annotated programs time and count identically to unannotated
+            // ones; they only move the observability phase cursor.
+            if let Instr::Phase(p) = instr {
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.set_phase(n, p, t);
+                }
+                self.cpus[n].pc += 1;
+                continue;
             }
             self.cpus[n].instructions += 1;
             match instr {
@@ -389,7 +487,7 @@ impl Machine {
                         t += 1;
                         continue;
                     }
-                    self.cpus[n].state = CpuState::StallRead { rd };
+                    self.set_state(n, CpuState::StallRead { rd }, t);
                     self.cpus[n].stall_since = t;
                     self.process_effects(n, fx, t);
                     return;
@@ -400,7 +498,10 @@ impl Machine {
                     self.clf.count_write();
                     self.clf.word_write_referenced(n, addr);
                     if self.wbs[n].is_full() {
-                        self.cpus[n].state = CpuState::StallWbFull { addr, val };
+                        self.set_state(n, CpuState::StallWbFull { addr, val }, t);
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.wb_full_stall(n);
+                        }
                         return;
                     }
                     self.wbs[n].push(sim_mem::PendingWrite { addr, val });
@@ -410,18 +511,30 @@ impl Machine {
                 }
                 Instr::FetchAdd(rd, ra, rb) => {
                     let (addr, operand) = (self.cpus[n].regs[ra], self.cpus[n].regs[rb]);
-                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::FetchAdd, operand, operand2: 0 }, t);
+                    self.start_atomic(
+                        n,
+                        PendingAtomicIssue { rd, addr, op: AtomicOp::FetchAdd, operand, operand2: 0 },
+                        t,
+                    );
                     return;
                 }
                 Instr::FetchStore(rd, ra, rb) => {
                     let (addr, operand) = (self.cpus[n].regs[ra], self.cpus[n].regs[rb]);
-                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::FetchStore, operand, operand2: 0 }, t);
+                    self.start_atomic(
+                        n,
+                        PendingAtomicIssue { rd, addr, op: AtomicOp::FetchStore, operand, operand2: 0 },
+                        t,
+                    );
                     return;
                 }
                 Instr::Cas(rd, ra, rb, rc) => {
                     let (addr, operand, operand2) =
                         (self.cpus[n].regs[ra], self.cpus[n].regs[rb], self.cpus[n].regs[rc]);
-                    self.start_atomic(n, PendingAtomicIssue { rd, addr, op: AtomicOp::CompareAndSwap, operand, operand2 }, t);
+                    self.start_atomic(
+                        n,
+                        PendingAtomicIssue { rd, addr, op: AtomicOp::CompareAndSwap, operand, operand2 },
+                        t,
+                    );
                     return;
                 }
                 Instr::Flush(ra) => {
@@ -430,7 +543,7 @@ impl Machine {
                     if self.wbs[n].has_write_in_block(block.0, self.cfg.cache.block_bytes) {
                         // The flush is ordered after this processor's own
                         // queued stores to the block.
-                        self.cpus[n].state = CpuState::StallFlush { addr };
+                        self.set_state(n, CpuState::StallFlush { addr }, t);
                         return;
                     }
                     let fx = self.nodes[n].cpu_flush(addr, &mut self.clf, t);
@@ -444,7 +557,7 @@ impl Machine {
                         t += 1;
                         continue;
                     }
-                    self.cpus[n].state = CpuState::StallFence { atomic: None };
+                    self.set_state(n, CpuState::StallFence { atomic: None }, t);
                     return;
                 }
                 Instr::SpinWhileEq(ra, rb) | Instr::SpinWhileNe(ra, rb) => {
@@ -457,7 +570,7 @@ impl Machine {
                 }
                 Instr::MagicBarrier => {
                     self.cpus[n].pc += 1;
-                    self.cpus[n].state = CpuState::InBarrier;
+                    self.set_state(n, CpuState::InBarrier, t);
                     self.barrier_waiting.push(n);
                     self.release_barrier_if_full(t);
                     return;
@@ -470,7 +583,7 @@ impl Machine {
                         t += self.cfg.magic_lock_cycles;
                     } else {
                         lock.queue.push_back(n);
-                        self.cpus[n].state = CpuState::WaitLock(l);
+                        self.set_state(n, CpuState::WaitLock(l), t);
                         return;
                     }
                 }
@@ -490,8 +603,9 @@ impl Machine {
                     self.cpus[n].pc += 1;
                     t += cost;
                 }
+                Instr::Phase(_) => unreachable!("handled before instruction retirement"),
                 Instr::Halt => {
-                    self.cpus[n].state = CpuState::Halted;
+                    self.set_state(n, CpuState::Halted, t);
                     self.halted += 1;
                     self.last_halt = self.last_halt.max(t);
                     if let Some(tr) = &mut self.trace {
@@ -520,7 +634,7 @@ impl Machine {
                     Some(v) => (v, false),
                     None => {
                         // Check missed: fetch the line, then re-execute.
-                        self.cpus[n].state = CpuState::StallSpinRead;
+                        self.set_state(n, CpuState::StallSpinRead, *t);
                         self.cpus[n].stall_since = *t;
                         self.process_effects(n, fx, *t);
                         return false;
@@ -537,10 +651,10 @@ impl Machine {
         }
         if from_wb || !self.cfg.spin_parking {
             // Re-check on the period grid without parking.
-            self.cpus[n].state = CpuState::SpinSleep;
+            self.set_state(n, CpuState::SpinSleep, *t);
             self.queue.schedule(*t + period, Ev::CpuStep(n));
         } else {
-            self.cpus[n].state = CpuState::SpinParked { addr, cmp, spin_while_ne, start: *t };
+            self.set_state(n, CpuState::SpinParked { addr, cmp, spin_while_ne, start: *t }, *t);
         }
         false
     }
@@ -553,7 +667,7 @@ impl Machine {
         if self.wbs[n].is_empty() && self.nodes[n].sync_complete() {
             self.issue_atomic(n, pai, t);
         } else {
-            self.cpus[n].state = CpuState::StallFence { atomic: Some(pai) };
+            self.set_state(n, CpuState::StallFence { atomic: Some(pai) }, t);
         }
     }
 
@@ -562,13 +676,13 @@ impl Machine {
         if let Some(old) = fx.atomic_done {
             self.cpus[n].regs[pai.rd] = old;
             self.cpus[n].pc += 1;
-            self.cpus[n].state = CpuState::Ready;
+            self.set_state(n, CpuState::Ready, now);
             self.queue.schedule(now + 1, Ev::CpuStep(n));
             // Consume atomic_done before generic processing.
             let fx = Effects { atomic_done: None, ..fx };
             self.process_effects(n, fx, now);
         } else {
-            self.cpus[n].state = CpuState::StallAtomic { rd: pai.rd };
+            self.set_state(n, CpuState::StallAtomic { rd: pai.rd }, now);
             self.cpus[n].stall_since = now;
             self.process_effects(n, fx, now);
         }
@@ -585,7 +699,9 @@ impl Machine {
     }
 
     fn wake_cpu(&mut self, n: NodeId, at: Cycle) {
-        self.cpus[n].state = CpuState::Ready;
+        // The transition is charged at the wake time `at`, so the cycles up
+        // to the wake stay attributed to the stalled class.
+        self.set_state(n, CpuState::Ready, at);
         self.queue.schedule(at, Ev::CpuStep(n));
     }
 
@@ -605,6 +721,9 @@ impl Machine {
                 });
             }
             let at = self.net.send(now, m.src, m.dst, m.payload_bytes());
+            if let Some(obs) = self.obs.as_mut() {
+                obs.count_msg(m.kind.name(), at - now);
+            }
             self.queue.schedule(at, Ev::Deliver(m));
         }
         for m in fx.requeue_home {
@@ -674,7 +793,7 @@ impl Machine {
                     let period = self.cfg.spin_check_period;
                     let elapsed = now + 1 - start;
                     let k = elapsed.div_ceil(period).max(1);
-                    self.cpus[x].state = CpuState::SpinSleep;
+                    self.set_state(x, CpuState::SpinSleep, now);
                     self.queue.schedule(start + k * period, Ev::CpuStep(x));
                 }
             }
@@ -906,8 +1025,13 @@ impl Machine {
         let block = self.geom.block_of(addr);
         let home = self.geom.home_of(addr);
         if let Some(e) = self.nodes[home].dir.get(block) {
-            println!("dir[{block:?}]@{home}: state={:?} owner={} sharers={:?} busy={}",
-                e.state, e.owner, e.sharers.iter().collect::<Vec<_>>(), e.busy);
+            println!(
+                "dir[{block:?}]@{home}: state={:?} owner={} sharers={:?} busy={}",
+                e.state,
+                e.owner,
+                e.sharers.iter().collect::<Vec<_>>(),
+                e.busy
+            );
         } else {
             println!("dir[{block:?}]@{home}: absent");
         }
@@ -927,9 +1051,14 @@ impl Machine {
             let wb = self.wbs.get(i).map(|w| w.len()).unwrap_or(0);
             println!(
                 "node {i}: wb={} pend_w={:?} pend_a={:?} acks {}/{} infos={} state={:?} pc={}",
-                wb, n.pending_write, n.pending_atomic.is_some(),
-                n.acks_received, n.acks_expected, n.update_infos_pending,
-                self.cpus[i].state, self.cpus[i].pc
+                wb,
+                n.pending_write,
+                n.pending_atomic.is_some(),
+                n.acks_received,
+                n.acks_expected,
+                n.update_infos_pending,
+                self.cpus[i].state,
+                self.cpus[i].pc
             );
         }
     }
@@ -976,10 +1105,7 @@ impl Machine {
                 if entry.state == sim_mem::DirState::Owned {
                     let owner_state = self.nodes[entry.owner].cache.state_of(*block);
                     assert!(
-                        matches!(
-                            owner_state,
-                            Some(LineState::Modified) | Some(LineState::PrivateUpd)
-                        ),
+                        matches!(owner_state, Some(LineState::Modified) | Some(LineState::PrivateUpd)),
                         "block {block:?}: home {h} says node {} owns it, cache says {owner_state:?}",
                         entry.owner
                     );
@@ -1027,10 +1153,7 @@ mod trace_tests {
         assert_eq!(kinds, vec!["ReadShared", "Data"], "one request, one reply");
         // Handle events and both halts recorded too.
         assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::Handle { kind: "ReadShared", .. })));
-        assert_eq!(
-            trace.events().iter().filter(|e| matches!(e, TraceEvent::Halt { .. })).count(),
-            2
-        );
+        assert_eq!(trace.events().iter().filter(|e| matches!(e, TraceEvent::Halt { .. })).count(), 2);
         assert!(!trace.render().is_empty());
     }
 
@@ -1051,9 +1174,6 @@ mod trace_tests {
             .events()
             .iter()
             .all(|e| !matches!(e, TraceEvent::Send { addr, .. } if *addr == b_addr)));
-        assert!(trace
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Send { addr, .. } if *addr == a)));
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::Send { addr, .. } if *addr == a)));
     }
 }

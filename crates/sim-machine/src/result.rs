@@ -48,6 +48,13 @@ pub struct RunResult {
     /// Distribution of atomic-operation stall times (issue to completion,
     /// excluding the implicit write-buffer flush wait).
     pub atomic_latency: sim_stats::LatencyHist,
+    /// The full observability report (cycle accounting, timelines, samples);
+    /// `None` unless `MachineConfig::obs.enabled` was set.
+    pub obs: Option<sim_stats::ObsReport>,
+    /// Events the message trace dropped after its buffer filled (0 when
+    /// tracing was off or the buffer sufficed). A nonzero value warns that
+    /// trace-derived artifacts (e.g. Chrome flow events) are incomplete.
+    pub trace_dropped: u64,
 }
 
 impl RunResult {
@@ -74,6 +81,8 @@ mod tests {
             per_node: Vec::new(),
             read_latency: Default::default(),
             atomic_latency: Default::default(),
+            obs: None,
+            trace_dropped: 0,
         };
         // 32000 episodes of (50 work + 50 latency) = 3.2M cycles.
         assert!((r.avg_latency(32_000, 50) - 50.0).abs() < 1e-9);

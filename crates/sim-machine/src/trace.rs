@@ -81,9 +81,22 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Creates a buffer holding up to `capacity` events.
+    /// Hard upper bound on trace capacity. [`Trace::new`] clamps larger
+    /// requests to this, bounding trace memory at roughly 48 MiB; longer
+    /// histories should use the address filter or the `dropped` counter.
+    pub const MAX_CAPACITY: usize = 1 << 20;
+
+    /// Creates a buffer holding up to `capacity` events (clamped to
+    /// [`Trace::MAX_CAPACITY`]). Storage grows lazily from a small initial
+    /// allocation, so huge capacities cost nothing until events arrive.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.min(Self::MAX_CAPACITY);
         Trace { events: Vec::with_capacity(capacity.min(4096)), capacity, dropped: 0, filter_addr: None }
+    }
+
+    /// The (clamped) event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Only record events whose transaction targets `addr`'s word.
@@ -139,6 +152,14 @@ mod tests {
 
     fn send(at: Cycle, addr: Addr) -> TraceEvent {
         TraceEvent::Send { at, src: 0, dst: 1, kind: "ReadShared", addr }
+    }
+
+    #[test]
+    fn huge_capacity_requests_are_clamped() {
+        let t = Trace::new(usize::MAX);
+        assert_eq!(t.capacity(), Trace::MAX_CAPACITY);
+        let t = Trace::new(16);
+        assert_eq!(t.capacity(), 16);
     }
 
     #[test]

@@ -334,12 +334,6 @@ mod tests {
         c.fill(g.block_of(0x40), block_data(0), LineState::Modified);
         let mut blocks: Vec<_> = c.resident_blocks().collect();
         blocks.sort();
-        assert_eq!(
-            blocks,
-            vec![
-                (BlockAddr(0x0), LineState::Shared),
-                (BlockAddr(0x40), LineState::Modified)
-            ]
-        );
+        assert_eq!(blocks, vec![(BlockAddr(0x0), LineState::Shared), (BlockAddr(0x40), LineState::Modified)]);
     }
 }

@@ -74,7 +74,6 @@ impl Geometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn block_math() {
@@ -101,23 +100,29 @@ mod tests {
         assert_eq!(g.home_of(5u32 << 22), 1);
     }
 
-    proptest! {
-        #[test]
-        fn block_of_is_idempotent_and_aligned(addr in 0u32..0x4000_0000) {
-            let g = Geometry::new(32);
+    #[test]
+    fn block_of_is_idempotent_and_aligned() {
+        let mut rng = sim_engine::SplitMix64::new(0x9e0);
+        let g = Geometry::new(32);
+        for _ in 0..4096 {
+            let addr = rng.next_below(0x4000_0000) as u32;
             let b = g.block_of(addr);
-            prop_assert_eq!(b.0 % g.block_bytes, 0);
-            prop_assert_eq!(g.block_of(b.0), b);
-            prop_assert!(addr - b.0 < g.block_bytes);
+            assert_eq!(b.0 % g.block_bytes, 0);
+            assert_eq!(g.block_of(b.0), b);
+            assert!(addr - b.0 < g.block_bytes);
         }
+    }
 
-        #[test]
-        fn word_index_in_range(addr in (0u32..0x4000_0000).prop_map(|a| a & !3)) {
-            let g = Geometry::new(32);
-            prop_assert!(g.word_index(addr) < g.words_per_block() as usize);
+    #[test]
+    fn word_index_in_range() {
+        let mut rng = sim_engine::SplitMix64::new(0x9e1);
+        let g = Geometry::new(32);
+        for _ in 0..4096 {
+            let addr = rng.next_below(0x4000_0000) as u32 & !3;
+            assert!(g.word_index(addr) < g.words_per_block() as usize);
             // Address reconstructs from block base + word index.
             let b = g.block_of(addr);
-            prop_assert_eq!(b.0 + (g.word_index(addr) as u32) * 4, addr);
+            assert_eq!(b.0 + (g.word_index(addr) as u32) * 4, addr);
         }
     }
 }

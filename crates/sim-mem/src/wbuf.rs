@@ -31,13 +31,20 @@ pub struct WriteBuffer {
     /// Whether the head entry's transaction has been issued to the protocol
     /// and is in flight.
     head_issued: bool,
+    /// Deepest occupancy ever reached.
+    high_water: usize,
 }
 
 impl WriteBuffer {
     /// Creates an empty buffer with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        WriteBuffer { capacity, entries: VecDeque::with_capacity(capacity), head_issued: false }
+        WriteBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            head_issued: false,
+            high_water: 0,
+        }
     }
 
     /// Whether a new write would stall the processor.
@@ -64,6 +71,13 @@ impl WriteBuffer {
     pub fn push(&mut self, w: PendingWrite) {
         assert!(!self.is_full(), "write buffer overflow");
         self.entries.push_back(w);
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Deepest occupancy the buffer ever reached (an observability gauge:
+    /// reaching `capacity` means writes stalled behind a full buffer).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// The head entry, if any and not yet issued.
@@ -133,6 +147,19 @@ mod tests {
             b.push(w(i * 4, i));
         }
         assert!(b.is_full());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut b = WriteBuffer::new(4);
+        assert_eq!(b.high_water(), 0);
+        b.push(w(0, 1));
+        b.push(w(4, 2));
+        b.pop_head();
+        b.pop_head();
+        assert_eq!(b.high_water(), 2, "peak persists after draining");
+        b.push(w(8, 3));
+        assert_eq!(b.high_water(), 2);
     }
 
     #[test]

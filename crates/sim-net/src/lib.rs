@@ -22,6 +22,8 @@ pub mod mesh;
 
 pub use mesh::MeshShape;
 
+use std::collections::BTreeMap;
+
 use sim_engine::{Cycle, FifoServer, NodeId};
 
 /// Static network parameters (defaults follow the paper).
@@ -65,6 +67,9 @@ pub struct Network {
     tx: Vec<FifoServer>,
     rx: Vec<FifoServer>,
     counters: NetCounters,
+    /// Per-(src, dst) flit counts; `None` until enabled (the map costs a
+    /// lookup per message, so it is an opt-in observability feature).
+    link_flits: Option<BTreeMap<(NodeId, NodeId), u64>>,
 }
 
 impl Network {
@@ -77,7 +82,26 @@ impl Network {
             tx: vec![FifoServer::new(); nodes],
             rx: vec![FifoServer::new(); nodes],
             counters: NetCounters::default(),
+            link_flits: None,
         }
+    }
+
+    /// Starts tracking per-(source, destination) flit counts (counts only
+    /// traffic sent after the call; node-local messages are excluded, as in
+    /// [`NetCounters::flits`]).
+    pub fn enable_link_stats(&mut self) {
+        if self.link_flits.is_none() {
+            self.link_flits = Some(BTreeMap::new());
+        }
+    }
+
+    /// Per-(source, destination) flit counts, in node order; empty unless
+    /// [`Network::enable_link_stats`] was called.
+    pub fn link_flits(&self) -> Vec<(NodeId, NodeId, u64)> {
+        self.link_flits
+            .as_ref()
+            .map(|m| m.iter().map(|(&(s, d), &f)| (s, d, f)).collect())
+            .unwrap_or_default()
     }
 
     /// The mesh shape chosen for this node count.
@@ -93,7 +117,7 @@ impl Network {
     /// Number of flits a message with `payload_bytes` of payload occupies.
     pub fn flits_for(&self, payload_bytes: u32) -> u64 {
         let total = self.cfg.header_bytes + payload_bytes;
-        ((total + self.cfg.flit_bytes - 1) / self.cfg.flit_bytes) as u64
+        total.div_ceil(self.cfg.flit_bytes) as u64
     }
 
     /// Injects a message at cycle `now` and returns its delivery cycle at
@@ -111,6 +135,9 @@ impl Network {
         self.counters.messages += 1;
         self.counters.flits += flits;
         self.counters.total_hops += hops;
+        if let Some(links) = self.link_flits.as_mut() {
+            *links.entry((src, dst)).or_insert(0) += flits;
+        }
 
         // Source port: all flits leave the NI back to back.
         let tx_start = self.tx[src].next_start(now);
@@ -217,5 +244,18 @@ mod tests {
         assert_eq!(c.messages, 2);
         assert_eq!(c.flits, n.flits_for(0) + n.flits_for(64));
         assert_eq!(c.total_hops, 2);
+    }
+
+    #[test]
+    fn link_stats_are_opt_in() {
+        let mut n = net(4);
+        n.send(0, 0, 1, 0);
+        assert!(n.link_flits().is_empty(), "disabled by default");
+        n.enable_link_stats();
+        n.send(10, 0, 1, 0);
+        n.send(20, 0, 1, 64);
+        n.send(30, 1, 2, 0);
+        n.send(40, 3, 3, 64); // local: not a mesh link
+        assert_eq!(n.link_flits(), vec![(0, 1, n.flits_for(0) + n.flits_for(64)), (1, 2, n.flits_for(0)),]);
     }
 }

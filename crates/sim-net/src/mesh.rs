@@ -90,7 +90,6 @@ impl MeshShape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_machine_shapes() {
@@ -128,37 +127,49 @@ mod tests {
         assert_eq!(m.route(5, 5), vec![5]);
     }
 
-    proptest! {
-        #[test]
-        fn hops_symmetric_and_triangle(nodes in 1usize..64, a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let mut rng = sim_engine::SplitMix64::new(0x4057);
+        for _ in 0..512 {
+            let nodes = rng.next_range(1, 63) as usize;
             let m = MeshShape::for_nodes(nodes);
             let n = m.nodes();
-            let (a, b, c) = (a % n, b % n, c % n);
-            prop_assert_eq!(m.hops(a, b), m.hops(b, a));
-            prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
-            prop_assert_eq!(m.hops(a, a), 0);
+            let (a, b, c) = (
+                rng.next_below(n as u64) as usize,
+                rng.next_below(n as u64) as usize,
+                rng.next_below(n as u64) as usize,
+            );
+            assert_eq!(m.hops(a, b), m.hops(b, a));
+            assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+            assert_eq!(m.hops(a, a), 0);
         }
+    }
 
-        #[test]
-        fn route_length_matches_hops(nodes in 1usize..64, a in 0usize..64, b in 0usize..64) {
+    #[test]
+    fn route_length_matches_hops() {
+        let mut rng = sim_engine::SplitMix64::new(0x4058);
+        for _ in 0..512 {
+            let nodes = rng.next_range(1, 63) as usize;
             let m = MeshShape::for_nodes(nodes);
             let n = m.nodes();
-            let (a, b) = (a % n, b % n);
+            let (a, b) = (rng.next_below(n as u64) as usize, rng.next_below(n as u64) as usize);
             let route = m.route(a, b);
-            prop_assert_eq!(route.len(), m.hops(a, b) + 1);
-            prop_assert_eq!(route[0], a);
-            prop_assert_eq!(*route.last().unwrap(), b);
+            assert_eq!(route.len(), m.hops(a, b) + 1);
+            assert_eq!(route[0], a);
+            assert_eq!(*route.last().unwrap(), b);
             // Consecutive route nodes are mesh neighbors.
             for w in route.windows(2) {
-                prop_assert_eq!(m.hops(w[0], w[1]), 1);
+                assert_eq!(m.hops(w[0], w[1]), 1);
             }
         }
+    }
 
-        #[test]
-        fn shape_is_near_square(nodes in 1usize..256) {
+    #[test]
+    fn shape_is_near_square() {
+        for nodes in 1usize..256 {
             let m = MeshShape::for_nodes(nodes);
-            prop_assert_eq!(m.nodes(), nodes);
-            prop_assert!(m.cols >= m.rows);
+            assert_eq!(m.nodes(), nodes);
+            assert!(m.cols >= m.rows);
         }
     }
 }

@@ -141,16 +141,35 @@ impl Msg {
     pub fn payload_bytes(&self) -> u32 {
         use MsgKind::*;
         match &self.kind {
-            Data { .. } | DataX { .. } | DataUpd { .. } | DataFwd { .. } | DataXFwd { .. }
-            | WriteBack { .. } | SharingWB { .. } | RecallReply { .. } => 64,
+            Data { .. }
+            | DataX { .. }
+            | DataUpd { .. }
+            | DataFwd { .. }
+            | DataXFwd { .. }
+            | WriteBack { .. }
+            | SharingWB { .. }
+            | RecallReply { .. } => 64,
             AtomicReply { data: Some(_), .. } => 64,
-            UpdateWrite { .. } | UpdateWriteAlloc { .. } | UpdateMsg { .. }
-            | AtomicReply { data: None, .. } | UpdateInfo { .. } => 4,
+            UpdateWrite { .. }
+            | UpdateWriteAlloc { .. }
+            | UpdateMsg { .. }
+            | AtomicReply { data: None, .. }
+            | UpdateInfo { .. } => 4,
             AtomicReq { .. } => 8,
             FetchMiss { original } => original.payload_bytes(),
-            ReadShared | GetX | Upgrade | SharerDrop | StopUpdate | UpgradeAck { .. }
-            | Inval { .. } | Fetch { .. } | FetchInv { .. } | RecallUpd { .. } | InvAck
-            | UpdateAck | OwnershipXfer { .. } => 0,
+            ReadShared
+            | GetX
+            | Upgrade
+            | SharerDrop
+            | StopUpdate
+            | UpgradeAck { .. }
+            | Inval { .. }
+            | Fetch { .. }
+            | FetchInv { .. }
+            | RecallUpd { .. }
+            | InvAck
+            | UpdateAck
+            | OwnershipXfer { .. } => 0,
         }
     }
 
@@ -159,69 +178,35 @@ impl Msg {
     pub fn mem_service(&self) -> MemService {
         use MsgKind::*;
         match &self.kind {
-            ReadShared | GetX | UpdateWriteAlloc { .. } | AtomicReq { .. } | WriteBack { .. }
-            | SharingWB { .. } | RecallReply { .. } => MemService::Block,
-            Upgrade | UpdateWrite { .. } | SharerDrop | StopUpdate | OwnershipXfer { .. }
+            ReadShared
+            | GetX
+            | UpdateWriteAlloc { .. }
+            | AtomicReq { .. }
+            | WriteBack { .. }
+            | SharingWB { .. }
+            | RecallReply { .. } => MemService::Block,
+            Upgrade
+            | UpdateWrite { .. }
+            | SharerDrop
+            | StopUpdate
+            | OwnershipXfer { .. }
             | FetchMiss { .. } => MemService::Word,
-            Data { .. } | DataX { .. } | DataUpd { .. } | UpgradeAck { .. } | UpdateInfo { .. }
-            | UpdateMsg { .. } | AtomicReply { .. } | Inval { .. } | Fetch { .. }
-            | FetchInv { .. } | RecallUpd { .. } | InvAck | UpdateAck | DataFwd { .. }
+            Data { .. }
+            | DataX { .. }
+            | DataUpd { .. }
+            | UpgradeAck { .. }
+            | UpdateInfo { .. }
+            | UpdateMsg { .. }
+            | AtomicReply { .. }
+            | Inval { .. }
+            | Fetch { .. }
+            | FetchInv { .. }
+            | RecallUpd { .. }
+            | InvAck
+            | UpdateAck
+            | DataFwd { .. }
             | DataXFwd { .. } => MemService::None,
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn atomic_semantics() {
-        assert_eq!(AtomicOp::FetchAdd.apply(5, 3, 0), (8, true));
-        assert_eq!(AtomicOp::FetchAdd.apply(u32::MAX, 1, 0), (0, true), "wrapping");
-        assert_eq!(AtomicOp::FetchStore.apply(5, 9, 0), (9, true));
-        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 5, 7), (7, true));
-        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 4, 7), (5, false));
-    }
-
-    fn msg(kind: MsgKind) -> Msg {
-        Msg { src: 0, dst: 1, addr: 0x40, kind }
-    }
-
-    #[test]
-    fn payload_sizes() {
-        let block = vec![0u32; 16].into_boxed_slice();
-        assert_eq!(msg(MsgKind::ReadShared).payload_bytes(), 0);
-        assert_eq!(msg(MsgKind::Data { data: block.clone() }).payload_bytes(), 64);
-        assert_eq!(msg(MsgKind::UpdateWrite { val: 1 }).payload_bytes(), 4);
-        assert_eq!(
-            msg(MsgKind::AtomicReq { op: AtomicOp::FetchAdd, operand: 1, operand2: 0 })
-                .payload_bytes(),
-            8
-        );
-        assert_eq!(
-            msg(MsgKind::AtomicReply { old: 0, data: Some(block.clone()), acks: 0 })
-                .payload_bytes(),
-            64
-        );
-        assert_eq!(
-            msg(MsgKind::AtomicReply { old: 0, data: None, acks: 0 }).payload_bytes(),
-            4
-        );
-        // FetchMiss wraps the original request's size.
-        let orig = msg(MsgKind::GetX);
-        assert_eq!(msg(MsgKind::FetchMiss { original: Box::new(orig) }).payload_bytes(), 0);
-    }
-
-    #[test]
-    fn memory_service_classes() {
-        let block = vec![0u32; 16].into_boxed_slice();
-        assert_eq!(msg(MsgKind::ReadShared).mem_service(), MemService::Block);
-        assert_eq!(msg(MsgKind::Upgrade).mem_service(), MemService::Word);
-        assert_eq!(msg(MsgKind::Inval { requester: 0, writer: 0 }).mem_service(), MemService::None);
-        assert_eq!(msg(MsgKind::WriteBack { data: block }).mem_service(), MemService::Block);
-        assert_eq!(msg(MsgKind::UpdateWrite { val: 0 }).mem_service(), MemService::Word);
-        assert_eq!(msg(MsgKind::InvAck).mem_service(), MemService::None);
     }
 }
 
@@ -259,5 +244,54 @@ impl MsgKind {
             RecallReply { .. } => "RecallReply",
             FetchMiss { .. } => "FetchMiss",
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_semantics() {
+        assert_eq!(AtomicOp::FetchAdd.apply(5, 3, 0), (8, true));
+        assert_eq!(AtomicOp::FetchAdd.apply(u32::MAX, 1, 0), (0, true), "wrapping");
+        assert_eq!(AtomicOp::FetchStore.apply(5, 9, 0), (9, true));
+        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 5, 7), (7, true));
+        assert_eq!(AtomicOp::CompareAndSwap.apply(5, 4, 7), (5, false));
+    }
+
+    fn msg(kind: MsgKind) -> Msg {
+        Msg { src: 0, dst: 1, addr: 0x40, kind }
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let block = vec![0u32; 16].into_boxed_slice();
+        assert_eq!(msg(MsgKind::ReadShared).payload_bytes(), 0);
+        assert_eq!(msg(MsgKind::Data { data: block.clone() }).payload_bytes(), 64);
+        assert_eq!(msg(MsgKind::UpdateWrite { val: 1 }).payload_bytes(), 4);
+        assert_eq!(
+            msg(MsgKind::AtomicReq { op: AtomicOp::FetchAdd, operand: 1, operand2: 0 }).payload_bytes(),
+            8
+        );
+        assert_eq!(
+            msg(MsgKind::AtomicReply { old: 0, data: Some(block.clone()), acks: 0 }).payload_bytes(),
+            64
+        );
+        assert_eq!(msg(MsgKind::AtomicReply { old: 0, data: None, acks: 0 }).payload_bytes(), 4);
+        // FetchMiss wraps the original request's size.
+        let orig = msg(MsgKind::GetX);
+        assert_eq!(msg(MsgKind::FetchMiss { original: Box::new(orig) }).payload_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_service_classes() {
+        let block = vec![0u32; 16].into_boxed_slice();
+        assert_eq!(msg(MsgKind::ReadShared).mem_service(), MemService::Block);
+        assert_eq!(msg(MsgKind::Upgrade).mem_service(), MemService::Word);
+        assert_eq!(msg(MsgKind::Inval { requester: 0, writer: 0 }).mem_service(), MemService::None);
+        assert_eq!(msg(MsgKind::WriteBack { data: block }).mem_service(), MemService::Block);
+        assert_eq!(msg(MsgKind::UpdateWrite { val: 0 }).mem_service(), MemService::Word);
+        assert_eq!(msg(MsgKind::InvAck).mem_service(), MemService::None);
     }
 }

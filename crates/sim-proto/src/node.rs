@@ -1,9 +1,7 @@
 //! Per-node protocol state and dispatch.
 
 use sim_engine::{Cycle, NodeId};
-use sim_mem::{
-    Addr, BlockAddr, Cache, CacheConfig, Directory, Geometry, LineState, MemStore, Word,
-};
+use sim_mem::{Addr, BlockAddr, Cache, CacheConfig, Directory, Geometry, LineState, MemStore, Word};
 use sim_stats::{Classifier, LossCause};
 
 use crate::effects::Effects;
@@ -177,9 +175,7 @@ impl ProtoNode {
             clf.copy_lost(self.id, victim.block, LossCause::Eviction, now);
             let home = self.home_of(victim.block.0);
             let kind = match victim.state {
-                LineState::Modified | LineState::PrivateUpd => {
-                    MsgKind::WriteBack { data: victim.data }
-                }
+                LineState::Modified | LineState::PrivateUpd => MsgKind::WriteBack { data: victim.data },
                 LineState::Shared => MsgKind::SharerDrop,
             };
             fx.sends.push(self.msg(home, victim.block.0, kind));
@@ -195,10 +191,8 @@ impl ProtoNode {
     pub fn complete_piggyback_read(&mut self, block: BlockAddr) -> Option<Word> {
         if let Some(pr) = self.pending_read {
             if pr.piggyback && self.geom.block_of(pr.addr) == block {
-                let val = self
-                    .cache
-                    .read_word(&self.geom, pr.addr)
-                    .expect("piggybacked read after fill must hit");
+                let val =
+                    self.cache.read_word(&self.geom, pr.addr).expect("piggybacked read after fill must hit");
                 self.pending_read = None;
                 return Some(val);
             }
@@ -465,10 +459,7 @@ mod tests {
         assert!(matches!(fx.sends[0].kind, MsgKind::SharerDrop));
         assert!(!n.cache.contains(block));
         // A later miss on the flushed block classifies as a drop miss.
-        assert_eq!(
-            clf.classify_miss(0, addr, 6),
-            sim_stats::MissClass::Drop
-        );
+        assert_eq!(clf.classify_miss(0, addr, 6), sim_stats::MissClass::Drop);
     }
 
     #[test]

@@ -458,7 +458,8 @@ mod tests {
             0,
         );
         assert_eq!(home.mem.read_word(&home.geom, a), 5, "memory updated");
-        let infos: Vec<_> = fx.sends.iter().filter(|m| matches!(m.kind, MsgKind::UpdateInfo { .. })).collect();
+        let infos: Vec<_> =
+            fx.sends.iter().filter(|m| matches!(m.kind, MsgKind::UpdateInfo { .. })).collect();
         let upds: Vec<_> = fx.sends.iter().filter(|m| matches!(m.kind, MsgKind::UpdateMsg { .. })).collect();
         assert_eq!(infos.len(), 1);
         assert_eq!(infos[0].dst, 1);
@@ -564,8 +565,10 @@ mod tests {
                 // Fourth consecutive update: drop.
                 assert!(!n.cache.contains(block));
                 assert!(fx.sends.iter().any(|m| matches!(m.kind, MsgKind::StopUpdate)));
-                assert!(fx.sends.iter().any(|m| matches!(m.kind, MsgKind::UpdateAck)),
-                    "the writer still gets its ack");
+                assert!(
+                    fx.sends.iter().any(|m| matches!(m.kind, MsgKind::UpdateAck)),
+                    "the writer still gets its ack"
+                );
             }
         }
         assert_eq!(clf.report().updates.drop, 1);
@@ -656,7 +659,10 @@ mod tests {
         assert_eq!(home.mem.read_word(&home.geom, a), 10, "swap must not happen");
         assert!(!fx.sends.iter().any(|m| matches!(m.kind, MsgKind::UpdateMsg { .. })));
         let MsgKind::AtomicReply { old, acks, .. } =
-            fx.sends.iter().find(|m| m.dst == 1).unwrap().kind.clone() else { panic!() };
+            fx.sends.iter().find(|m| m.dst == 1).unwrap().kind.clone()
+        else {
+            panic!()
+        };
         assert_eq!((old, acks), (10, 0));
     }
 
@@ -670,11 +676,7 @@ mod tests {
             e.state = DirState::Owned;
             e.owner = 3;
         }
-        let fx = home.handle_msg(
-            Msg { src: 1, dst: 0, addr: a, kind: MsgKind::ReadShared },
-            &mut clf,
-            0,
-        );
+        let fx = home.handle_msg(Msg { src: 1, dst: 0, addr: a, kind: MsgKind::ReadShared }, &mut clf, 0);
         assert_eq!(fx.sends.len(), 1);
         assert_eq!(fx.sends[0].dst, 3);
         assert!(matches!(fx.sends[0].kind, MsgKind::RecallUpd { .. }));
@@ -692,11 +694,8 @@ mod tests {
         assert_eq!(data[owner.geom.word_index(a)], 42);
 
         // Home absorbs the reply, unblocks, and requeues the read.
-        let fx3 = home.handle_msg(
-            Msg { src: 3, dst: 0, addr: a, kind: fx2.sends[0].kind.clone() },
-            &mut clf,
-            2,
-        );
+        let fx3 =
+            home.handle_msg(Msg { src: 3, dst: 0, addr: a, kind: fx2.sends[0].kind.clone() }, &mut clf, 2);
         assert_eq!(home.mem.read_word(&home.geom, a), 42);
         assert!(!home.dir.get(block).unwrap().busy);
         assert_eq!(fx3.requeue_home.len(), 1);

@@ -32,11 +32,7 @@ pub fn issue_write(n: &mut ProtoNode, addr: u32, val: Word, clf: &mut Classifier
         Some(LineState::Modified) => {
             n.cache.write_word(&n.geom, addr, val);
             clf.word_written(n.id, addr, now);
-            Effects {
-                write_retired: true,
-                touched_blocks: vec![block],
-                ..Default::default()
-            }
+            Effects { write_retired: true, touched_blocks: vec![block], ..Default::default() }
         }
         Some(LineState::Shared) => {
             clf.exclusive_request(n.id, block);
@@ -76,11 +72,7 @@ pub fn cpu_atomic(
                 n.cache.write_word(&n.geom, addr, new);
                 clf.word_written(n.id, addr, now);
             }
-            Effects {
-                atomic_done: Some(old),
-                touched_blocks: vec![block],
-                ..Default::default()
-            }
+            Effects { atomic_done: Some(old), touched_blocks: vec![block], ..Default::default() }
         }
         Some(LineState::Shared) => {
             clf.exclusive_request(n.id, block);
@@ -134,8 +126,12 @@ pub fn handle_msg(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle)
                     ])
                 }
                 None => {
-                    let original =
-                        Msg { src: requester, dst: n.home_of(msg.addr), addr: msg.addr, kind: MsgKind::ReadShared };
+                    let original = Msg {
+                        src: requester,
+                        dst: n.home_of(msg.addr),
+                        addr: msg.addr,
+                        kind: MsgKind::ReadShared,
+                    };
                     Effects::send(vec![n.msg(
                         n.home_of(msg.addr),
                         msg.addr,
@@ -383,7 +379,7 @@ mod tests {
     use super::*;
     use crate::msg::MsgKind;
     use crate::node::{ProtoConfig, ProtoNode, Protocol};
-    use sim_mem::{BlockAddr, Geometry};
+    use sim_mem::Geometry;
     use sim_stats::Classifier;
 
     fn node(id: usize) -> (ProtoNode, Classifier) {
@@ -414,11 +410,7 @@ mod tests {
         let (mut home, mut clf) = node(2);
         let a = addr_on(&home.geom, 2);
         home.mem.write_word(&home.geom.clone(), a, 77);
-        let fx = home.handle_msg(
-            Msg { src: 1, dst: 2, addr: a, kind: MsgKind::ReadShared },
-            &mut clf,
-            0,
-        );
+        let fx = home.handle_msg(Msg { src: 1, dst: 2, addr: a, kind: MsgKind::ReadShared }, &mut clf, 0);
         assert_eq!(fx.sends.len(), 1);
         assert_eq!(fx.sends[0].dst, 1);
         let MsgKind::Data { ref data } = fx.sends[0].kind else { panic!() };
@@ -440,11 +432,7 @@ mod tests {
             e.sharers.insert(2);
             e.sharers.insert(3);
         }
-        let fx = home.handle_msg(
-            Msg { src: 1, dst: 0, addr: a, kind: MsgKind::GetX },
-            &mut clf,
-            0,
-        );
+        let fx = home.handle_msg(Msg { src: 1, dst: 0, addr: a, kind: MsgKind::GetX }, &mut clf, 0);
         // DataX to the requester + invals to the two other sharers.
         let mut dx = 0;
         let mut inv = vec![];
@@ -479,11 +467,7 @@ mod tests {
             e.state = DirState::Shared;
             e.sharers.insert(2); // requester 1 is NOT a sharer anymore
         }
-        let fx = home.handle_msg(
-            Msg { src: 1, dst: 0, addr: a, kind: MsgKind::Upgrade },
-            &mut clf,
-            0,
-        );
+        let fx = home.handle_msg(Msg { src: 1, dst: 0, addr: a, kind: MsgKind::Upgrade }, &mut clf, 0);
         assert!(
             fx.sends.iter().any(|m| matches!(m.kind, MsgKind::DataX { .. })),
             "served as a full GetX: {:?}",
@@ -501,21 +485,13 @@ mod tests {
             e.state = DirState::Owned;
             e.owner = 3;
         }
-        let fx = home.handle_msg(
-            Msg { src: 1, dst: 0, addr: a, kind: MsgKind::ReadShared },
-            &mut clf,
-            0,
-        );
+        let fx = home.handle_msg(Msg { src: 1, dst: 0, addr: a, kind: MsgKind::ReadShared }, &mut clf, 0);
         assert_eq!(fx.sends.len(), 1);
         assert_eq!(fx.sends[0].dst, 3);
         assert!(matches!(fx.sends[0].kind, MsgKind::Fetch { requester: 1 }));
         assert!(home.dir.get(block).unwrap().busy);
         // A second request while busy is deferred.
-        let fx2 = home.handle_msg(
-            Msg { src: 2, dst: 0, addr: a, kind: MsgKind::ReadShared },
-            &mut clf,
-            1,
-        );
+        let fx2 = home.handle_msg(Msg { src: 2, dst: 0, addr: a, kind: MsgKind::ReadShared }, &mut clf, 1);
         assert!(fx2.sends.is_empty());
         assert_eq!(home.dir.get(block).unwrap().waiting.len(), 1);
     }
@@ -577,11 +553,7 @@ mod tests {
         n.cpu_read(a, &mut clf, 0);
         let mut data = vec![0u32; 16].into_boxed_slice();
         data[n.geom.word_index(a)] = 55;
-        let fx = n.handle_msg(
-            Msg { src: 2, dst: 1, addr: a, kind: MsgKind::Data { data } },
-            &mut clf,
-            5,
-        );
+        let fx = n.handle_msg(Msg { src: 2, dst: 1, addr: a, kind: MsgKind::Data { data } }, &mut clf, 5);
         assert_eq!(fx.read_done, Some(55));
         assert!(n.pending_read.is_none());
         // Ack bookkeeping via InvAck.

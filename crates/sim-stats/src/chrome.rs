@@ -1,0 +1,294 @@
+//! Chrome `trace_event` export (viewable in Perfetto / `chrome://tracing`).
+//!
+//! Builds the JSON-array flavor of the trace format: `"X"` complete events
+//! for CPU state slices (one track per processor), `"b"`/`"e"` async pairs
+//! for protocol-message flows (send → handle), `"i"` instants for one-shot
+//! markers, and `"M"` metadata records naming processes and threads.
+//! Timestamps are simulated cycles written into the format's microsecond
+//! field — absolute units don't matter to the viewers, only ordering and
+//! duration do.
+//!
+//! The [`FlowPairer`] turns the machine's raw send/handle event stream into
+//! guaranteed-matched async pairs: a begin is emitted only together with
+//! its end, so a truncated trace never produces dangling flow arrows.
+
+use std::collections::HashMap;
+
+use sim_engine::Cycle;
+
+use crate::json::Json;
+
+/// Builder for a Chrome trace (the JSON-array format).
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, ph: &str, pid: u64, tid: u64, ts: Cycle, extra: Vec<(String, Json)>) {
+        let mut pairs = vec![
+            ("ph".to_string(), Json::from(ph)),
+            ("pid".to_string(), Json::U64(pid)),
+            ("tid".to_string(), Json::U64(tid)),
+            ("ts".to_string(), Json::U64(ts)),
+        ];
+        pairs.extend(extra);
+        self.events.push(Json::Obj(pairs));
+    }
+
+    /// Adds a complete (`"X"`) event: a named slice on track `tid`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        start: Cycle,
+        dur: Cycle,
+        args: Vec<(String, Json)>,
+    ) {
+        let mut extra = vec![
+            ("name".to_string(), Json::from(name)),
+            ("cat".to_string(), Json::from(cat)),
+            ("dur".to_string(), Json::U64(dur)),
+        ];
+        if !args.is_empty() {
+            extra.push(("args".to_string(), Json::Obj(args)));
+        }
+        self.push("X", pid, tid, start, extra);
+    }
+
+    /// Adds an async begin (`"b"`). Viewers match it to the async end with
+    /// the same `(cat, id)`; always emit both (see [`FlowPairer`]).
+    pub fn async_begin(&mut self, pid: u64, tid: u64, name: &str, cat: &str, id: u64, ts: Cycle) {
+        self.push(
+            "b",
+            pid,
+            tid,
+            ts,
+            vec![
+                ("name".to_string(), Json::from(name)),
+                ("cat".to_string(), Json::from(cat)),
+                ("id".to_string(), Json::U64(id)),
+            ],
+        );
+    }
+
+    /// Adds the async end (`"e"`) matching [`ChromeTrace::async_begin`].
+    pub fn async_end(&mut self, pid: u64, tid: u64, name: &str, cat: &str, id: u64, ts: Cycle) {
+        self.push(
+            "e",
+            pid,
+            tid,
+            ts,
+            vec![
+                ("name".to_string(), Json::from(name)),
+                ("cat".to_string(), Json::from(cat)),
+                ("id".to_string(), Json::U64(id)),
+            ],
+        );
+    }
+
+    /// Adds an instant (`"i"`) marker on track `tid`.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: Cycle) {
+        self.push(
+            "i",
+            pid,
+            tid,
+            ts,
+            vec![("name".to_string(), Json::from(name)), ("s".to_string(), Json::from("t"))],
+        );
+    }
+
+    /// Names a process in the viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.push(
+            "M",
+            pid,
+            0,
+            0,
+            vec![
+                ("name".to_string(), Json::from("process_name")),
+                ("args".to_string(), Json::obj([("name", Json::from(name))])),
+            ],
+        );
+    }
+
+    /// Names a thread (track) in the viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.push(
+            "M",
+            pid,
+            tid,
+            0,
+            vec![
+                ("name".to_string(), Json::from("thread_name")),
+                ("args".to_string(), Json::obj([("name", Json::from(name))])),
+            ],
+        );
+    }
+
+    /// The trace as a JSON array value.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.events.clone())
+    }
+
+    /// Renders the trace (compact; one JSON array).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Pairs protocol-message sends with their handles into matched async flow
+/// events.
+///
+/// Sends are buffered keyed by `(src, dst, kind, addr)`; when the matching
+/// handle arrives, the oldest buffered send of that key is consumed and a
+/// `"b"`/`"e"` pair is emitted atomically. FIFO matching per key is exact
+/// for this machine: the network delivers same-(src,dst) messages in send
+/// order, and handlers run at delivery. Sends never handled (e.g. the trace
+/// ring overflowed) are dropped, never emitted as dangling begins.
+#[derive(Debug, Default)]
+pub struct FlowPairer {
+    pending: HashMap<(usize, usize, String, u32), Vec<Cycle>>,
+    next_id: u64,
+    pairs: u64,
+    unmatched_handles: u64,
+}
+
+impl FlowPairer {
+    /// A pairer with no buffered sends. `first_id` offsets flow ids so
+    /// several pairers (one per run) can share one trace without id
+    /// collisions.
+    pub fn new(first_id: u64) -> Self {
+        FlowPairer { next_id: first_id, ..Default::default() }
+    }
+
+    /// Records a message send.
+    pub fn send(&mut self, src: usize, dst: usize, kind: &str, addr: u32, at: Cycle) {
+        self.pending.entry((src, dst, kind.to_string(), addr)).or_default().push(at);
+    }
+
+    /// Records a message handle; emits the matched flow pair into `trace`
+    /// (source track `src`, destination track `dst`) when the corresponding
+    /// send was seen.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle(
+        &mut self,
+        trace: &mut ChromeTrace,
+        pid: u64,
+        src: usize,
+        dst: usize,
+        kind: &str,
+        addr: u32,
+        at: Cycle,
+    ) {
+        let key = (src, dst, kind.to_string(), addr);
+        let Some(queue) = self.pending.get_mut(&key) else {
+            self.unmatched_handles += 1;
+            return;
+        };
+        if queue.is_empty() {
+            self.unmatched_handles += 1;
+            return;
+        }
+        let sent_at = queue.remove(0);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pairs += 1;
+        let name = format!("{kind} @{addr:#x}");
+        trace.async_begin(pid, src as u64, &name, "msg", id, sent_at);
+        trace.async_end(pid, dst as u64, &name, "msg", id, at.max(sent_at));
+    }
+
+    /// Flow pairs emitted.
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Handles that arrived with no buffered send (trace ring overflow).
+    pub fn unmatched_handles(&self) -> u64 {
+        self.unmatched_handles
+    }
+
+    /// Sends still buffered (their handles never appeared).
+    pub fn unmatched_sends(&self) -> u64 {
+        self.pending.values().map(|q| q.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_well_formed_events() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "WI");
+        t.thread_name(1, 0, "cpu0");
+        t.complete(1, 0, "Busy", "cpu", 0, 50, vec![("phase".to_string(), Json::from("hold"))]);
+        t.instant(1, 0, "halt", 50);
+        let parsed = Json::parse(&t.render()).unwrap();
+        let events = parsed.as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[2].get("dur").and_then(Json::as_u64), Some(50));
+        assert_eq!(events[2].get("args").unwrap().get("phase").and_then(Json::as_str), Some("hold"));
+    }
+
+    #[test]
+    fn pairer_emits_only_matched_pairs() {
+        let mut t = ChromeTrace::new();
+        let mut p = FlowPairer::new(0);
+        p.send(0, 1, "ReadShared", 0x40, 10);
+        p.send(0, 1, "ReadShared", 0x40, 12); // second in-flight, same key
+        p.send(1, 0, "Data", 0x40, 30); // never handled
+        p.handle(&mut t, 7, 0, 1, "ReadShared", 0x40, 25); // matches the @10 send
+        p.handle(&mut t, 7, 0, 1, "Invalidate", 0x80, 40); // no send seen
+        assert_eq!(p.pairs(), 1);
+        assert_eq!(p.unmatched_handles(), 1);
+        assert_eq!(p.unmatched_sends(), 2);
+        let parsed = Json::parse(&t.render()).unwrap();
+        let events = parsed.as_arr().unwrap();
+        assert_eq!(events.len(), 2, "exactly one b/e pair");
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("b"));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("e"));
+        assert_eq!(events[0].get("id"), events[1].get("id"));
+        assert_eq!(events[0].get("cat"), events[1].get("cat"));
+        assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(10));
+        assert_eq!(events[1].get("ts").and_then(Json::as_u64), Some(25));
+    }
+
+    #[test]
+    fn fifo_matching_per_key() {
+        let mut t = ChromeTrace::new();
+        let mut p = FlowPairer::new(100);
+        p.send(2, 3, "Update", 0x100, 5);
+        p.send(2, 3, "Update", 0x100, 9);
+        p.handle(&mut t, 0, 2, 3, "Update", 0x100, 20);
+        p.handle(&mut t, 0, 2, 3, "Update", 0x100, 24);
+        let parsed = Json::parse(&t.render()).unwrap();
+        let events = parsed.as_arr().unwrap();
+        // First pair begins at 5 (oldest send), second at 9.
+        assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(5));
+        assert_eq!(events[2].get("ts").and_then(Json::as_u64), Some(9));
+        assert_eq!(events[0].get("id").and_then(Json::as_u64), Some(100));
+        assert_eq!(events[2].get("id").and_then(Json::as_u64), Some(101));
+    }
+}

@@ -212,10 +212,8 @@ impl Classifier {
                 Some((_, LossCause::SelfInvalidate)) => MissClass::Drop,
                 Some((lost_at, LossCause::External { word_addr, writer })) => {
                     let same_word = word_addr == addr && writer != node;
-                    let later_write = self
-                        .last_writer
-                        .get(&addr)
-                        .is_some_and(|&(w, t)| w != node && t >= lost_at);
+                    let later_write =
+                        self.last_writer.get(&addr).is_some_and(|&(w, t)| w != node && t >= lost_at);
                     if same_word || later_write {
                         MissClass::TrueSharing
                     } else {
@@ -241,11 +239,8 @@ impl Classifier {
         let widx = self.geom.word_index(addr);
         let records = self.live_updates.entry((node, block)).or_default();
         if let Some(old) = records.insert(widx, UpdateRec { block_referenced: false }) {
-            let class = if old.block_referenced {
-                UpdateClass::FalseSharing
-            } else {
-                UpdateClass::Proliferation
-            };
+            let class =
+                if old.block_referenced { UpdateClass::FalseSharing } else { UpdateClass::Proliferation };
             self.bump_update(addr, class);
         }
     }
@@ -307,11 +302,8 @@ impl Classifier {
         let drained: Vec<_> = self.live_updates.drain().collect();
         for ((_, block), records) in drained {
             for (widx, rec) in records {
-                let class = if rec.block_referenced {
-                    UpdateClass::FalseSharing
-                } else {
-                    UpdateClass::Termination
-                };
+                let class =
+                    if rec.block_referenced { UpdateClass::FalseSharing } else { UpdateClass::Termination };
                 self.bump_update(block.0 + 4 * widx as Addr, class);
             }
         }

@@ -21,11 +21,28 @@
 //! updates delivered, CPU references). It holds all cross-node knowledge —
 //! per-word last writers, per-copy loss causes, live update records — so the
 //! protocol code stays free of bookkeeping.
+//!
+//! The crate also hosts the machine-independent half of the observability
+//! subsystem: per-processor cycle accounting and phase breakdowns
+//! ([`obs`]), periodic gauge sampling ([`sampler`]), Chrome `trace_event`
+//! export ([`chrome`]), and the dependency-free JSON value they all
+//! serialize through ([`json`]).
 
+pub mod chrome;
 pub mod classify;
 pub mod hist;
+pub mod json;
+pub mod obs;
 pub mod report;
+pub mod sampler;
 
+pub use chrome::{ChromeTrace, FlowPairer};
 pub use classify::{Classifier, LossCause};
 pub use hist::LatencyHist;
+pub use json::Json;
+pub use obs::{
+    CpuClass, CycleAccount, LinkFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig, ObsReport, StateSlice,
+    CPU_CLASSES,
+};
 pub use report::{MissClass, MissStats, StructureTraffic, TrafficReport, UpdateClass, UpdateStats};
+pub use sampler::{NodeSample, Sample, TimeSeries};

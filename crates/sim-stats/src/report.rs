@@ -1,5 +1,7 @@
 //! Classified-traffic counters and the per-run report.
 
+use crate::json::Json;
+
 /// The miss categories of Section 3.2 (plus exclusive requests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissClass {
@@ -70,6 +72,18 @@ impl MissStats {
         self.eviction += other.eviction;
         self.drop += other.drop;
         self.exclusive_requests += other.exclusive_requests;
+    }
+
+    /// Serializes every counter by name.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cold", Json::U64(self.cold)),
+            ("true_sharing", Json::U64(self.true_sharing)),
+            ("false_sharing", Json::U64(self.false_sharing)),
+            ("eviction", Json::U64(self.eviction)),
+            ("drop", Json::U64(self.drop)),
+            ("exclusive_requests", Json::U64(self.exclusive_requests)),
+        ])
     }
 }
 
@@ -151,6 +165,18 @@ impl UpdateStats {
         self.termination += other.termination;
         self.drop += other.drop;
     }
+
+    /// Serializes every counter by name.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("true_sharing", Json::U64(self.true_sharing)),
+            ("false_sharing", Json::U64(self.false_sharing)),
+            ("proliferation", Json::U64(self.proliferation)),
+            ("replacement", Json::U64(self.replacement)),
+            ("termination", Json::U64(self.termination)),
+            ("drop", Json::U64(self.drop)),
+        ])
+    }
 }
 
 /// Classified traffic attributed to one registered data structure.
@@ -191,6 +217,33 @@ impl TrafficReport {
         } else {
             self.misses.total_misses() as f64 / refs as f64
         }
+    }
+
+    /// Serializes the whole report, including per-structure attribution.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("misses", self.misses.to_json()),
+            ("updates", self.updates.to_json()),
+            ("shared_reads", Json::U64(self.shared_reads)),
+            ("shared_writes", Json::U64(self.shared_writes)),
+            ("shared_atomics", Json::U64(self.shared_atomics)),
+            ("miss_rate", Json::F64(self.miss_rate())),
+            (
+                "by_structure",
+                Json::Arr(
+                    self.by_structure
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::from(s.name.as_str())),
+                                ("misses", s.misses.to_json()),
+                                ("updates", s.updates.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -254,5 +307,26 @@ mod tests {
         r.shared_writes = 2;
         r.misses.cold = 5;
         assert!((r.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serializes_and_parses() {
+        let r = TrafficReport {
+            misses: MissStats { cold: 4, true_sharing: 2, ..Default::default() },
+            updates: UpdateStats { proliferation: 7, ..Default::default() },
+            shared_reads: 10,
+            shared_writes: 2,
+            shared_atomics: 0,
+            by_structure: vec![StructureTraffic {
+                name: "lock".to_string(),
+                misses: MissStats { cold: 1, ..Default::default() },
+                updates: UpdateStats::default(),
+            }],
+        };
+        let parsed = Json::parse(&r.to_json().render()).unwrap();
+        assert_eq!(parsed.get("misses").unwrap().get("cold").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("updates").unwrap().get("proliferation").and_then(Json::as_u64), Some(7));
+        let by = parsed.get("by_structure").unwrap().as_arr().unwrap();
+        assert_eq!(by[0].get("name").and_then(Json::as_str), Some("lock"));
     }
 }

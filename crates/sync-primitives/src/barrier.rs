@@ -90,18 +90,12 @@ impl DisseminationBarrier {
     /// Creates a barrier for `participants` threads.
     pub fn new(participants: usize) -> Self {
         assert!(participants > 0);
-        let rounds = if participants > 1 {
-            usize::BITS - (participants - 1).leading_zeros()
-        } else {
-            0
-        };
+        let rounds = if participants > 1 { usize::BITS - (participants - 1).leading_zeros() } else { 0 };
         let nodes = (0..participants)
             .map(|_| {
                 let mut f = DissemFlags::default();
                 f.sense.0 = AtomicU32::new(1);
-                f.flags = (0..(2 * rounds).max(1) as usize)
-                    .map(|_| CachePadded(AtomicU32::new(0)))
-                    .collect();
+                f.flags = (0..(2 * rounds).max(1) as usize).map(|_| CachePadded(AtomicU32::new(0))).collect();
                 f
             })
             .collect();

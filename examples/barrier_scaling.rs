@@ -16,8 +16,7 @@ use sim_proto::Protocol;
 
 fn main() {
     let kinds = [BarrierKind::Centralized, BarrierKind::Dissemination, BarrierKind::Tree];
-    let protocols =
-        [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+    let protocols = [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
 
     println!("average barrier episode latency (cycles), 1000 episodes\n");
     print!("{:<10}", "combo");
@@ -51,11 +50,6 @@ fn main() {
         let out = run_experiment(&spec);
         let u = out.traffic.updates;
         let pct = if u.total() > 0 { 100.0 * u.useful() as f64 / u.total() as f64 } else { 100.0 };
-        println!(
-            "  {:<4} {:>9} updates, {:>5.1}% useful",
-            kind.label(),
-            u.total(),
-            pct
-        );
+        println!("  {:<4} {:>9} updates, {:>5.1}% useful", kind.label(), u.total(), pct);
     }
 }

@@ -16,8 +16,7 @@ use sim_proto::Protocol;
 
 fn main() {
     let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious];
-    let protocols =
-        [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+    let protocols = [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
 
     println!("average acquire-release latency (cycles), 8000 total acquires\n");
     print!("{:<10}", "combo");

@@ -36,10 +36,7 @@ fn time_lock(name: &str, f: impl Fn() + Send + Sync + 'static) {
         h.join().unwrap();
     }
     let total = THREADS * LOCK_ITERS;
-    println!(
-        "  {name:<22}{:>8.1} ns/op",
-        start.elapsed().as_nanos() as f64 / total as f64
-    );
+    println!("  {name:<22}{:>8.1} ns/op", start.elapsed().as_nanos() as f64 / total as f64);
 }
 
 fn time_barrier(name: &str, f: impl Fn(usize) + Send + Sync + 'static) {
@@ -58,10 +55,7 @@ fn time_barrier(name: &str, f: impl Fn(usize) + Send + Sync + 'static) {
     for h in handles {
         h.join().unwrap();
     }
-    println!(
-        "  {name:<22}{:>8.1} ns/episode",
-        start.elapsed().as_nanos() as f64 / BARRIER_EPISODES as f64
-    );
+    println!("  {name:<22}{:>8.1} ns/episode", start.elapsed().as_nanos() as f64 / BARRIER_EPISODES as f64);
 }
 
 fn main() {

@@ -112,12 +112,7 @@ fn lock_kernel_survives_tiny_cache() {
     // counters now evict mid-transaction.
     for protocol in PROTOCOLS {
         for kind in [LockKind::Ticket, LockKind::Mcs] {
-            let w = LockWorkload {
-                kind,
-                total_acquires: 96,
-                cs_cycles: 10,
-                post_release: PostRelease::None,
-            };
+            let w = LockWorkload { kind, total_acquires: 96, cs_cycles: 10, post_release: PostRelease::None };
             let mut m = tiny_cache_machine(4, protocol, 4);
             let layout = locks::install(&mut m, &w);
             m.run();

@@ -8,8 +8,7 @@
 
 use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use sim_proto::Protocol;
 

@@ -4,8 +4,7 @@
 
 use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use kernels::{barriers, locks, reductions};
 use sim_machine::{Machine, MachineConfig};
@@ -96,11 +95,7 @@ fn invalidate_protocol_generates_no_updates_ever() {
         KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Dissemination, episodes: 20 }),
         KernelSpec::Reduction(ReductionWorkload { kind: ReductionKind::Parallel, episodes: 8, skew: 0 }),
     ] {
-        let out = run_experiment(&ExperimentSpec {
-            procs: 8,
-            protocol: Protocol::WriteInvalidate,
-            kernel,
-        });
+        let out = run_experiment(&ExperimentSpec { procs: 8, protocol: Protocol::WriteInvalidate, kernel });
         assert_eq!(out.traffic.updates.total(), 0);
     }
 }

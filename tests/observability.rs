@@ -1,0 +1,185 @@
+//! End-to-end checks of the observability subsystem: cycle accounting
+//! closes exactly against the wall clock, sampling is on-cadence and
+//! deterministic, phases attribute where the kernels say they do, and the
+//! Chrome-trace export is well-formed.
+
+use kernels::workloads::{LockKind, LockWorkload, PostRelease};
+use kernels::{locks, phase};
+use sim_machine::{export_run, Machine, MachineConfig, RunResult, Trace};
+use sim_proto::Protocol;
+use sim_stats::{ChromeTrace, CpuClass, Json, ObsReport, CPU_CLASSES};
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+fn lock_workload(total: u32) -> LockWorkload {
+    LockWorkload {
+        kind: LockKind::Mcs,
+        total_acquires: total,
+        cs_cycles: 20,
+        post_release: PostRelease::None,
+    }
+}
+
+fn run_observed_lock(procs: usize, protocol: Protocol) -> RunResult {
+    let w = lock_workload(64);
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    let layout = locks::install(&mut m, &w);
+    let r = m.run();
+    locks::verify(&mut m, &w, &layout);
+    r
+}
+
+#[test]
+fn per_node_accounts_sum_to_wall_clock_under_every_protocol() {
+    for protocol in PROTOCOLS {
+        let r = run_observed_lock(4, protocol);
+        let obs = r.obs.as_ref().expect("observed run");
+        assert_eq!(obs.wall_cycles, r.cycles, "{protocol:?}");
+        for (n, node) in obs.per_node.iter().enumerate() {
+            assert_eq!(
+                node.cycles.total(),
+                r.cycles,
+                "{protocol:?} node {n}: classes must cover every cycle exactly once"
+            );
+            let phase_sum: u64 = node.by_phase.values().map(|a| a.total()).sum();
+            assert_eq!(phase_sum, r.cycles, "{protocol:?} node {n}: phase split covers the run");
+        }
+        let grand: u64 = obs.phase_totals.values().map(|a| a.total()).sum();
+        assert_eq!(grand, r.cycles * obs.per_node.len() as u64, "{protocol:?}");
+    }
+}
+
+#[test]
+fn lock_phases_attribute_where_expected() {
+    let r = run_observed_lock(4, Protocol::WriteInvalidate);
+    let obs = r.obs.as_ref().unwrap();
+    // Every processor ran 16 critical sections of 20 cycles; the `hold`
+    // phase is pure delay, so its machine-wide total is exact.
+    assert_eq!(obs.phase_totals[&phase::HOLD].total(), 64 * 20);
+    // Contended MCS: waiting dominates inside `acquire`, and the spin wait
+    // lands in BarrierWait there, not in `hold` or `setup`.
+    let acquire = &obs.phase_totals[&phase::ACQUIRE];
+    assert!(acquire.get(CpuClass::BarrierWait) > 0, "spin wait shows up in acquire");
+    assert_eq!(obs.phase_totals[&phase::HOLD].get(CpuClass::BarrierWait), 0);
+}
+
+#[test]
+fn sampler_runs_on_cadence() {
+    let r = run_observed_lock(4, Protocol::WriteInvalidate);
+    let obs = r.obs.as_ref().unwrap();
+    let samples = obs.samples.samples();
+    assert!(!samples.is_empty(), "run is long enough to sample");
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.at, (i as u64 + 1) * obs.sample_interval, "sample {i} on the grid");
+        assert_eq!(s.nodes.len(), 4);
+    }
+    assert!(samples.last().unwrap().at <= r.cycles, "sampling stops once every processor halted");
+}
+
+#[test]
+fn observed_reruns_are_deterministic() {
+    let a = run_observed_lock(4, Protocol::CompetitiveUpdate);
+    let b = run_observed_lock(4, Protocol::CompetitiveUpdate);
+    assert_eq!(a.cycles, b.cycles);
+    let (oa, ob) = (a.obs.as_ref().unwrap(), b.obs.as_ref().unwrap());
+    assert_eq!(oa.samples.len(), ob.samples.len());
+    for (sa, sb) in oa.samples.samples().iter().zip(ob.samples.samples()) {
+        assert_eq!(sa.at, sb.at);
+        assert_eq!(sa.nodes, sb.nodes);
+        assert_eq!(sa.msgs_sent, sb.msgs_sent);
+        assert_eq!(sa.flits_sent, sb.flits_sent);
+    }
+    for (na, nb) in oa.per_node.iter().zip(&ob.per_node) {
+        assert_eq!(na.cycles, nb.cycles);
+        assert_eq!(na.timeline, nb.timeline);
+    }
+}
+
+#[test]
+fn observing_does_not_change_results() {
+    for protocol in PROTOCOLS {
+        let w = lock_workload(64);
+        let mut plain = Machine::new(MachineConfig::paper(4, protocol));
+        locks::install(&mut plain, &w);
+        let rp = plain.run();
+        let ro = run_observed_lock(4, protocol);
+        assert_eq!(rp.cycles, ro.cycles, "{protocol:?}: observation is passive");
+        assert_eq!(rp.instructions, ro.instructions, "{protocol:?}");
+        assert_eq!(rp.traffic.misses.total_misses(), ro.traffic.misses.total_misses(), "{protocol:?}");
+    }
+}
+
+#[test]
+fn message_counts_match_net_counters() {
+    let r = run_observed_lock(4, Protocol::PureUpdate);
+    let obs = r.obs.as_ref().unwrap();
+    let counted: u64 = obs.msg_counts.values().sum();
+    assert_eq!(counted, r.net.messages + r.net.local_messages);
+    assert_eq!(obs.msg_latency.count(), counted);
+    let flits: u64 = obs.link_flits.iter().map(|l| l.flits).sum();
+    assert_eq!(flits, r.net.flits, "per-link flits sum to the global counter");
+}
+
+/// A 2-node WI ping-pong whose Chrome trace must have every send matched
+/// with its handle (the golden-shape check for the flow exporter).
+#[test]
+fn chrome_trace_flow_pairs_match_for_ping_pong() {
+    let mut m = Machine::new(MachineConfig::paper_observed(2, Protocol::WriteInvalidate));
+    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
+    let w = lock_workload(32);
+    let layout = locks::install(&mut m, &w);
+    let mut r = m.run();
+    locks::verify(&mut m, &w, &layout);
+    if let Some(obs) = r.obs.as_mut() {
+        obs.set_phase_names(phase::names());
+    }
+    assert_eq!(r.trace_dropped, 0, "trace buffer held the whole run");
+    let events = m.take_trace().unwrap();
+
+    let mut trace = ChromeTrace::new();
+    let stats = export_run(&mut trace, 1, "WI", &r, events.events(), 0);
+    assert!(stats.flow_pairs > 0);
+    assert_eq!(stats.unmatched_handles, 0, "every handle found its send");
+    assert_eq!(stats.unmatched_sends, 0, "every send was handled");
+
+    let parsed = Json::parse(&trace.render()).expect("trace renders as valid JSON");
+    let events = parsed.as_arr().unwrap();
+    let begins: Vec<_> = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("b")).collect();
+    let ends: Vec<_> = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("e")).collect();
+    assert_eq!(begins.len() as u64, stats.flow_pairs);
+    assert_eq!(begins.len(), ends.len());
+    for (b, e) in begins.iter().zip(&ends) {
+        assert_eq!(b.get("id"), e.get("id"), "pairs are emitted adjacently");
+        assert_eq!(b.get("cat"), e.get("cat"));
+        assert!(
+            b.get("ts").and_then(Json::as_u64) <= e.get("ts").and_then(Json::as_u64),
+            "flow ends at or after its begin"
+        );
+    }
+    // Phase names flowed through to the slice args.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(Json::as_str) == Some("X")
+            && e.get("args").and_then(|a| a.get("phase")).and_then(Json::as_str) == Some("acquire")
+    }));
+}
+
+#[test]
+fn report_json_is_complete_and_parses() {
+    let mut r = run_observed_lock(4, Protocol::WriteInvalidate);
+    r.obs.as_mut().unwrap().set_phase_names(phase::names());
+    let obs: &ObsReport = r.obs.as_ref().unwrap();
+    let rendered = obs.to_json().render_pretty();
+    let parsed = Json::parse(&rendered).expect("report parses");
+    assert_eq!(parsed.get("wall_cycles").and_then(Json::as_u64), Some(r.cycles));
+    let per_node = parsed.get("per_node").unwrap().as_arr().unwrap();
+    assert_eq!(per_node.len(), 4);
+    for node in per_node {
+        let sum: u64 = CPU_CLASSES
+            .iter()
+            .map(|c| node.get("cycles").unwrap().get(c.name()).and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(sum, r.cycles);
+    }
+    assert!(parsed.get("phase_totals").unwrap().get("acquire").is_some(), "names installed");
+}

@@ -6,8 +6,7 @@
 
 use kernels::runner::{run_experiment, ExperimentOutcome, ExperimentSpec, KernelSpec};
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use sim_proto::Protocol;
 
@@ -71,10 +70,7 @@ fn mcs_under_cu_is_best_at_scale() {
         (LockKind::Mcs, Protocol::PureUpdate),
     ] {
         let other = lock(kind, proto, procs).avg_latency;
-        assert!(
-            mcs_cu <= other * 1.05,
-            "MCS/CU ({mcs_cu}) should be best; {kind:?}/{proto:?} got {other}"
-        );
+        assert!(mcs_cu <= other * 1.05, "MCS/CU ({mcs_cu}) should be best; {kind:?}/{proto:?} got {other}");
     }
 }
 
@@ -130,11 +126,7 @@ fn most_lock_updates_are_useless_whatever_the_lock() {
     let t = lock(LockKind::Mcs, Protocol::PureUpdate, 16).traffic;
     assert!(t.updates.useless() > 2 * t.updates.useful(), "MCS: {:?}", t.updates);
     let t = lock(LockKind::Ticket, Protocol::PureUpdate, 16).traffic;
-    assert!(
-        (t.updates.useless() as f64) > 0.4 * t.updates.total() as f64,
-        "ticket: {:?}",
-        t.updates
-    );
+    assert!((t.updates.useless() as f64) > 0.4 * t.updates.total() as f64, "ticket: {:?}", t.updates);
 }
 
 // ---------------------------------------------------------------------
@@ -253,11 +245,7 @@ fn reduction_updates_are_largely_useful() {
     for kind in [ReductionKind::Sequential, ReductionKind::Parallel] {
         let t = reduction(kind, Protocol::PureUpdate, 16).traffic;
         if t.updates.total() > 0 {
-            assert!(
-                t.updates.useful() * 2 >= t.updates.total(),
-                "{kind:?}: {:?}",
-                t.updates
-            );
+            assert!(t.updates.useful() * 2 >= t.updates.total(), "{kind:?}: {:?}", t.updates);
         }
     }
 }

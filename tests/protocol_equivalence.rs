@@ -6,8 +6,7 @@
 //! schedule-independent.
 
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use kernels::{barriers, locks, reductions};
 use sim_isa::reference::RefMachine;
@@ -40,10 +39,7 @@ fn sequential_reduction_result_matches_reference_value() {
     // The sequential reduction's result is schedule-independent, so every
     // protocol must produce exactly the oracle value.
     let w = ReductionWorkload { kind: ReductionKind::Sequential, episodes: 9, skew: 0 };
-    let expected: u32 = (0..6)
-        .flat_map(|i| (0..9).map(move |ep| reductions::value_of(i, ep)))
-        .max()
-        .unwrap();
+    let expected: u32 = (0..6).flat_map(|i| (0..9).map(move |ep| reductions::value_of(i, ep))).max().unwrap();
     for protocol in PROTOCOLS {
         let mut m = Machine::new(MachineConfig::paper(6, protocol));
         let layout = reductions::install(&mut m, &w);
@@ -93,7 +89,7 @@ fn histogram_programs(counter: u32, slots: u32, cpus: usize, iters: u32) -> Vec<
             b.imm(10, counter).imm(11, 1).imm(15, iters);
             b.label("loop");
             b.fetch_add(0, 10, 11); // my index
-            // slots[index] = index + 1
+                                    // slots[index] = index + 1
             b.alui(AluOp::Mul, 1, 0, 4);
             b.alui(AluOp::Add, 1, 1, slots);
             b.alui(AluOp::Add, 2, 0, 1);

@@ -7,7 +7,7 @@
 //! mutation happens only through commutative `fetch_and_add`s, and plain
 //! stores target per-processor slots no one else writes.
 
-use proptest::prelude::*;
+use sim_engine::SplitMix64;
 use sim_isa::reference::RefMachine;
 use sim_isa::{AluOp, Program, ProgramBuilder};
 use sim_machine::{Machine, MachineConfig};
@@ -29,13 +29,26 @@ enum Op {
 const COUNTERS: usize = 3;
 const SLOTS: usize = 2;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..COUNTERS, 1u32..100).prop_map(|(idx, amount)| Op::Add { idx, amount }),
-        (0..SLOTS, 0u32..1000).prop_map(|(slot, val)| Op::StoreMine { slot, val }),
-        (0..COUNTERS).prop_map(|idx| Op::LoadCounter { idx }),
-        (1u32..40).prop_map(|cycles| Op::Work { cycles }),
-    ]
+/// Draws one random operation from the same distribution the proptest
+/// strategy used (uniform over the four op shapes).
+fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.next_below(4) {
+        0 => Op::Add { idx: rng.next_below(COUNTERS as u64) as usize, amount: rng.next_range(1, 99) as u32 },
+        1 => Op::StoreMine { slot: rng.next_below(SLOTS as u64) as usize, val: rng.next_below(1000) as u32 },
+        2 => Op::LoadCounter { idx: rng.next_below(COUNTERS as u64) as usize },
+        _ => Op::Work { cycles: rng.next_range(1, 39) as u32 },
+    }
+}
+
+/// Generates 2–3 processors' worth of 0–23 random ops each.
+fn random_case(rng: &mut SplitMix64) -> Vec<Vec<Op>> {
+    let cpus = rng.next_range(2, 3) as usize;
+    (0..cpus)
+        .map(|_| {
+            let n = rng.next_below(24) as usize;
+            (0..n).map(|_| random_op(rng)).collect()
+        })
+        .collect()
 }
 
 fn build_program(ops: &[Op], counters: &[u32], my_slots: &[u32]) -> Program {
@@ -88,9 +101,8 @@ fn run_case(per_cpu_ops: &[Vec<Op>], protocol: Protocol) {
     let cpus = per_cpu_ops.len();
     let mut m = Machine::new(MachineConfig::paper(cpus, protocol));
     let counter_addrs: Vec<u32> = (0..COUNTERS).map(|i| m.alloc().alloc_block_on(i % cpus, 1)).collect();
-    let slot_addrs: Vec<Vec<u32>> = (0..cpus)
-        .map(|c| (0..SLOTS).map(|_| m.alloc().alloc_block_on(c, 1)).collect())
-        .collect();
+    let slot_addrs: Vec<Vec<u32>> =
+        (0..cpus).map(|c| (0..SLOTS).map(|_| m.alloc().alloc_block_on(c, 1)).collect()).collect();
     for (cpu, ops) in per_cpu_ops.iter().enumerate() {
         m.set_program(cpu, build_program(ops, &counter_addrs, &slot_addrs[cpu]));
     }
@@ -124,27 +136,26 @@ fn run_case(per_cpu_ops: &[Vec<Op>], protocol: Protocol) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn machine_matches_oracle_under_wi(
-        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
-    ) {
-        run_case(&ops, Protocol::WriteInvalidate);
+#[test]
+fn machine_matches_oracle_under_wi() {
+    let mut rng = SplitMix64::new(0xd1ff_0001);
+    for _ in 0..24 {
+        run_case(&random_case(&mut rng), Protocol::WriteInvalidate);
     }
+}
 
-    #[test]
-    fn machine_matches_oracle_under_pu(
-        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
-    ) {
-        run_case(&ops, Protocol::PureUpdate);
+#[test]
+fn machine_matches_oracle_under_pu() {
+    let mut rng = SplitMix64::new(0xd1ff_0002);
+    for _ in 0..24 {
+        run_case(&random_case(&mut rng), Protocol::PureUpdate);
     }
+}
 
-    #[test]
-    fn machine_matches_oracle_under_cu(
-        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..24), 2..4)
-    ) {
-        run_case(&ops, Protocol::CompetitiveUpdate);
+#[test]
+fn machine_matches_oracle_under_cu() {
+    let mut rng = SplitMix64::new(0xd1ff_0003);
+    for _ in 0..24 {
+        run_case(&random_case(&mut rng), Protocol::CompetitiveUpdate);
     }
 }

@@ -8,8 +8,7 @@
 //! one re-check earlier/later than a polling one).
 
 use kernels::workloads::{
-    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind,
-    ReductionWorkload,
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
 };
 use kernels::{barriers, locks, reductions};
 use sim_machine::{Machine, MachineConfig, RunResult};
@@ -47,10 +46,7 @@ fn lock_results_match_with_and_without_parking() {
         assert_close(parked.cycles, naive.cycles, 0.03, "cycles");
         // Structural traffic (fills, invalidations, updates) is identical;
         // only the spin re-read *count* may differ.
-        assert_eq!(
-            parked.traffic.misses, naive.traffic.misses,
-            "{protocol:?}: miss classification"
-        );
+        assert_eq!(parked.traffic.misses, naive.traffic.misses, "{protocol:?}: miss classification");
         assert_eq!(
             parked.traffic.updates.total(),
             naive.traffic.updates.total(),
