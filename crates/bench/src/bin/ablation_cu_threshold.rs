@@ -1,27 +1,40 @@
 //! Ablation A1: sensitivity of the competitive-update protocol to its drop
 //! threshold (the paper fixes it at 4 updates).
 
-use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::runner::{ExperimentSpec, KernelSpec};
 use kernels::workloads::{BarrierKind, LockKind};
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 use sim_machine::MachineConfig;
 use sim_proto::Protocol;
 
 fn main() {
-    println!("\nAblation A1: CU drop threshold (32 processors)");
-    println!("{:<22}{:>8}{:>12}{:>12}{:>12}", "workload", "thresh", "latency", "misses", "updates");
-    for threshold in [1u32, 2, 4, 8, 16] {
-        for (name, kernel) in [
-            ("ticket lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
-            ("MCS lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Mcs))),
-            (
-                "dissemination barrier",
-                KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Dissemination)),
-            ),
-        ] {
+    let workloads = [
+        ("ticket lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
+        ("MCS lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Mcs))),
+        (
+            "dissemination barrier",
+            KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Dissemination)),
+        ),
+    ];
+    let thresholds = [1u32, 2, 4, 8, 16];
+    let mut specs = Vec::new();
+    for threshold in thresholds {
+        for (_, kernel) in workloads {
             let mut cfg = MachineConfig::paper(32, Protocol::CompetitiveUpdate);
             cfg.cu_threshold = threshold;
-            let spec = ExperimentSpec { procs: 32, protocol: Protocol::CompetitiveUpdate, kernel };
-            let out = run_experiment_configured(&spec, cfg);
+            specs.push(RunSpec::with_config(
+                ExperimentSpec { procs: 32, protocol: Protocol::CompetitiveUpdate, kernel },
+                cfg,
+            ));
+        }
+    }
+    let outs = sweep::run_specs_with(&specs, &SweepOptions::from_env()).0;
+    println!("\nAblation A1: CU drop threshold (32 processors)");
+    println!("{:<22}{:>8}{:>12}{:>12}{:>12}", "workload", "thresh", "latency", "misses", "updates");
+    let mut cells = outs.iter();
+    for threshold in thresholds {
+        for (name, _) in workloads {
+            let out = cells.next().unwrap();
             println!(
                 "{:<22}{:>8}{:>12.1}{:>12}{:>12}",
                 name,

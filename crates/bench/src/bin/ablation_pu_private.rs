@@ -6,28 +6,43 @@
 //! runs, where a processor's working blocks would otherwise write through
 //! on every store.
 
-use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::runner::{ExperimentSpec, KernelSpec};
 use kernels::workloads::LockKind;
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 use sim_machine::MachineConfig;
 use sim_proto::Protocol;
 
 fn main() {
+    let sizes = [1usize, 2, 32];
+    let kinds = [LockKind::Ticket, LockKind::Mcs];
+    let mut specs = Vec::new();
+    for procs in sizes {
+        for kind in kinds {
+            for opt in [true, false] {
+                let mut cfg = MachineConfig::paper(procs, Protocol::PureUpdate);
+                cfg.pu_private_opt = opt;
+                specs.push(RunSpec::with_config(
+                    ExperimentSpec {
+                        procs,
+                        protocol: Protocol::PureUpdate,
+                        kernel: KernelSpec::Lock(ppc_bench::lock_workload(kind)),
+                    },
+                    cfg,
+                ));
+            }
+        }
+    }
+    let outs = sweep::run_specs_with(&specs, &SweepOptions::from_env()).0;
     println!("\nAblation A2: PU private-data optimization");
     println!(
         "{:<8}{:<8}{:>10}{:>12}{:>12}{:>12}",
         "procs", "lock", "private", "latency", "misses", "updates"
     );
-    for procs in [1usize, 2, 32] {
-        for kind in [LockKind::Ticket, LockKind::Mcs] {
+    let mut cells = outs.iter();
+    for procs in sizes {
+        for kind in kinds {
             for opt in [true, false] {
-                let mut cfg = MachineConfig::paper(procs, Protocol::PureUpdate);
-                cfg.pu_private_opt = opt;
-                let spec = ExperimentSpec {
-                    procs,
-                    protocol: Protocol::PureUpdate,
-                    kernel: KernelSpec::Lock(ppc_bench::lock_workload(kind)),
-                };
-                let out = run_experiment_configured(&spec, cfg);
+                let out = cells.next().unwrap();
                 println!(
                     "{:<8}{:<8}{:>10}{:>12.1}{:>12}{:>12}",
                     procs,

@@ -6,23 +6,35 @@
 //! back to back and then signals its parent, which is exactly the burst a
 //! deeper buffer absorbs.
 
-use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::runner::{ExperimentSpec, KernelSpec};
 use kernels::workloads::{BarrierKind, LockKind};
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 use sim_machine::MachineConfig;
 
 fn main() {
-    println!("\nAblation A3: write-buffer depth (32 processors)");
-    println!("{:<22}{:<10}{:>8}{:>12}", "workload", "protocol", "entries", "latency");
-    for (name, kernel) in [
+    let workloads = [
         ("tree barrier", KernelSpec::Barrier(ppc_bench::barrier_workload(BarrierKind::Tree))),
         ("ticket lock", KernelSpec::Lock(ppc_bench::lock_workload(LockKind::Ticket))),
-    ] {
+    ];
+    let depths = [1usize, 2, 4, 8];
+    let mut specs = Vec::new();
+    for (_, kernel) in workloads {
         for proto in ppc_bench::PROTOCOLS {
-            for entries in [1usize, 2, 4, 8] {
+            for entries in depths {
                 let mut cfg = MachineConfig::paper(32, proto);
                 cfg.wb_entries = entries;
-                let spec = ExperimentSpec { procs: 32, protocol: proto, kernel };
-                let out = run_experiment_configured(&spec, cfg);
+                specs.push(RunSpec::with_config(ExperimentSpec { procs: 32, protocol: proto, kernel }, cfg));
+            }
+        }
+    }
+    let outs = sweep::run_specs_with(&specs, &SweepOptions::from_env()).0;
+    println!("\nAblation A3: write-buffer depth (32 processors)");
+    println!("{:<22}{:<10}{:>8}{:>12}", "workload", "protocol", "entries", "latency");
+    let mut cells = outs.iter();
+    for (name, _) in workloads {
+        for proto in ppc_bench::PROTOCOLS {
+            for entries in depths {
+                let out = cells.next().unwrap();
                 println!("{:<22}{:<10}{:>8}{:>12.1}", name, proto.label(), entries, out.avg_latency);
             }
         }

@@ -3,10 +3,12 @@
 //! Figure 8 reports average acquire–release latency; the averages hide the
 //! tail behavior that distinguishes the protocols. This binary prints the
 //! log₂-bucketed distribution of individual read-miss and atomic stall
-//! times for the lock kernels.
+//! times for the lock kernels. The nine cells run as one sweep batch, so
+//! they share the memo cache with the Figure 8/9/10 binaries.
 
-use kernels::runner::{run_experiment, ExperimentSpec, KernelSpec};
+use kernels::runner::KernelSpec;
 use kernels::workloads::LockKind;
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 use sim_stats::LatencyHist;
 
 fn print_hist(name: &str, h: &LatencyHist) {
@@ -26,13 +28,18 @@ fn print_hist(name: &str, h: &LatencyHist) {
 }
 
 fn main() {
-    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious];
+    let mut specs = Vec::new();
+    for kind in kinds {
         for proto in ppc_bench::PROTOCOLS {
-            let out = run_experiment(&ExperimentSpec {
-                procs: 32,
-                protocol: proto,
-                kernel: KernelSpec::Lock(ppc_bench::lock_workload(kind)),
-            });
+            specs.push(RunSpec::paper(32, proto, KernelSpec::Lock(ppc_bench::lock_workload(kind))));
+        }
+    }
+    let outs = sweep::run_specs_with(&specs, &SweepOptions::from_env()).0;
+    let mut cells = outs.iter();
+    for kind in kinds {
+        for proto in ppc_bench::PROTOCOLS {
+            let out = cells.next().unwrap();
             println!("\n{} {} (32 processors):", kind.label(), proto.label());
             print_hist("read-miss stalls", &out.read_latency);
             print_hist("atomic stalls", &out.atomic_latency);

@@ -1,25 +1,40 @@
 //! Section 4.1 text variant: the ratio of work outside and inside the
 //! critical section equals the number of processors (±10%), a controlled
 //! contention level. The paper reports qualitatively unchanged results.
+//!
+//! The workload varies per machine size (the ratio tracks P), so this
+//! table cannot reuse the shared row builders; it submits its own
+//! [`RunSpec`] batch to the sweep harness instead.
 
 use kernels::runner::KernelSpec;
 use kernels::workloads::{LockKind, PostRelease};
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 
 fn main() {
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious];
+    let mut specs = Vec::new();
+    for kind in kinds {
+        for proto in ppc_bench::PROTOCOLS {
+            for procs in ppc_bench::PROC_SWEEP {
+                let mut w = ppc_bench::lock_workload(kind);
+                w.post_release = PostRelease::Proportional { ratio: procs as u32 };
+                specs.push(RunSpec::paper(procs, proto, KernelSpec::Lock(w)));
+            }
+        }
+    }
+    let outs = sweep::run_specs_with(&specs, &SweepOptions::from_env()).0;
     println!("\nSection 4.1 variant: outside/inside work ratio = P (±10%)");
     print!("{:<10}", "combo");
     for p in ppc_bench::PROC_SWEEP {
         print!("{p:>10}");
     }
     println!();
-    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::McsUpdateConscious] {
+    let mut cells = outs.iter();
+    for kind in kinds {
         for proto in ppc_bench::PROTOCOLS {
             print!("{:<10}", format!("{} {}", kind.label(), proto.label()));
-            for procs in ppc_bench::PROC_SWEEP {
-                let mut w = ppc_bench::lock_workload(kind);
-                w.post_release = PostRelease::Proportional { ratio: procs as u32 };
-                let out = ppc_bench::run_cell(procs, proto, KernelSpec::Lock(w));
-                print!("{:>10.1}", out.avg_latency);
+            for _ in ppc_bench::PROC_SWEEP {
+                print!("{:>10.1}", cells.next().unwrap().avg_latency);
             }
             println!();
         }

@@ -25,11 +25,14 @@
 //! pass; the default is the paper's full workload (32000 lock acquisitions,
 //! 5000 barrier/reduction episodes).
 
-use kernels::runner::{run_experiment, ExperimentOutcome, ExperimentSpec, KernelSpec};
+pub mod sweep;
+
+use kernels::runner::{ExperimentOutcome, KernelSpec};
 use kernels::workloads::{
     BarrierKind, BarrierWorkload, LockKind, LockWorkload, ReductionKind, ReductionWorkload,
 };
 use sim_proto::Protocol;
+use sweep::{RunSpec, SweepOptions};
 
 /// The protocols in the paper's label order (i, u, c).
 pub const PROTOCOLS: [Protocol; 3] =
@@ -67,9 +70,10 @@ pub fn reduction_workload(kind: ReductionKind) -> ReductionWorkload {
     ReductionWorkload { episodes: scaled(5_000), ..ReductionWorkload::paper(kind) }
 }
 
-/// Runs one kernel/protocol/size cell.
+/// Runs one kernel/protocol/size cell through the sweep harness (so the
+/// cell is memoized in-process and, by default, on disk).
 pub fn run_cell(procs: usize, protocol: Protocol, kernel: KernelSpec) -> ExperimentOutcome {
-    run_experiment(&ExperimentSpec { procs, protocol, kernel })
+    sweep::run_specs(&[RunSpec::paper(procs, protocol, kernel)]).pop().unwrap()
 }
 
 /// Writes `rows` (first row = header) as CSV into `$PPC_CSV_DIR/<name>.csv`
@@ -84,29 +88,54 @@ pub fn maybe_csv(name: &str, rows: &[Vec<String>]) {
     }
 }
 
-/// Prints a latency table: one row per (algorithm, protocol) combination,
-/// one column per machine size — the data behind Figures 8, 11, and 14.
-/// Also emits `$PPC_CSV_DIR/<title-slug>.csv` when requested.
-pub fn latency_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
-    println!("\n{title}");
-    print!("{:<10}", "combo");
-    for p in PROC_SWEEP {
-        print!("{p:>10}");
+/// Renders a latency table and its CSV rows: one table row per
+/// (algorithm, protocol) combination, one column per entry of `procs`.
+/// All cells are submitted to the sweep harness as one batch, so worker
+/// threads fan out across them; the rendered text is byte-identical to
+/// the historical serial `print!` output.
+pub fn render_latency_table(
+    title: &str,
+    rows: &[(String, KernelSpec, Protocol)],
+    procs: &[usize],
+    opts: &SweepOptions,
+) -> (String, Vec<Vec<String>>) {
+    let specs: Vec<RunSpec> = rows
+        .iter()
+        .flat_map(|(_, kernel, protocol)| procs.iter().map(|&p| RunSpec::paper(p, *protocol, *kernel)))
+        .collect();
+    let outs = sweep::run_specs_with(&specs, opts).0;
+    let mut text = format!("\n{title}\n");
+    text.push_str(&format!("{:<10}", "combo"));
+    for p in procs {
+        text.push_str(&format!("{p:>10}"));
     }
-    println!();
+    text.push('\n');
     let mut csv: Vec<Vec<String>> =
-        vec![std::iter::once("combo".to_string()).chain(PROC_SWEEP.iter().map(|p| p.to_string())).collect()];
-    for (label, kernel, protocol) in rows {
-        print!("{label:<10}");
+        vec![std::iter::once("combo".to_string()).chain(procs.iter().map(|p| p.to_string())).collect()];
+    for ((label, _, _), outs) in rows.iter().zip(outs.chunks(procs.len())) {
+        text.push_str(&format!("{label:<10}"));
         let mut csv_row = vec![label.clone()];
-        for procs in PROC_SWEEP {
-            let out = run_cell(procs, *protocol, *kernel);
-            print!("{:>10.1}", out.avg_latency);
+        for out in outs {
+            text.push_str(&format!("{:>10.1}", out.avg_latency));
             csv_row.push(format!("{:.1}", out.avg_latency));
         }
-        println!();
+        text.push('\n');
         csv.push(csv_row);
     }
+    (text, csv)
+}
+
+/// Prints a latency table over [`PROC_SWEEP`] — the data behind Figures
+/// 8, 11, and 14 — and emits `$PPC_CSV_DIR/<title-slug>.csv` on request.
+pub fn latency_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    latency_table_over(title, rows, &PROC_SWEEP);
+}
+
+/// [`latency_table`] over an explicit machine-size sweep (the `--quick`
+/// mode of `all_figures` caps it at 4 processors).
+pub fn latency_table_over(title: &str, rows: &[(String, KernelSpec, Protocol)], procs: &[usize]) {
+    let (text, csv) = render_latency_table(title, rows, procs, &SweepOptions::from_env());
+    print!("{text}");
     maybe_csv(&slug(title), &csv);
 }
 
@@ -122,19 +151,26 @@ pub fn slug(title: &str) -> String {
         .join("-")
 }
 
-/// Prints a miss-classification table at 32 processors — the data behind
-/// Figures 9, 12, and 15.
-pub fn miss_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
-    println!("\n{title}");
-    println!(
-        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+/// Renders a miss-classification table at `procs` processors — the data
+/// behind Figures 9, 12, and 15. One sweep batch per table.
+pub fn render_miss_table(
+    title: &str,
+    rows: &[(String, KernelSpec, Protocol)],
+    procs: usize,
+    opts: &SweepOptions,
+) -> String {
+    let specs: Vec<RunSpec> =
+        rows.iter().map(|(_, kernel, protocol)| RunSpec::paper(procs, *protocol, *kernel)).collect();
+    let outs = sweep::run_specs_with(&specs, opts).0;
+    let mut text = format!("\n{title}\n");
+    text.push_str(&format!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
         "combo", "total", "cold", "true", "false", "evict", "drop", "excl-req"
-    );
-    for (label, kernel, protocol) in rows {
-        let out = run_cell(TRAFFIC_PROCS, *protocol, *kernel);
+    ));
+    for ((label, _, _), out) in rows.iter().zip(&outs) {
         let m = out.traffic.misses;
-        println!(
-            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        text.push_str(&format!(
+            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
             label,
             m.total_misses(),
             m.cold,
@@ -143,24 +179,42 @@ pub fn miss_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
             m.eviction,
             m.drop,
             m.exclusive_requests
-        );
+        ));
     }
+    text
 }
 
-/// Prints an update-classification table at 32 processors — the data
-/// behind Figures 10, 13, and 16. (Replacement updates are reported but,
-/// as in the paper, never observed.)
-pub fn update_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
-    println!("\n{title}");
-    println!(
-        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+/// Prints a miss-classification table at [`TRAFFIC_PROCS`].
+pub fn miss_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    miss_table_at(title, rows, TRAFFIC_PROCS);
+}
+
+/// [`miss_table`] at an explicit machine size (used by `--quick`).
+pub fn miss_table_at(title: &str, rows: &[(String, KernelSpec, Protocol)], procs: usize) {
+    print!("{}", render_miss_table(title, rows, procs, &SweepOptions::from_env()));
+}
+
+/// Renders an update-classification table at `procs` processors — the
+/// data behind Figures 10, 13, and 16. (Replacement updates are reported
+/// but, as in the paper, never observed.)
+pub fn render_update_table(
+    title: &str,
+    rows: &[(String, KernelSpec, Protocol)],
+    procs: usize,
+    opts: &SweepOptions,
+) -> String {
+    let specs: Vec<RunSpec> =
+        rows.iter().map(|(_, kernel, protocol)| RunSpec::paper(procs, *protocol, *kernel)).collect();
+    let outs = sweep::run_specs_with(&specs, opts).0;
+    let mut text = format!("\n{title}\n");
+    text.push_str(&format!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
         "combo", "total", "useful", "false", "prolif", "repl", "end", "drop"
-    );
-    for (label, kernel, protocol) in rows {
-        let out = run_cell(TRAFFIC_PROCS, *protocol, *kernel);
+    ));
+    for ((label, _, _), out) in rows.iter().zip(&outs) {
         let u = out.traffic.updates;
-        println!(
-            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        text.push_str(&format!(
+            "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
             label,
             u.total(),
             u.true_sharing,
@@ -169,8 +223,19 @@ pub fn update_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
             u.replacement,
             u.termination,
             u.drop
-        );
+        ));
     }
+    text
+}
+
+/// Prints an update-classification table at [`TRAFFIC_PROCS`].
+pub fn update_table(title: &str, rows: &[(String, KernelSpec, Protocol)]) {
+    update_table_at(title, rows, TRAFFIC_PROCS);
+}
+
+/// [`update_table`] at an explicit machine size (used by `--quick`).
+pub fn update_table_at(title: &str, rows: &[(String, KernelSpec, Protocol)], procs: usize) {
+    print!("{}", render_update_table(title, rows, procs, &SweepOptions::from_env()));
 }
 
 /// Rows for the lock figures: {tk, MCS, uc} × {i, u, c}.

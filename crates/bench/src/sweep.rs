@@ -1,0 +1,456 @@
+//! Parallel sweep harness with memoized runs.
+//!
+//! Every figure of the paper is a sweep over *independent* simulations
+//! (kernel × protocol × machine size). This module expresses one cell as
+//! a declarative [`RunSpec`], executes a batch of them across host threads
+//! (each simulation stays single-threaded and bit-deterministic), and
+//! memoizes completed outcomes twice over:
+//!
+//! * an in-process table, so e.g. `all_figures`' traffic tables at 32
+//!   processors reuse the cells its latency tables already simulated;
+//! * an on-disk cache (`target/sweep-cache` by default), so re-running a
+//!   figure binary re-simulates only cells whose inputs changed.
+//!
+//! The cache key is a stable 128-bit content hash of the full
+//! [`MachineConfig`], the [`ExperimentSpec`] (kernel and its parameters),
+//! the installed-program digest ([`kernel_fingerprint`]), the crate
+//! version, and a schema version — see docs/HARNESS.md for the
+//! invalidation rules and their limits.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `PPC_WORKERS` — worker threads (default: available parallelism);
+//! * `PPC_SWEEP_CACHE` — cache directory, or `off`/`0` to disable.
+//!
+//! Results are returned in spec order regardless of worker scheduling, so
+//! table output is byte-identical across worker counts, against a warm or
+//! cold cache, and against the old serial harness.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use kernels::runner::{kernel_fingerprint, run_experiment_configured, ExperimentOutcome, ExperimentSpec};
+use sim_engine::{stable_hash64, StableHasher};
+use sim_machine::MachineConfig;
+use sim_stats::{LatencyHist, MissStats, StructureTraffic, TrafficReport, UpdateStats};
+
+/// Bump when the on-disk entry format or the key derivation changes; old
+/// entries then miss instead of parsing wrong.
+const SCHEMA: &str = "ppc-sweep-v1";
+/// First line of every cache entry.
+const MAGIC: &str = "ppc-sweep-cache-v1";
+
+/// One simulation cell of a sweep: an experiment plus the full machine
+/// configuration it runs under.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The experiment (machine size, protocol, kernel parameters).
+    pub spec: ExperimentSpec,
+    /// The machine configuration (defaults to the paper machine; ablation
+    /// sweeps override fields like `cu_threshold` or `wb_entries`).
+    pub cfg: MachineConfig,
+}
+
+impl RunSpec {
+    /// A cell on the paper's machine.
+    pub fn paper(procs: usize, protocol: sim_proto::Protocol, kernel: kernels::runner::KernelSpec) -> Self {
+        RunSpec {
+            spec: ExperimentSpec { procs, protocol, kernel },
+            cfg: MachineConfig::paper(procs, protocol),
+        }
+    }
+
+    /// A cell with an explicit machine configuration.
+    pub fn with_config(spec: ExperimentSpec, cfg: MachineConfig) -> Self {
+        RunSpec { spec, cfg }
+    }
+
+    /// The memoization key: 32 hex characters, stable across runs and
+    /// toolchains for identical inputs.
+    pub fn cache_key(&self) -> String {
+        let mut h = StableHasher::new();
+        h.write_str(SCHEMA);
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        // Debug formatting of the config and spec enumerates every field
+        // (new fields change the string, hence the key — fail-safe).
+        h.write_str(&format!("{:?}", self.cfg));
+        h.write_str(&format!("{:?}", self.spec));
+        h.write_u64(kernel_fingerprint(&self.spec, &self.cfg));
+        h.finish_hex()
+    }
+}
+
+/// How a batch of [`RunSpec`]s executes.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads claiming cells from the shared batch (≥ 1; each
+    /// cell's simulation itself stays single-threaded).
+    pub workers: usize,
+    /// On-disk result cache directory; `None` disables disk memoization
+    /// (the in-process table is always active).
+    pub disk_cache: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// Options from the environment: `PPC_WORKERS`, `PPC_SWEEP_CACHE`.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("PPC_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let disk_cache = match std::env::var("PPC_SWEEP_CACHE") {
+            Ok(s) if s == "off" || s == "0" => None,
+            Ok(s) if !s.is_empty() => Some(PathBuf::from(s)),
+            _ => Some(PathBuf::from("target/sweep-cache")),
+        };
+        SweepOptions { workers: workers.max(1), disk_cache }
+    }
+
+    /// Serial execution with no disk cache (the in-process memo table
+    /// still applies) — the reference path for equivalence tests.
+    pub fn serial_uncached() -> Self {
+        SweepOptions { workers: 1, disk_cache: None }
+    }
+}
+
+/// Where each outcome of a sweep came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells simulated from scratch in this batch.
+    pub simulated: usize,
+    /// Cells served by the in-process memo table.
+    pub from_memory: usize,
+    /// Cells loaded from the on-disk cache.
+    pub from_disk: usize,
+}
+
+/// Runs every spec (with environment-default [`SweepOptions`]) and
+/// returns the outcomes in spec order.
+pub fn run_specs(specs: &[RunSpec]) -> Vec<ExperimentOutcome> {
+    run_specs_with(specs, &SweepOptions::from_env()).0
+}
+
+/// Runs every spec under explicit options; outcomes come back in spec
+/// order regardless of worker scheduling.
+pub fn run_specs_with(specs: &[RunSpec], opts: &SweepOptions) -> (Vec<ExperimentOutcome>, SweepStats) {
+    let simulated = AtomicUsize::new(0);
+    let from_memory = AtomicUsize::new(0);
+    let from_disk = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentOutcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.workers.clamp(1, specs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let out = run_one(&specs[i], opts, (&simulated, &from_memory, &from_disk));
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let outcomes =
+        slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("every sweep slot filled")).collect();
+    let stats = SweepStats {
+        simulated: simulated.load(Ordering::Relaxed),
+        from_memory: from_memory.load(Ordering::Relaxed),
+        from_disk: from_disk.load(Ordering::Relaxed),
+    };
+    (outcomes, stats)
+}
+
+/// The process-wide memo table shared by every sweep in this process.
+fn memo() -> &'static Mutex<HashMap<String, ExperimentOutcome>> {
+    static MEMO: OnceLock<Mutex<HashMap<String, ExperimentOutcome>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Empties the in-process memo table. The equivalence tests and timing
+/// harnesses call this to force the next sweep down the disk-cache (or
+/// full re-simulation) path; figure binaries never need it.
+pub fn clear_memo() {
+    memo().lock().unwrap().clear();
+}
+
+fn run_one(
+    rs: &RunSpec,
+    opts: &SweepOptions,
+    (simulated, from_memory, from_disk): (&AtomicUsize, &AtomicUsize, &AtomicUsize),
+) -> ExperimentOutcome {
+    let key = rs.cache_key();
+    if let Some(hit) = memo().lock().unwrap().get(&key).cloned() {
+        from_memory.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    if let Some(dir) = &opts.disk_cache {
+        if let Some(out) = load_entry(&entry_path(dir, &key), &key) {
+            from_disk.fetch_add(1, Ordering::Relaxed);
+            memo().lock().unwrap().insert(key, out.clone());
+            return out;
+        }
+    }
+    let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
+    if let Some(dir) = &opts.disk_cache {
+        if let Err(e) = store_entry(dir, &key, &out) {
+            eprintln!("warning: could not write sweep-cache entry {key}: {e}");
+        }
+    }
+    simulated.fetch_add(1, Ordering::Relaxed);
+    memo().lock().unwrap().insert(key, out.clone());
+    out
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.run"))
+}
+
+// ---------------------------------------------------------------------
+// On-disk entry format
+// ---------------------------------------------------------------------
+//
+// A plain-text, line-oriented format (no serialization crates in this
+// workspace). Every numeric field round-trips exactly: floats are stored
+// as their IEEE-754 bit patterns, so a table printed from a cached
+// outcome is byte-identical to one printed from a fresh simulation.
+// An entry is served only if its magic, embedded key, and payload
+// checksum all verify — a poisoned or stale entry is a cache miss and
+// the cell is re-simulated (and the entry rewritten).
+
+fn encode_hist(h: &LatencyHist) -> String {
+    let (buckets, count, sum, max) = h.to_raw_parts();
+    let mut s = String::new();
+    for b in buckets {
+        s.push_str(&format!("{b} "));
+    }
+    s.push_str(&format!("{count} {sum} {max}"));
+    s
+}
+
+fn decode_hist(line: &str) -> Option<LatencyHist> {
+    let nums: Vec<u64> = line.split(' ').map(|t| t.parse().ok()).collect::<Option<_>>()?;
+    if nums.len() != 35 {
+        return None;
+    }
+    let mut buckets = [0u64; 32];
+    buckets.copy_from_slice(&nums[..32]);
+    Some(LatencyHist::from_raw_parts(buckets, nums[32], nums[33], nums[34]))
+}
+
+fn encode_outcome(out: &ExperimentOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("cycles={}\n", out.cycles));
+    s.push_str(&format!("avg_latency_bits={:016x}\n", out.avg_latency.to_bits()));
+    let m = &out.traffic.misses;
+    s.push_str(&format!(
+        "miss={} {} {} {} {} {}\n",
+        m.cold, m.true_sharing, m.false_sharing, m.eviction, m.drop, m.exclusive_requests
+    ));
+    let u = &out.traffic.updates;
+    s.push_str(&format!(
+        "upd={} {} {} {} {} {}\n",
+        u.true_sharing, u.false_sharing, u.proliferation, u.replacement, u.termination, u.drop
+    ));
+    s.push_str(&format!(
+        "shared={} {} {}\n",
+        out.traffic.shared_reads, out.traffic.shared_writes, out.traffic.shared_atomics
+    ));
+    s.push_str(&format!("nstructs={}\n", out.traffic.by_structure.len()));
+    for st in &out.traffic.by_structure {
+        let m = &st.misses;
+        let u = &st.updates;
+        s.push_str(&format!(
+            "struct={} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            m.cold,
+            m.true_sharing,
+            m.false_sharing,
+            m.eviction,
+            m.drop,
+            m.exclusive_requests,
+            u.true_sharing,
+            u.false_sharing,
+            u.proliferation,
+            u.replacement,
+            u.termination,
+            u.drop,
+            st.name
+        ));
+    }
+    let n = &out.net;
+    s.push_str(&format!("net={} {} {} {}\n", n.messages, n.local_messages, n.flits, n.total_hops));
+    s.push_str(&format!("read_hist={}\n", encode_hist(&out.read_latency)));
+    s.push_str(&format!("atomic_hist={}\n", encode_hist(&out.atomic_latency)));
+    s
+}
+
+fn parse_u64s(line: &str, n: usize) -> Option<Vec<u64>> {
+    let nums: Vec<u64> = line.split(' ').map(|t| t.parse().ok()).collect::<Option<_>>()?;
+    (nums.len() == n).then_some(nums)
+}
+
+fn decode_outcome(payload: &str) -> Option<ExperimentOutcome> {
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    let mut structs: Vec<StructureTraffic> = Vec::new();
+    for line in payload.lines() {
+        let (k, v) = line.split_once('=')?;
+        if k == "struct" {
+            let mut toks = v.splitn(13, ' ');
+            let mut nums = [0u64; 12];
+            for slot in nums.iter_mut() {
+                *slot = toks.next()?.parse().ok()?;
+            }
+            let name = toks.next()?.to_string();
+            structs.push(StructureTraffic {
+                name,
+                misses: miss_stats(&nums[..6]),
+                updates: update_stats(&nums[6..]),
+            });
+        } else {
+            fields.insert(k, v);
+        }
+    }
+    let miss = parse_u64s(fields.get("miss")?, 6)?;
+    let upd = parse_u64s(fields.get("upd")?, 6)?;
+    let shared = parse_u64s(fields.get("shared")?, 3)?;
+    let net = parse_u64s(fields.get("net")?, 4)?;
+    let nstructs: usize = fields.get("nstructs")?.parse().ok()?;
+    if structs.len() != nstructs {
+        return None;
+    }
+    Some(ExperimentOutcome {
+        cycles: fields.get("cycles")?.parse().ok()?,
+        avg_latency: f64::from_bits(u64::from_str_radix(fields.get("avg_latency_bits")?, 16).ok()?),
+        traffic: TrafficReport {
+            misses: miss_stats(&miss),
+            updates: update_stats(&upd),
+            shared_reads: shared[0],
+            shared_writes: shared[1],
+            shared_atomics: shared[2],
+            by_structure: structs,
+        },
+        net: sim_net::NetCounters {
+            messages: net[0],
+            local_messages: net[1],
+            flits: net[2],
+            total_hops: net[3],
+        },
+        read_latency: decode_hist(fields.get("read_hist")?)?,
+        atomic_latency: decode_hist(fields.get("atomic_hist")?)?,
+    })
+}
+
+fn miss_stats(n: &[u64]) -> MissStats {
+    MissStats {
+        cold: n[0],
+        true_sharing: n[1],
+        false_sharing: n[2],
+        eviction: n[3],
+        drop: n[4],
+        exclusive_requests: n[5],
+    }
+}
+
+fn update_stats(n: &[u64]) -> UpdateStats {
+    UpdateStats {
+        true_sharing: n[0],
+        false_sharing: n[1],
+        proliferation: n[2],
+        replacement: n[3],
+        termination: n[4],
+        drop: n[5],
+    }
+}
+
+/// Loads a cache entry, verifying magic, key, and checksum. Any mismatch
+/// or parse failure is a miss: the caller re-simulates and overwrites.
+fn load_entry(path: &Path, expect_key: &str) -> Option<ExperimentOutcome> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let rest = body.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    let rest = rest.strip_prefix("key=")?;
+    let (key, rest) = rest.split_once('\n')?;
+    if key != expect_key {
+        return None;
+    }
+    let (payload, tail) = rest.split_once("end=")?;
+    let checksum = tail.trim_end_matches('\n');
+    if format!("{:016x}", stable_hash64(payload.as_bytes())) != checksum {
+        return None;
+    }
+    decode_outcome(payload)
+}
+
+/// Writes an entry atomically (temp file + rename), so concurrent workers
+/// and interrupted runs never leave a half-written entry to parse.
+fn store_entry(dir: &Path, key: &str, out: &ExperimentOutcome) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let payload = encode_outcome(out);
+    let body = format!("{MAGIC}\nkey={key}\n{payload}end={:016x}\n", stable_hash64(payload.as_bytes()));
+    let tmp = dir.join(format!("{key}.tmp{}", std::process::id()));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, entry_path(dir, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::runner::KernelSpec;
+    use kernels::workloads::{LockKind, LockWorkload, PostRelease};
+    use sim_proto::Protocol;
+
+    fn tiny_spec(acquires: u32) -> RunSpec {
+        RunSpec::paper(
+            2,
+            Protocol::WriteInvalidate,
+            KernelSpec::Lock(LockWorkload {
+                kind: LockKind::Ticket,
+                total_acquires: acquires,
+                cs_cycles: 5,
+                post_release: PostRelease::None,
+            }),
+        )
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_input_sensitive() {
+        let a = tiny_spec(64).cache_key();
+        assert_eq!(a, tiny_spec(64).cache_key(), "same inputs, same key");
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, tiny_spec(65).cache_key(), "workload params feed the key");
+        let mut other = tiny_spec(64);
+        other.cfg.cu_threshold += 1;
+        assert_ne!(a, other.cache_key(), "machine config feeds the key");
+    }
+
+    #[test]
+    fn outcome_roundtrips_through_entry_format() {
+        let rs = tiny_spec(64);
+        let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
+        let decoded = decode_outcome(&encode_outcome(&out)).expect("decodes");
+        assert_eq!(decoded.cycles, out.cycles);
+        assert_eq!(decoded.avg_latency.to_bits(), out.avg_latency.to_bits());
+        assert_eq!(decoded.traffic.misses, out.traffic.misses);
+        assert_eq!(decoded.traffic.updates, out.traffic.updates);
+        assert_eq!(decoded.net.messages, out.net.messages);
+        assert_eq!(decoded.read_latency, out.read_latency);
+        assert_eq!(decoded.atomic_latency, out.atomic_latency);
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("ppc-sweep-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rs = tiny_spec(64);
+        let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
+        let key = rs.cache_key();
+        store_entry(&dir, &key, &out).unwrap();
+        let path = entry_path(&dir, &key);
+        assert!(load_entry(&path, &key).is_some(), "intact entry loads");
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(load_entry(&path, &key).is_none(), "truncated entry misses");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

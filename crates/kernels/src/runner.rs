@@ -107,6 +107,29 @@ pub fn run_experiment_configured(spec: &ExperimentSpec, cfg: MachineConfig) -> E
     }
 }
 
+/// A stable digest of the programs this experiment would install — built
+/// by laying the kernel out on a fresh machine *without running it*. The
+/// sweep harness folds this into its memoization key so that editing one
+/// kernel's code generation re-simulates only that kernel's cells, while
+/// the other kernels keep hitting the cache. (Changes below the program
+/// level — protocol, memory, network — do not move this digest; see
+/// docs/HARNESS.md for the cache-invalidation rules.)
+pub fn kernel_fingerprint(spec: &ExperimentSpec, cfg: &MachineConfig) -> u64 {
+    let mut m = Machine::new(cfg.clone());
+    match spec.kernel {
+        KernelSpec::Lock(w) => {
+            locks::install(&mut m, &w);
+        }
+        KernelSpec::Barrier(w) => {
+            barriers::install(&mut m, &w);
+        }
+        KernelSpec::Reduction(w) => {
+            reductions::install(&mut m, &w);
+        }
+    }
+    m.program_digest()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,10 +17,12 @@
 pub mod queue;
 pub mod rng;
 pub mod server;
+pub mod stable_hash;
 
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::FifoServer;
+pub use stable_hash::{stable_hash64, StableHasher};
 
 /// A point in simulated time, measured in processor cycles.
 ///

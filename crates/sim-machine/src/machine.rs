@@ -1116,6 +1116,23 @@ impl Machine {
 }
 
 impl Machine {
+    /// A stable digest over every processor's installed program — the
+    /// instruction stream as laid out, including the shared-memory
+    /// addresses embedded in it by the kernel installers. Together with
+    /// the [`MachineConfig`] this pins the simulation's entire input, so
+    /// the sweep harness can use it as a memoization-key component: a
+    /// change to a kernel's code generation changes the digest and
+    /// invalidates exactly that kernel's cached cells.
+    pub fn program_digest(&self) -> u64 {
+        let mut h = sim_engine::StableHasher::new();
+        for cpu in &self.cpus {
+            h.write_str(&format!("{:?}", cpu.program.code));
+        }
+        h.finish128().0
+    }
+}
+
+impl Machine {
     /// Registers a named shared-data structure (an address range) for
     /// per-structure traffic attribution in the final report. Call before
     /// [`Machine::run`]; see `TrafficReport::by_structure`.

@@ -75,6 +75,19 @@ impl LatencyHist {
         self.max = self.max.max(other.max);
     }
 
+    /// Decomposes the histogram into `(buckets, count, sum, max)` for
+    /// external serialization (the sweep harness's on-disk result cache).
+    pub fn to_raw_parts(&self) -> ([u64; 32], u64, u64, Cycle) {
+        (self.buckets, self.count, self.sum, self.max)
+    }
+
+    /// Rebuilds a histogram from [`LatencyHist::to_raw_parts`] output.
+    /// The parts are trusted verbatim; feeding back anything other than a
+    /// `to_raw_parts` result produces a histogram that never existed.
+    pub fn from_raw_parts(buckets: [u64; 32], count: u64, sum: u64, max: Cycle) -> Self {
+        LatencyHist { buckets, count, sum, max }
+    }
+
     /// `(bucket lower bound, sample count)` for each non-empty bucket.
     pub fn nonempty_buckets(&self) -> impl Iterator<Item = (Cycle, u64)> + '_ {
         self.buckets
