@@ -1,0 +1,110 @@
+//! Per-cache-line hot-spot profile: runs one kernel under all three
+//! protocols with line provenance enabled and prints, per protocol, the
+//! top-N hottest blocks (most classified traffic) with their observed
+//! sharing pattern, classified miss/update counts, useless-traffic share,
+//! and the last miss's provenance chain, followed by the per-structure
+//! aggregation (`qnode[3]` → `qnode[*]`).
+//!
+//! This is the paper's Sections 4.1–4.3 argument made mechanical: the MCS
+//! qnodes show up migratory (ownership hops requester to requester), the
+//! centralized barrier counter wide-shared (every write fans out to the
+//! whole spin crowd), and the useless-traffic column names the structure
+//! responsible.
+//!
+//! Usage: `line_profile [kernel] [procs] [top_n]` (defaults: `mcs-lock 8
+//! 8`). Kernel names are those of `obs_report`; workloads honor
+//! `PPC_SCALE`.
+
+use std::process::ExitCode;
+
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed, KERNEL_NAMES};
+use ppc_bench::PROTOCOLS;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args.first().map(String::as_str).unwrap_or("mcs-lock");
+    let procs: usize = match args.get(1).map(|s| s.parse()) {
+        None => 8,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("invalid processor count; expected an integer >= 1");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top_n: usize = match args.get(2).map(|s| s.parse()) {
+        None => 8,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("invalid top-N; expected an integer >= 1");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(kernel) = kernel_by_name(kernel_name) else {
+        eprintln!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", "));
+        return ExitCode::FAILURE;
+    };
+
+    println!("line profile: {kernel_name}, {procs} procs");
+    for protocol in PROTOCOLS {
+        let (r, _events) = run_observed(procs, protocol, &kernel);
+        let obs = r.obs.as_ref().expect("machine ran observed");
+        let lineage = obs.lineage.as_ref().expect("observed runs carry lineage");
+        let phase_label = |p: u16| obs.phase_names.get(&p).cloned().unwrap_or_else(|| format!("phase{p}"));
+
+        println!(
+            "\n== {} == {} cycles, {} blocks touched, {} provenance events{}",
+            protocol_name(protocol),
+            r.cycles,
+            lineage.blocks.len(),
+            lineage.events.len(),
+            if lineage.events_dropped > 0 {
+                format!(" (+{} past cap)", lineage.events_dropped)
+            } else {
+                String::new()
+            }
+        );
+        println!(
+            "{:<12}{:<18}{:<18}{:>8}{:>9}{:>9}{:>10}{:>8}",
+            "block", "label", "pattern", "misses", "updates", "inval", "useless%", "fanout"
+        );
+        for b in lineage.blocks.iter().take(top_n) {
+            let traffic = b.traffic();
+            println!(
+                "{:<12}{:<18}{:<18}{:>8}{:>9}{:>9}{:>10.1}{:>8.2}",
+                format!("{:#x}", b.block.0),
+                b.label.as_deref().unwrap_or("-"),
+                b.pattern.name(),
+                b.misses.total_misses(),
+                b.updates.total(),
+                b.invalidations,
+                100.0 * b.useless_traffic() as f64 / traffic.max(1) as f64,
+                b.fanout_per_write,
+            );
+            if let Some(p) = b.provenance_string(&phase_label) {
+                println!("            └─ {p}");
+            }
+        }
+
+        println!(
+            "\n{:<22}{:>7}{:<18}{:>8}{:>9}{:>10}{:>10}",
+            "structure", "blocks", "  pattern", "misses", "updates", "useless", "useless%"
+        );
+        for s in &lineage.by_structure {
+            let traffic = s.misses.total_misses() + s.updates.total();
+            if traffic == 0 {
+                continue;
+            }
+            println!(
+                "{:<22}{:>7}  {:<16}{:>8}{:>9}{:>10}{:>10.1}",
+                s.name,
+                s.blocks,
+                s.pattern.name(),
+                s.misses.total_misses(),
+                s.updates.total(),
+                s.useless_traffic(),
+                100.0 * s.useless_traffic() as f64 / traffic.max(1) as f64,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

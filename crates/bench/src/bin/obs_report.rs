@@ -17,69 +17,10 @@
 
 use std::process::ExitCode;
 
-use kernels::workloads::{BarrierKind, LockKind, ReductionKind};
-use kernels::{barriers, locks, phase, reductions, KernelSpec};
-use ppc_bench::{barrier_workload, lock_workload, reduction_workload, PROTOCOLS};
-use sim_machine::{export_run, Machine, MachineConfig, RunResult, Trace, TraceEvent};
-use sim_proto::Protocol;
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed};
+use ppc_bench::PROTOCOLS;
+use sim_machine::export_run;
 use sim_stats::{ChromeTrace, Json};
-
-fn kernel_by_name(name: &str) -> Option<KernelSpec> {
-    Some(match name {
-        "ticket-lock" => KernelSpec::Lock(lock_workload(LockKind::Ticket)),
-        "mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::Mcs)),
-        "uc-mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::McsUpdateConscious)),
-        "tas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndSet)),
-        "ttas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndTestAndSet)),
-        "anderson-lock" => KernelSpec::Lock(lock_workload(LockKind::AndersonQueue)),
-        "central-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Centralized)),
-        "dissemination-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Dissemination)),
-        "tree-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Tree)),
-        "par-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Parallel)),
-        "seq-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Sequential)),
-        _ => return None,
-    })
-}
-
-/// Runs `kernel` on an observed machine with full message tracing; returns
-/// the result (phase names installed) and the recorded event stream.
-fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<TraceEvent>) {
-    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
-    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
-    let mut r = match kernel {
-        KernelSpec::Lock(w) => {
-            let layout = locks::install(&mut m, w);
-            let r = m.run();
-            locks::verify(&mut m, w, &layout);
-            r
-        }
-        KernelSpec::Barrier(w) => {
-            let layout = barriers::install(&mut m, w);
-            let r = m.run();
-            barriers::verify(&mut m, w, &layout);
-            r
-        }
-        KernelSpec::Reduction(w) => {
-            let layout = reductions::install(&mut m, w);
-            let r = m.run();
-            reductions::verify(&mut m, w, &layout);
-            r
-        }
-    };
-    if let Some(obs) = r.obs.as_mut() {
-        obs.set_phase_names(phase::names());
-    }
-    let trace = m.take_trace().expect("tracing was enabled");
-    (r, trace.events().to_vec())
-}
-
-fn protocol_name(p: Protocol) -> &'static str {
-    match p {
-        Protocol::WriteInvalidate => "WI",
-        Protocol::PureUpdate => "PU",
-        Protocol::CompetitiveUpdate => "CU",
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

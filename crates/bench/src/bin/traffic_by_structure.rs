@@ -17,21 +17,29 @@ fn print_breakdown(title: &str, traffic: &TrafficReport) {
         "structure", "misses", "updates", "useful", "useless", "share%"
     );
     let grand: u64 = traffic.updates.total() + traffic.misses.total_misses();
-    // Aggregate per-processor instances (qnode[3] → qnode[*]) for brevity.
-    let mut agg: Vec<(String, sim_stats::MissStats, sim_stats::UpdateStats)> = Vec::new();
+    // Aggregate per-processor instances (qnode[3] → qnode[*]) for brevity,
+    // keyed by base name so the pass is linear in the structure count.
+    let mut by_base: std::collections::HashMap<String, (sim_stats::MissStats, sim_stats::UpdateStats)> =
+        std::collections::HashMap::new();
     for s in &traffic.by_structure {
         let base = match s.name.find('[') {
             Some(i) => format!("{}[*]", &s.name[..i]),
             None => s.name.clone(),
         };
-        match agg.iter_mut().find(|(n, _, _)| *n == base) {
-            Some((_, m, u)) => {
-                m.merge(&s.misses);
-                u.merge(&s.updates);
-            }
-            None => agg.push((base, s.misses, s.updates)),
-        }
+        let (m, u) = by_base.entry(base).or_default();
+        m.merge(&s.misses);
+        u.merge(&s.updates);
     }
+    // Rows print worst offender first: useless traffic (useless misses +
+    // useless updates) descending, ties broken by name so the table is
+    // deterministic.
+    let mut agg: Vec<(String, sim_stats::MissStats, sim_stats::UpdateStats)> =
+        by_base.into_iter().map(|(n, (m, u))| (n, m, u)).collect();
+    agg.sort_by(|a, b| {
+        let ua = a.1.useless() + a.2.useless();
+        let ub = b.1.useless() + b.2.useless();
+        ub.cmp(&ua).then_with(|| a.0.cmp(&b.0))
+    });
     for (name, m, u) in agg {
         let sub = u.total() + m.total_misses();
         if sub == 0 {

@@ -1,0 +1,90 @@
+//! Validated environment-knob parsing shared by the bench binaries.
+//!
+//! Every knob (`PPC_SCALE`, `PPC_WORKERS`, …) used to be read with a
+//! silent `.ok().and_then(parse).unwrap_or(default)` chain, so a typo like
+//! `PPC_SCALE=0,1` quietly ran the full paper workload. All reads now go
+//! through [`env_or`], which treats garbage as a hard configuration error
+//! with a message naming the variable and the rejected value. The parsing
+//! itself is the pure [`parse`] function, unit-testable without mutating
+//! process state (env-var mutation is racy under the parallel test
+//! runner).
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parses an optional raw environment value. Pure: `None` or a
+/// blank/empty string mean "unset" (`Ok(None)`); anything else must parse
+/// as `T` or the error names the variable and the offending value.
+pub fn parse<T: FromStr>(name: &str, raw: Option<&str>) -> Result<Option<T>, String>
+where
+    T::Err: Display,
+{
+    match raw {
+        None => Ok(None),
+        Some(s) if s.trim().is_empty() => Ok(None),
+        Some(s) => s
+            .trim()
+            .parse::<T>()
+            .map(Some)
+            .map_err(|e| format!("invalid {name}={s:?}: {e} (unset it or pass a valid value)")),
+    }
+}
+
+/// Reads and parses `name` from the process environment, falling back to
+/// `default` when unset. A value that does not parse aborts the process
+/// with a clear error instead of being silently ignored.
+pub fn env_or<T: FromStr>(name: &str, default: T) -> T
+where
+    T::Err: Display,
+{
+    env_or_else(name, || default)
+}
+
+/// [`env_or`] with a lazily computed default (e.g. querying the host's
+/// available parallelism only when `PPC_WORKERS` is unset).
+pub fn env_or_else<T: FromStr>(name: &str, default: impl FnOnce() -> T) -> T
+where
+    T::Err: Display,
+{
+    match parse(name, std::env::var(name).ok().as_deref()) {
+        Ok(v) => v.unwrap_or_else(default),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_blank_mean_default() {
+        assert_eq!(parse::<f64>("PPC_SCALE", None), Ok(None));
+        assert_eq!(parse::<f64>("PPC_SCALE", Some("")), Ok(None));
+        assert_eq!(parse::<f64>("PPC_SCALE", Some("   ")), Ok(None));
+    }
+
+    #[test]
+    fn valid_values_parse_with_whitespace_trimmed() {
+        assert_eq!(parse::<f64>("PPC_SCALE", Some("0.25")), Ok(Some(0.25)));
+        assert_eq!(parse::<f64>("PPC_SCALE", Some(" 1.5 ")), Ok(Some(1.5)));
+        assert_eq!(parse::<usize>("PPC_WORKERS", Some("4")), Ok(Some(4)));
+    }
+
+    #[test]
+    fn garbage_names_the_variable_and_value() {
+        let err = parse::<f64>("PPC_SCALE", Some("0,1")).unwrap_err();
+        assert!(err.contains("PPC_SCALE"), "{err}");
+        assert!(err.contains("0,1"), "{err}");
+        let err = parse::<usize>("PPC_WORKERS", Some("many")).unwrap_err();
+        assert!(err.contains("PPC_WORKERS"), "{err}");
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn negative_count_is_garbage_not_default() {
+        assert!(parse::<usize>("PPC_WORKERS", Some("-2")).is_err());
+    }
+}

@@ -25,6 +25,8 @@
 //! pass; the default is the paper's full workload (32000 lock acquisitions,
 //! 5000 barrier/reduction episodes).
 
+pub mod env_cfg;
+pub mod observed;
 pub mod sweep;
 
 use kernels::runner::{ExperimentOutcome, KernelSpec};
@@ -45,9 +47,16 @@ pub const PROC_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
 pub const TRAFFIC_PROCS: usize = 32;
 
 /// Workload scale factor from the `PPC_SCALE` environment variable
-/// (default 1.0 = the paper's full iteration counts).
+/// (default 1.0 = the paper's full iteration counts). A value that is not
+/// a positive number is a configuration error, not a silent full-scale
+/// run (see [`env_cfg`]).
 pub fn scale() -> f64 {
-    std::env::var("PPC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    let s: f64 = env_cfg::env_or("PPC_SCALE", 1.0);
+    if !(s.is_finite() && s > 0.0) {
+        eprintln!("invalid PPC_SCALE={s}: expected a positive number");
+        std::process::exit(2);
+    }
+    s
 }
 
 /// `n` scaled by [`scale`], with a sane floor.

@@ -1,0 +1,99 @@
+//! Fully-observed single runs, shared by the diagnostic binaries
+//! (`obs_report`, `line_profile`): name → kernel lookup and a run helper
+//! that enables cycle accounting, line provenance, and message tracing.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::{BarrierKind, LockKind, ReductionKind};
+use sim_machine::{Machine, MachineConfig, RunResult, Trace, TraceEvent};
+use sim_proto::Protocol;
+
+use crate::{barrier_workload, lock_workload, reduction_workload};
+
+/// The kernels the diagnostic binaries accept by name, at the current
+/// `PPC_SCALE` workload.
+pub fn kernel_by_name(name: &str) -> Option<KernelSpec> {
+    Some(match name {
+        "ticket-lock" => KernelSpec::Lock(lock_workload(LockKind::Ticket)),
+        "mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::Mcs)),
+        "uc-mcs-lock" => KernelSpec::Lock(lock_workload(LockKind::McsUpdateConscious)),
+        "tas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndSet)),
+        "ttas-lock" => KernelSpec::Lock(lock_workload(LockKind::TestAndTestAndSet)),
+        "anderson-lock" => KernelSpec::Lock(lock_workload(LockKind::AndersonQueue)),
+        "central-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Centralized)),
+        "dissemination-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Dissemination)),
+        "tree-barrier" => KernelSpec::Barrier(barrier_workload(BarrierKind::Tree)),
+        "par-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Parallel)),
+        "seq-reduction" => KernelSpec::Reduction(reduction_workload(ReductionKind::Sequential)),
+        _ => return None,
+    })
+}
+
+/// The kernel names [`kernel_by_name`] accepts (for usage messages).
+pub const KERNEL_NAMES: [&str; 11] = [
+    "ticket-lock",
+    "mcs-lock",
+    "uc-mcs-lock",
+    "tas-lock",
+    "ttas-lock",
+    "anderson-lock",
+    "central-barrier",
+    "dissemination-barrier",
+    "tree-barrier",
+    "par-reduction",
+    "seq-reduction",
+];
+
+/// Runs `kernel` on an observed machine with full message tracing; returns
+/// the result (phase names installed) and the recorded event stream.
+pub fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<TraceEvent>) {
+    use kernels::{barriers, locks, phase, reductions};
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
+    let mut r = match kernel {
+        KernelSpec::Lock(w) => {
+            let layout = locks::install(&mut m, w);
+            let r = m.run();
+            locks::verify(&mut m, w, &layout);
+            r
+        }
+        KernelSpec::Barrier(w) => {
+            let layout = barriers::install(&mut m, w);
+            let r = m.run();
+            barriers::verify(&mut m, w, &layout);
+            r
+        }
+        KernelSpec::Reduction(w) => {
+            let layout = reductions::install(&mut m, w);
+            let r = m.run();
+            reductions::verify(&mut m, w, &layout);
+            r
+        }
+    };
+    if let Some(obs) = r.obs.as_mut() {
+        obs.set_phase_names(phase::names());
+    }
+    let trace = m.take_trace().expect("tracing was enabled");
+    (r, trace.events().to_vec())
+}
+
+/// Long protocol label ("WI"/"PU"/"CU") used by the diagnostic outputs.
+pub fn protocol_name(p: Protocol) -> &'static str {
+    match p {
+        Protocol::WriteInvalidate => "WI",
+        Protocol::PureUpdate => "PU",
+        Protocol::CompetitiveUpdate => "CU",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_kernel_resolves() {
+        for name in KERNEL_NAMES {
+            assert!(kernel_by_name(name).is_some(), "{name}");
+        }
+        assert!(kernel_by_name("no-such-kernel").is_none());
+    }
+}

@@ -95,11 +95,12 @@ pub struct SweepOptions {
 
 impl SweepOptions {
     /// Options from the environment: `PPC_WORKERS`, `PPC_SWEEP_CACHE`.
+    /// A `PPC_WORKERS` value that is not a count aborts with a clear error
+    /// (see [`crate::env_cfg`]).
     pub fn from_env() -> Self {
-        let workers = std::env::var("PPC_WORKERS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let workers = crate::env_cfg::env_or_else("PPC_WORKERS", || {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
         let disk_cache = match std::env::var("PPC_SWEEP_CACHE") {
             Ok(s) if s == "off" || s == "0" => None,
             Ok(s) if !s.is_empty() => Some(PathBuf::from(s)),

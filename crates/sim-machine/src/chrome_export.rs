@@ -9,21 +9,37 @@
 //! - every traced send→handle message pair becomes a matched `"b"`/`"e"`
 //!   async flow (via [`FlowPairer`], so truncated traces never produce
 //!   dangling arrows);
-//! - processor halts become `"i"` instant markers.
+//! - processor halts become `"i"` instant markers;
+//! - when the run carried line provenance (`ObsReport::lineage`), the
+//!   hottest blocks each get their own track (ids from
+//!   [`LINE_TRACK_BASE`]) of directory-state slices, and every miss whose
+//!   provenance chains back to a remote write becomes a writer→victim
+//!   `"b"`/`"e"` flow in category `"inval"`.
 //!
 //! Several runs (e.g. the three protocols on the same kernel) can share one
 //! trace by exporting each under a distinct `pid` — the viewer shows them
 //! as separate processes with aligned clocks.
 
-use sim_stats::{ChromeTrace, FlowPairer, Json};
+use std::collections::HashMap;
+
+use sim_engine::Cycle;
+use sim_mem::BlockAddr;
+use sim_stats::{ChromeTrace, FlowPairer, Json, LineEventKind, LineageReport};
 
 use crate::result::RunResult;
 use crate::trace::TraceEvent;
 
+/// First track id used for per-line directory-state tracks (clear of any
+/// plausible `cpu<N>` track id).
+pub const LINE_TRACK_BASE: u64 = 1000;
+
+/// How many of the hottest blocks get their own provenance track.
+pub const LINE_TRACKS_MAX: usize = 8;
+
 /// What one [`export_run`] call contributed to the trace.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExportStats {
-    /// CPU state slices emitted as `"X"` events.
+    /// CPU state and directory-state slices emitted as `"X"` events.
     pub slices: usize,
     /// Matched send→handle flow pairs emitted.
     pub flow_pairs: u64,
@@ -92,7 +108,67 @@ pub fn export_run(
     stats.unmatched_handles = pairer.unmatched_handles();
     stats.unmatched_sends = pairer.unmatched_sends();
     stats.next_flow_id = first_flow_id + pairer.pairs();
+
+    if let Some(lineage) = result.obs.as_ref().and_then(|o| o.lineage.as_ref()) {
+        export_lineage(trace, pid, lineage, result.cycles, &mut stats);
+    }
     stats
+}
+
+/// Adds the per-line provenance layer: one directory-state track per hottest
+/// block and a writer→victim flow for every provenance-chained miss.
+fn export_lineage(
+    trace: &mut ChromeTrace,
+    pid: u64,
+    lineage: &LineageReport,
+    run_end: Cycle,
+    stats: &mut ExportStats,
+) {
+    // One track per hottest block (the report is already traffic-sorted).
+    let mut tids: HashMap<BlockAddr, u64> = HashMap::new();
+    for (i, b) in lineage.blocks.iter().take(LINE_TRACKS_MAX).enumerate() {
+        let tid = LINE_TRACK_BASE + i as u64;
+        let what = b.label.clone().unwrap_or_else(|| format!("{:#x}", b.block.0));
+        trace.thread_name(pid, tid, &format!("line {what} [{}]", b.pattern.name()));
+        tids.insert(b.block, tid);
+    }
+
+    // Directory-state slices: each transition closes the previous state's
+    // slice and opens the next; the state in force at the run's end closes
+    // against `run_end`. The stretch before a block's first transition is
+    // drawn too, so the track covers the whole run.
+    let mut open: HashMap<BlockAddr, (&'static str, Cycle)> = HashMap::new();
+    let mut emit = |trace: &mut ChromeTrace, tid, state, start: Cycle, end: Cycle| {
+        trace.complete(pid, tid, state, "dir", start, end.saturating_sub(start), vec![]);
+        stats.slices += 1;
+    };
+    for ev in &lineage.events {
+        let Some(&tid) = tids.get(&ev.block) else { continue };
+        if let LineEventKind::DirTransition { from, to, .. } = ev.kind {
+            let (state, start) = open.insert(ev.block, (to, ev.at)).unwrap_or((from, 0));
+            emit(trace, tid, state, start, ev.at);
+        }
+    }
+    for b in lineage.blocks.iter().take(LINE_TRACKS_MAX) {
+        let tid = tids[&b.block];
+        let (state, start) = open.get(&b.block).copied().unwrap_or(("Uncached", 0));
+        emit(trace, tid, state, start, run_end);
+    }
+
+    // Causal arrows: each provenance-chained miss links the invalidating
+    // writer's track to the missing node's track.
+    for ev in &lineage.events {
+        if !tids.contains_key(&ev.block) {
+            continue;
+        }
+        if let LineEventKind::Miss { node, caused_by: Some(cause), .. } = ev.kind {
+            let name = format!("inval→miss @{:#x}", ev.block.0);
+            let id = stats.next_flow_id;
+            stats.next_flow_id += 1;
+            trace.async_begin(pid, cause.writer as u64, &name, "inval", id, cause.at);
+            trace.async_end(pid, node as u64, &name, "inval", id, ev.at.max(cause.at));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +199,7 @@ mod tests {
         assert!(stats.slices > 0, "observed run has state slices");
         assert!(stats.flow_pairs > 0, "the handoff sent messages");
         assert_eq!(stats.unmatched_handles, 0);
-        assert_eq!(stats.next_flow_id, stats.flow_pairs);
+        assert!(stats.next_flow_id >= stats.flow_pairs, "inval flows extend the id space");
 
         let parsed = Json::parse(&trace.render()).expect("valid JSON array");
         let events = parsed.as_arr().unwrap();
@@ -133,6 +209,18 @@ mod tests {
         assert_eq!(count("b"), count("e"), "flows are matched");
         assert_eq!(count("i"), 2, "one halt marker per cpu");
         assert!(count("M") >= 3, "process + one thread name per cpu");
+
+        // The observed run carries lineage: per-line tracks appear.
+        let line_tracks = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("tid").and_then(Json::as_u64).unwrap_or(0) >= LINE_TRACK_BASE
+            })
+            .count();
+        assert!(line_tracks > 0, "hottest blocks get provenance tracks");
+        let dir_slices = events.iter().filter(|e| e.get("cat").and_then(Json::as_str) == Some("dir")).count();
+        assert!(dir_slices > 0, "directory-state slices drawn on line tracks");
     }
 
     #[test]

@@ -89,8 +89,12 @@ impl Machine {
         let proto_cfg = cfg.proto_config();
         let mut net = Network::new(cfg.num_procs, cfg.net.clone());
         let obs = cfg.obs.enabled.then(|| ObsCollector::new(cfg.num_procs, cfg.obs));
+        let mut clf = Classifier::new(geom);
         if obs.is_some() {
             net.enable_link_stats();
+            // Line provenance rides on the same opt-in: when observing, the
+            // classifier also records per-block transition/causality events.
+            clf.enable_lineage();
         }
         Machine {
             geom,
@@ -99,7 +103,7 @@ impl Machine {
             nodes: (0..cfg.num_procs).map(|i| ProtoNode::new(i, geom, proto_cfg.clone())).collect(),
             cpus: (0..cfg.num_procs).map(|i| Cpu::new(Program::default(), cfg.seed, i, 4096)).collect(),
             wbs: vec![],
-            clf: Classifier::new(geom),
+            clf,
             alloc: SharedAlloc::new(geom),
             barrier_waiting: Vec::new(),
             magic_locks: HashMap::new(),
@@ -238,7 +242,7 @@ impl Machine {
                 rx_busy: self.net.rx_busy(n),
             })
             .collect();
-        let obs = self.obs.take().map(|collector| {
+        let mut obs = self.obs.take().map(|collector| {
             let gauges = (0..self.cfg.num_procs)
                 .map(|n| NodeGauges {
                     mem_queue_wait: self.mem_srv[n].wait_cycles(),
@@ -256,6 +260,9 @@ impl Machine {
                 .collect();
             collector.finish(self.last_halt, gauges, links)
         });
+        if let Some(o) = obs.as_mut() {
+            o.lineage = self.clf.take_lineage();
+        }
         RunResult {
             cycles: self.last_halt,
             traffic,
@@ -398,6 +405,7 @@ impl Machine {
                 if let Some(obs) = self.obs.as_mut() {
                     obs.set_phase(n, p, t);
                 }
+                self.clf.set_phase(n, p);
                 self.cpus[n].pc += 1;
                 continue;
             }

@@ -70,6 +70,17 @@ pub enum DirState {
     Owned,
 }
 
+impl DirState {
+    /// Stable name used in provenance events and trace tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirState::Uncached => "Uncached",
+            DirState::Shared => "Shared",
+            DirState::Owned => "Owned",
+        }
+    }
+}
+
 /// A queued request deferred while the block is in a transient transaction.
 ///
 /// The payload is opaque to the directory; the protocol layer stores the
@@ -158,6 +169,13 @@ mod tests {
         let s = SharerSet::only(7);
         assert_eq!(s.len(), 1);
         assert!(s.contains(7));
+    }
+
+    #[test]
+    fn dir_state_names_are_stable() {
+        assert_eq!(DirState::Uncached.name(), "Uncached");
+        assert_eq!(DirState::Shared.name(), "Shared");
+        assert_eq!(DirState::Owned.name(), "Owned");
     }
 
     #[test]

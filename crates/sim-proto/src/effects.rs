@@ -8,6 +8,11 @@ use crate::msg::Msg;
 ///
 /// Handlers are pure state transitions over one node; everything with a
 /// time dimension is expressed here and scheduled by `sim-machine`.
+/// Observability stays out of this struct by design: handlers report
+/// classification and line-provenance facts straight into the
+/// [`sim_stats::Classifier`] they are handed, which is a passive sink —
+/// recording never feeds back into the effects, so simulated time and
+/// traffic are identical whether provenance capture is on or off.
 #[derive(Debug, Default)]
 pub struct Effects {
     /// Messages to inject into the network now.

@@ -273,10 +273,10 @@ impl ProtoNode {
         // Messages whose handling is identical under every protocol.
         match &msg.kind {
             MsgKind::SharerDrop | MsgKind::StopUpdate => {
-                return self.home_sharer_drop(msg);
+                return self.home_sharer_drop(msg, clf, now);
             }
             MsgKind::WriteBack { .. } => {
-                return self.home_writeback(msg);
+                return self.home_writeback(msg, clf, now);
             }
             _ => {}
         }
@@ -290,13 +290,22 @@ impl ProtoNode {
     // Shared home-side handlers
     // ------------------------------------------------------------------
 
-    fn home_sharer_drop(&mut self, msg: Msg) -> Effects {
+    fn home_sharer_drop(&mut self, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
         debug_assert_eq!(self.home_of(msg.addr), self.id);
         let block = self.geom.block_of(msg.addr);
+        let mname = if matches!(msg.kind, MsgKind::StopUpdate) { "StopUpdate" } else { "SharerDrop" };
         let e = self.dir.entry(block);
         e.sharers.remove(msg.src);
         if e.state == sim_mem::DirState::Shared && e.sharers.is_empty() {
             e.state = sim_mem::DirState::Uncached;
+            clf.dir_transition(
+                block,
+                sim_mem::DirState::Shared.name(),
+                sim_mem::DirState::Uncached.name(),
+                msg.src,
+                mname,
+                now,
+            );
         }
         // A drop can cross a private-mode grant in flight: the home just
         // promoted the dropper to owner, but its (clean) copy is gone and
@@ -307,6 +316,14 @@ impl ProtoNode {
         if e.state == sim_mem::DirState::Owned && e.owner == msg.src {
             e.state = sim_mem::DirState::Uncached;
             e.sharers = sim_mem::SharerSet::empty();
+            clf.dir_transition(
+                block,
+                sim_mem::DirState::Owned.name(),
+                sim_mem::DirState::Uncached.name(),
+                msg.src,
+                mname,
+                now,
+            );
             if e.busy {
                 e.busy = false;
                 while let Some(m) = e.waiting.pop_front() {
@@ -317,7 +334,7 @@ impl ProtoNode {
         fx
     }
 
-    fn home_writeback(&mut self, msg: Msg) -> Effects {
+    fn home_writeback(&mut self, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
         debug_assert_eq!(self.home_of(msg.addr), self.id);
         let block = self.geom.block_of(msg.addr);
         let MsgKind::WriteBack { data } = &msg.kind else { unreachable!() };
@@ -326,6 +343,14 @@ impl ProtoNode {
         if e.state == sim_mem::DirState::Owned && e.owner == msg.src {
             e.state = sim_mem::DirState::Uncached;
             e.sharers = sim_mem::SharerSet::empty();
+            clf.dir_transition(
+                block,
+                sim_mem::DirState::Owned.name(),
+                sim_mem::DirState::Uncached.name(),
+                msg.src,
+                "WriteBack",
+                now,
+            );
         }
         let mut fx = Effects::none();
         if e.busy {

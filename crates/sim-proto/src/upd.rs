@@ -99,11 +99,11 @@ pub fn cpu_atomic(
 pub fn handle_msg(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     match msg.kind {
         // -------------------- home side --------------------
-        MsgKind::ReadShared => home_read(n, msg),
+        MsgKind::ReadShared => home_read(n, msg, clf, now),
         MsgKind::UpdateWrite { .. } => home_update_write(n, msg, clf, now),
         MsgKind::UpdateWriteAlloc { .. } => home_update_write_alloc(n, msg, clf, now),
         MsgKind::AtomicReq { .. } => home_atomic(n, msg, clf, now),
-        MsgKind::RecallReply { .. } => home_recall_reply(n, msg),
+        MsgKind::RecallReply { .. } => home_recall_reply(n, msg, clf, now),
         // -------------------- cache side --------------------
         MsgKind::UpdateMsg { val, writer, acks_to } => {
             cache_update_msg(n, msg.addr, val, writer, acks_to, clf, now)
@@ -200,7 +200,6 @@ fn cache_update_msg(
     clf: &mut Classifier,
     now: Cycle,
 ) -> Effects {
-    let _ = writer;
     let block = n.geom.block_of(addr);
     let mut fx = Effects::none();
     if n.cache.contains(block) {
@@ -209,6 +208,7 @@ fn cache_update_msg(
         } else {
             false
         };
+        clf.update_arrival(n.id, addr, writer, drop, now);
         if drop {
             clf.update_caused_drop(n.id, addr);
             n.cache.invalidate(block);
@@ -229,7 +229,7 @@ fn cache_update_msg(
 // Home-side handlers
 // ----------------------------------------------------------------------
 
-fn home_read(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_read(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     debug_assert_eq!(n.home_of(msg.addr), n.id);
     let block = n.geom.block_of(msg.addr);
     if n.defer_if_busy(block, &msg) {
@@ -239,8 +239,10 @@ fn home_read(n: &mut ProtoNode, msg: Msg) -> Effects {
     let e = n.dir.entry(block);
     match e.state {
         DirState::Uncached | DirState::Shared => {
+            let from = e.state;
             e.state = DirState::Shared;
             e.sharers.insert(r);
+            clf.dir_transition(block, from.name(), DirState::Shared.name(), r, "ReadShared", now);
             let data = n.mem.read_block(&n.geom, block);
             Effects::send(vec![n.msg(r, msg.addr, MsgKind::Data { data })])
         }
@@ -264,14 +266,16 @@ fn recall_private(n: &mut ProtoNode, block: sim_mem::BlockAddr, msg: Msg) -> Eff
     Effects::send(vec![n.msg(owner, addr, MsgKind::RecallUpd { requester: 0, for_atomic: false })])
 }
 
-fn home_recall_reply(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_recall_reply(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     let block = n.geom.block_of(msg.addr);
     let MsgKind::RecallReply { data, .. } = msg.kind else { unreachable!() };
     n.mem.write_block(&n.geom, block, &data);
     let e = n.dir.entry(block);
+    let from = e.state;
     e.state = DirState::Shared;
     e.sharers = SharerSet::only(msg.src);
     e.busy = false;
+    clf.dir_transition(block, from.name(), DirState::Shared.name(), msg.src, "RecallReply", now);
     let mut fx = Effects::none();
     while let Some(m) = e.waiting.pop_front() {
         fx.requeue_home.push(m);
@@ -311,6 +315,7 @@ fn home_update_write(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cyc
             e.state = DirState::Owned;
             e.owner = w;
             e.sharers = SharerSet::empty();
+            clf.dir_transition(block, DirState::Shared.name(), DirState::Owned.name(), w, "UpdateWrite", now);
         }
         Effects::send(vec![n.msg(w, msg.addr, MsgKind::UpdateInfo { acks: 0, go_private })])
     } else {
@@ -343,8 +348,10 @@ fn home_update_write_alloc(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, no
             clf.word_written(w, msg.addr, now);
             let e = n.dir.entry(block);
             let others: Vec<_> = e.sharers.iter().filter(|&s| s != w).collect();
+            let from = e.state;
             e.state = DirState::Shared;
             e.sharers.insert(w);
+            clf.dir_transition(block, from.name(), DirState::Shared.name(), w, "UpdateWriteAlloc", now);
             let acks = others.len() as u32;
             let data = n.mem.read_block(&n.geom, block);
             let mut sends = vec![n.msg(w, msg.addr, MsgKind::DataUpd { data, acks })];
@@ -379,8 +386,10 @@ fn home_atomic(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) ->
     let e = n.dir.entry(block);
     let others: Vec<_> = e.sharers.iter().filter(|&s| s != r).collect();
     let was_sharer = e.sharers.contains(r);
+    let from = e.state;
     e.state = DirState::Shared;
     e.sharers.insert(r);
+    clf.dir_transition(block, from.name(), DirState::Shared.name(), r, "AtomicReq", now);
     let acks = if wrote { others.len() as u32 } else { 0 };
     let data = if was_sharer { None } else { Some(n.mem.read_block(&n.geom, block)) };
     let mut sends = vec![n.msg(r, msg.addr, MsgKind::AtomicReply { old, data, acks })];

@@ -94,10 +94,10 @@ pub fn cpu_atomic(
 pub fn handle_msg(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     match msg.kind {
         // -------------------- home side --------------------
-        MsgKind::ReadShared => home_read(n, msg),
-        MsgKind::GetX => home_getx(n, msg),
-        MsgKind::Upgrade => home_upgrade(n, msg),
-        MsgKind::SharingWB { .. } => home_sharing_wb(n, msg),
+        MsgKind::ReadShared => home_read(n, msg, clf, now),
+        MsgKind::GetX => home_getx(n, msg, clf, now),
+        MsgKind::Upgrade => home_upgrade(n, msg, clf, now),
+        MsgKind::SharingWB { .. } => home_sharing_wb(n, msg, clf, now),
         MsgKind::OwnershipXfer { .. } => home_ownership_xfer(n, msg),
         MsgKind::FetchMiss { .. } => home_fetch_miss(n, msg),
         // -------------------- cache side --------------------
@@ -240,7 +240,7 @@ fn complete_store(
 // Home-side handlers
 // ----------------------------------------------------------------------
 
-fn home_read(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_read(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     debug_assert_eq!(n.home_of(msg.addr), n.id);
     let block = n.geom.block_of(msg.addr);
     if n.defer_if_busy(block, &msg) {
@@ -250,8 +250,10 @@ fn home_read(n: &mut ProtoNode, msg: Msg) -> Effects {
     let e = n.dir.entry(block);
     match e.state {
         DirState::Uncached | DirState::Shared => {
+            let from = e.state;
             e.state = DirState::Shared;
             e.sharers.insert(r);
+            clf.dir_transition(block, from.name(), DirState::Shared.name(), r, "ReadShared", now);
             let data = n.mem.read_block(&n.geom, block);
             Effects::send(vec![n.msg(r, msg.addr, MsgKind::Data { data })])
         }
@@ -269,7 +271,7 @@ fn home_read(n: &mut ProtoNode, msg: Msg) -> Effects {
     }
 }
 
-fn home_getx(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_getx(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     debug_assert_eq!(n.home_of(msg.addr), n.id);
     let block = n.geom.block_of(msg.addr);
     if n.defer_if_busy(block, &msg) {
@@ -279,10 +281,12 @@ fn home_getx(n: &mut ProtoNode, msg: Msg) -> Effects {
     let e = n.dir.entry(block);
     match e.state {
         DirState::Uncached | DirState::Shared => {
+            let from = e.state;
             let others: Vec<_> = e.sharers.iter().filter(|&s| s != r).collect();
             e.state = DirState::Owned;
             e.owner = r;
             e.sharers = SharerSet::empty();
+            clf.dir_transition(block, from.name(), DirState::Owned.name(), r, "GetX", now);
             let data = n.mem.read_block(&n.geom, block);
             let mut sends = vec![n.msg(r, msg.addr, MsgKind::DataX { data, acks: others.len() as u32 })];
             for s in others {
@@ -302,7 +306,7 @@ fn home_getx(n: &mut ProtoNode, msg: Msg) -> Effects {
     }
 }
 
-fn home_upgrade(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_upgrade(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     debug_assert_eq!(n.home_of(msg.addr), n.id);
     let block = n.geom.block_of(msg.addr);
     if n.defer_if_busy(block, &msg) {
@@ -315,6 +319,7 @@ fn home_upgrade(n: &mut ProtoNode, msg: Msg) -> Effects {
         e.state = DirState::Owned;
         e.owner = r;
         e.sharers = SharerSet::empty();
+        clf.dir_transition(block, DirState::Shared.name(), DirState::Owned.name(), r, "Upgrade", now);
         let mut sends = vec![n.msg(r, msg.addr, MsgKind::UpgradeAck { acks: others.len() as u32 })];
         for s in others {
             sends.push(n.msg(s, msg.addr, MsgKind::Inval { requester: r, writer: r }));
@@ -323,21 +328,23 @@ fn home_upgrade(n: &mut ProtoNode, msg: Msg) -> Effects {
     } else {
         // The requester's copy was invalidated while the upgrade was in
         // flight; serve it as a full GetX instead.
-        home_getx(n, Msg { kind: MsgKind::GetX, ..msg })
+        home_getx(n, Msg { kind: MsgKind::GetX, ..msg }, clf, now)
     }
 }
 
-fn home_sharing_wb(n: &mut ProtoNode, msg: Msg) -> Effects {
+fn home_sharing_wb(n: &mut ProtoNode, msg: Msg, clf: &mut Classifier, now: Cycle) -> Effects {
     let block = n.geom.block_of(msg.addr);
     let MsgKind::SharingWB { data, requester } = msg.kind else { unreachable!() };
     n.mem.write_block(&n.geom, block, &data);
     let e = n.dir.entry(block);
     debug_assert!(e.busy);
+    let from = e.state;
     e.state = DirState::Shared;
     e.sharers = SharerSet::empty();
     e.sharers.insert(msg.src); // previous owner keeps a shared copy
     e.sharers.insert(requester);
     e.busy = false;
+    clf.dir_transition(block, from.name(), DirState::Shared.name(), requester, "SharingWB", now);
     let mut fx = Effects::none();
     while let Some(m) = e.waiting.pop_front() {
         fx.requeue_home.push(m);

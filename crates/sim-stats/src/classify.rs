@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use sim_engine::{Cycle, NodeId};
 use sim_mem::{Addr, BlockAddr, Geometry};
 
+use crate::lineage::{Lineage, LineageReport};
 use crate::report::{MissClass, TrafficReport, UpdateClass};
 
 /// Why a cache copy went away — recorded when it happens, consumed when the
@@ -53,6 +54,10 @@ pub struct Classifier {
     structures: Vec<StructureRange>,
     report: TrafficReport,
     finished: bool,
+    /// Per-line provenance recorder (PR 3). `None` — the default — keeps
+    /// every code path below branch-free on the lineage side, so the
+    /// classifier behaves bit-identically to a build without it.
+    lineage: Option<Box<Lineage>>,
 }
 
 /// A named address range for per-structure traffic attribution.
@@ -76,6 +81,63 @@ impl Classifier {
             structures: Vec::new(),
             report: TrafficReport::default(),
             finished: false,
+            lineage: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lineage (per-line provenance; see [`crate::lineage`])
+    // ------------------------------------------------------------------
+
+    /// Switches on per-line provenance recording. Passive: the classified
+    /// totals are unchanged; lineage only mirrors and annotates them.
+    pub fn enable_lineage(&mut self) {
+        self.lineage = Some(Box::new(Lineage::new(self.geom.num_nodes, self.geom.block_bytes)));
+    }
+
+    /// The live lineage recorder, when enabled.
+    pub fn lineage(&self) -> Option<&Lineage> {
+        self.lineage.as_deref()
+    }
+
+    /// Freezes and detaches the lineage report. Call after
+    /// [`Classifier::finish`] so end-of-run update classifications are
+    /// mirrored in.
+    pub fn take_lineage(&mut self) -> Option<LineageReport> {
+        self.lineage.take().map(|l| l.into_report())
+    }
+
+    /// `node` entered program `phase` (bridged from the machine's `Phase`
+    /// markers so provenance events carry the acting node's phase).
+    pub fn set_phase(&mut self, node: NodeId, phase: u16) {
+        if let Some(l) = self.lineage.as_mut() {
+            l.set_phase(node, phase);
+        }
+    }
+
+    /// The home directory entry for `block` moved `from` → `to` while
+    /// handling `msg` from `actor`. No-op (and no-cost) when lineage is off.
+    pub fn dir_transition(
+        &mut self,
+        block: BlockAddr,
+        from: &'static str,
+        to: &'static str,
+        actor: NodeId,
+        msg: &'static str,
+        now: Cycle,
+    ) {
+        if let Some(l) = self.lineage.as_mut() {
+            l.dir_transition(block, from, to, actor, msg, now);
+        }
+    }
+
+    /// An update message from `writer` arrived at `node`'s cache (applied,
+    /// or a competitive-threshold `dropped`). Record the writer→victim edge
+    /// before [`Classifier::update_delivered`] / `update_caused_drop` runs.
+    pub fn update_arrival(&mut self, node: NodeId, addr: Addr, writer: NodeId, dropped: bool, now: Cycle) {
+        if let Some(l) = self.lineage.as_mut() {
+            let block = self.geom.block_of(addr);
+            l.update_arrival(node, block, writer, dropped, now);
         }
     }
 
@@ -92,6 +154,9 @@ impl Classifier {
             misses: Default::default(),
             updates: Default::default(),
         });
+        if let Some(l) = self.lineage.as_mut() {
+            l.register_structure(name, addr, addr + 4 * words);
+        }
     }
 
     fn structure_of(&self, addr: Addr) -> Option<usize> {
@@ -103,12 +168,18 @@ impl Classifier {
         if let Some(i) = self.structure_of(addr) {
             self.report.by_structure[i].misses.bump(class);
         }
+        if let Some(l) = self.lineage.as_mut() {
+            l.mirror_miss(self.geom.block_of(addr), class);
+        }
     }
 
     fn bump_update(&mut self, addr: Addr, class: UpdateClass) {
         self.report.updates.bump(class);
         if let Some(i) = self.structure_of(addr) {
             self.report.by_structure[i].updates.bump(class);
+        }
+        if let Some(l) = self.lineage.as_mut() {
+            l.mirror_update(self.geom.block_of(addr), class);
         }
     }
 
@@ -142,6 +213,9 @@ impl Classifier {
     /// A write to `addr` by `writer` became globally visible.
     pub fn word_written(&mut self, writer: NodeId, addr: Addr, now: Cycle) {
         self.last_writer.insert(addr, (writer, now));
+        if let Some(l) = self.lineage.as_mut() {
+            l.note_write(writer, self.geom.block_of(addr));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -160,6 +234,14 @@ impl Classifier {
     /// (replacement updates, or leftover records at a drop/flush).
     pub fn copy_lost(&mut self, node: NodeId, block: BlockAddr, cause: LossCause, now: Cycle) {
         self.copy(node, block).lost = Some((now, cause));
+        if let Some(l) = self.lineage.as_mut() {
+            match cause {
+                LossCause::External { word_addr, writer } => {
+                    l.invalidation(node, block, writer, word_addr, now)
+                }
+                LossCause::Eviction | LossCause::SelfInvalidate => l.copy_lost_local(node, block),
+            }
+        }
         if let Some(records) = self.live_updates.remove(&(node, block)) {
             for (widx, rec) in records {
                 let class = match cause {
@@ -187,6 +269,9 @@ impl Classifier {
         self.report.misses.exclusive_requests += 1;
         if let Some(i) = self.structure_of(block.0) {
             self.report.by_structure[i].misses.exclusive_requests += 1;
+        }
+        if let Some(l) = self.lineage.as_mut() {
+            l.mirror_exclusive(block);
         }
     }
 
@@ -222,7 +307,9 @@ impl Classifier {
                 }
             }
         };
-        let _ = now;
+        if let Some(l) = self.lineage.as_mut() {
+            l.miss(node, block, addr, class, now);
+        }
         self.bump_miss(addr, class);
         class
     }
@@ -258,6 +345,9 @@ impl Classifier {
     pub fn word_referenced(&mut self, node: NodeId, addr: Addr) {
         let block = self.geom.block_of(addr);
         let widx = self.geom.word_index(addr);
+        if let Some(l) = self.lineage.as_mut() {
+            l.note_read(node, block);
+        }
         let mut consumed = false;
         if let Some(records) = self.live_updates.get_mut(&(node, block)) {
             consumed = records.remove(&widx).is_some();
@@ -489,6 +579,32 @@ mod tests {
         let mut c = classifier();
         c.finish();
         c.finish();
+    }
+
+    #[test]
+    fn lineage_is_passive_and_mirrors_balance() {
+        let mut plain = classifier();
+        let mut observed = classifier();
+        observed.enable_lineage();
+        for c in [&mut plain, &mut observed] {
+            c.classify_miss(0, W0, 0);
+            c.copy_acquired(0, BlockAddr(B));
+            c.word_written(1, W0, 100);
+            c.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W0, writer: 1 }, 101);
+            c.classify_miss(0, W0, 200);
+            c.update_delivered(0, W1);
+            c.update_delivered(0, W1);
+            c.exclusive_request(2, BlockAddr(B));
+            c.finish();
+        }
+        assert_eq!(plain.report().misses, observed.report().misses);
+        assert_eq!(plain.report().updates, observed.report().updates);
+        let misses = observed.report().misses;
+        let updates = observed.report().updates;
+        let lin = observed.take_lineage().expect("lineage enabled");
+        assert_eq!(lin.miss_totals(), misses, "per-block miss mirrors balance");
+        assert_eq!(lin.update_totals(), updates, "per-block update mirrors balance");
+        assert!(lin.blocks[0].provenance.is_some(), "true-sharing miss carries its chain");
     }
 }
 

@@ -148,6 +148,56 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_collapse_to_its_bucket() {
+        let mut h = LatencyHist::new();
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.mean(), 7.0);
+        // 7 sits in [4, 8); every quantile reports that bucket's upper bound.
+        assert_eq!(h.quantile_bound(0.0), 8);
+        assert_eq!(h.quantile_bound(0.5), 8);
+        assert_eq!(h.quantile_bound(1.0), 8);
+    }
+
+    #[test]
+    fn exact_powers_of_two_open_their_own_bucket() {
+        // 2^k is the inclusive lower edge of bucket k; 2^k - 1 stays below.
+        for k in 1..12 {
+            let mut h = LatencyHist::new();
+            h.record(1u64 << k);
+            h.record((1u64 << k) - 1);
+            let buckets: Vec<_> = h.nonempty_buckets().collect();
+            let below = if k == 1 { 0 } else { 1u64 << (k - 1) };
+            assert_eq!(buckets, vec![(below, 1), (1u64 << k, 1)], "edge at 2^{k}");
+        }
+    }
+
+    #[test]
+    fn quantile_at_exact_bucket_boundary() {
+        let mut h = LatencyHist::new();
+        // Two samples in bucket 0 ([0,2)), two in bucket 1 ([2,4)).
+        for v in [1u64, 1, 2, 2] {
+            h.record(v);
+        }
+        // p=0.5 is satisfied exactly by bucket 0's two samples...
+        assert_eq!(h.quantile_bound(0.5), 2);
+        // ...and one sample more crosses into bucket 1.
+        assert_eq!(h.quantile_bound(0.75), 4);
+        assert_eq!(h.quantile_bound(1.0), 4);
+    }
+
+    #[test]
+    fn huge_samples_saturate_the_top_bucket() {
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets: Vec<_> = h.nonempty_buckets().collect();
+        assert_eq!(buckets, vec![(1u64 << 31, 1)], "clamped to bucket 31");
+        assert_eq!(h.quantile_bound(1.0), 1u64 << 32);
+    }
+
+    #[test]
     fn merge_adds() {
         let mut a = LatencyHist::new();
         a.record(10);

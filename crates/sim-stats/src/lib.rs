@@ -24,14 +24,16 @@
 //!
 //! The crate also hosts the machine-independent half of the observability
 //! subsystem: per-processor cycle accounting and phase breakdowns
-//! ([`obs`]), periodic gauge sampling ([`sampler`]), Chrome `trace_event`
-//! export ([`chrome`]), and the dependency-free JSON value they all
-//! serialize through ([`json`]).
+//! ([`obs`]), periodic gauge sampling ([`sampler`]), per-cache-line
+//! provenance and sharing-pattern classification ([`lineage`]), Chrome
+//! `trace_event` export ([`chrome`]), and the dependency-free JSON value
+//! they all serialize through ([`json`]).
 
 pub mod chrome;
 pub mod classify;
 pub mod hist;
 pub mod json;
+pub mod lineage;
 pub mod obs;
 pub mod report;
 pub mod sampler;
@@ -40,6 +42,10 @@ pub use chrome::{ChromeTrace, FlowPairer};
 pub use classify::{Classifier, LossCause};
 pub use hist::LatencyHist;
 pub use json::Json;
+pub use lineage::{
+    BlockProfile, InvalCause, LineEvent, LineEventKind, Lineage, LineageReport, ProvenanceChain,
+    SharingPattern, StructureLineage,
+};
 pub use obs::{
     CpuClass, CycleAccount, LinkFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig, ObsReport, StateSlice,
     CPU_CLASSES,

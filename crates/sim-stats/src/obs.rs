@@ -317,6 +317,7 @@ impl ObsCollector {
             msg_latency: self.msg_latency,
             link_flits,
             samples: self.samples,
+            lineage: None,
         }
     }
 }
@@ -388,6 +389,10 @@ pub struct ObsReport {
     pub link_flits: Vec<LinkFlits>,
     /// The periodic gauge samples.
     pub samples: TimeSeries,
+    /// Per-cache-line provenance (patterns, causal edges, per-structure
+    /// aggregation); attached by the machine from the classifier's
+    /// [`crate::lineage::Lineage`] recorder after the run.
+    pub lineage: Option<crate::lineage::LineageReport>,
 }
 
 impl ObsReport {
@@ -435,7 +440,7 @@ impl ObsReport {
                 ])
             })
             .collect();
-        Json::obj([
+        let mut pairs = vec![
             ("wall_cycles", Json::U64(self.wall_cycles)),
             ("sample_interval", Json::U64(self.sample_interval)),
             ("per_node", Json::Arr(per_node)),
@@ -463,7 +468,11 @@ impl ObsReport {
             ),
             ("link_flits", Json::Arr(link_flits)),
             ("samples", self.samples.to_json()),
-        ])
+        ];
+        if let Some(lineage) = &self.lineage {
+            pairs.push(("lineage", lineage.to_json(&|p| self.phase_label(p))));
+        }
+        Json::obj(pairs)
     }
 
     /// A short human-readable summary (one line per node plus totals).

@@ -162,6 +162,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_serializes_and_reports_nothing() {
+        let ts = TimeSeries::new(250);
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.dropped(), 0);
+        let parsed = Json::parse(&ts.to_json().render()).unwrap();
+        assert_eq!(parsed.get("interval").and_then(Json::as_u64), Some(250));
+        assert_eq!(parsed.get("samples").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
     fn equality_supports_determinism_checks() {
         let mut a = TimeSeries::new(500);
         let mut b = TimeSeries::new(500);
