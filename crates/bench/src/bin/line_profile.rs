@@ -11,31 +11,39 @@
 //! whole spin crowd), and the useless-traffic column names the structure
 //! responsible.
 //!
-//! Usage: `line_profile [kernel] [procs] [top_n]` (defaults: `mcs-lock 8
-//! 8`). Kernel names are those of `obs_report`; workloads honor
-//! `PPC_SCALE`.
+//! Usage: `line_profile [kernel] [procs] [top_n] [--json]` (defaults:
+//! `mcs-lock 8 8`). With `--json` the shared observed-run document (the
+//! same shape `obs_report --json` prints, lineage included) goes to
+//! stdout instead of the tables. Kernel names are those of `obs_report`;
+//! workloads honor `PPC_SCALE`.
 
 use std::process::ExitCode;
 
-use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed, KERNEL_NAMES};
+use ppc_bench::observed::{
+    kernel_by_name, observed_json, protocol_name, run_observed, DiagArgs, KERNEL_NAMES,
+};
 use ppc_bench::PROTOCOLS;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel_name = args.first().map(String::as_str).unwrap_or("mcs-lock");
-    let procs: usize = match args.get(1).map(|s| s.parse()) {
-        None => 8,
-        Some(Ok(n)) if n >= 1 => n,
-        Some(_) => {
-            eprintln!("invalid processor count; expected an integer >= 1");
+    let args = match DiagArgs::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}; usage: line_profile [kernel] [procs] [top_n] [--json]");
             return ExitCode::FAILURE;
         }
     };
-    let top_n: usize = match args.get(2).map(|s| s.parse()) {
-        None => 8,
-        Some(Ok(n)) if n >= 1 => n,
-        Some(_) => {
-            eprintln!("invalid top-N; expected an integer >= 1");
+    let kernel_name = args.pos_or(0, "mcs-lock");
+    let procs = match args.count_or(1, 8) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("invalid processor count: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top_n = match args.count_or(2, 8) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("invalid top-N: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -43,6 +51,11 @@ fn main() -> ExitCode {
         eprintln!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", "));
         return ExitCode::FAILURE;
     };
+
+    if args.json {
+        println!("{}", observed_json(kernel_name, procs, &kernel).render_pretty());
+        return ExitCode::SUCCESS;
+    }
 
     println!("line profile: {kernel_name}, {procs} procs");
     for protocol in PROTOCOLS {

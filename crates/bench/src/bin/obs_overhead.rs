@@ -1,0 +1,99 @@
+//! Host-side cost of the observability layer: runs every diagnostic kernel
+//! under all three protocols twice — once bare (`MachineConfig::paper`)
+//! and once fully observed (`MachineConfig::paper_observed`: stall
+//! accounting, sampling, lineage, and the episode profiler) — and reports
+//! the wall-clock overhead ratio as JSON.
+//!
+//! Along the way it asserts the zero-cost contract: every cell must
+//! simulate the identical cycle and instruction counts with observability
+//! on and off (the markers and collectors may not perturb timing).
+//!
+//! Usage: `obs_overhead [procs] [max_ratio]` (defaults: `8`, no limit).
+//! With `max_ratio` set, exits nonzero when obs-on wall-clock exceeds
+//! `max_ratio` × obs-off — the CI regression guard. Workloads honor
+//! `PPC_SCALE`. The committed `BENCH_obs.json` records a measured run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_kernel, DiagArgs, KERNEL_NAMES};
+use ppc_bench::PROTOCOLS;
+use sim_machine::{Machine, MachineConfig};
+use sim_stats::Json;
+
+fn main() -> ExitCode {
+    let args = match DiagArgs::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}; usage: obs_overhead [procs] [max_ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let procs = match args.count_or(0, 8) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio = match args.positional.get(1) {
+        None => None,
+        Some(s) => match s.parse::<f64>() {
+            Ok(r) if r > 0.0 => Some(r),
+            _ => {
+                eprintln!("invalid max_ratio {s:?}; expected a positive number");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut rows = Vec::new();
+    let (mut off_total, mut on_total) = (0.0_f64, 0.0_f64);
+    for name in KERNEL_NAMES {
+        let kernel = kernel_by_name(name).expect("listed kernel resolves");
+        for protocol in PROTOCOLS {
+            let t0 = Instant::now();
+            let bare = run_kernel(&mut Machine::new(MachineConfig::paper(procs, protocol)), &kernel);
+            let off_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let observed =
+                run_kernel(&mut Machine::new(MachineConfig::paper_observed(procs, protocol)), &kernel);
+            let on_s = t1.elapsed().as_secs_f64();
+            assert_eq!(
+                (bare.cycles, bare.instructions),
+                (observed.cycles, observed.instructions),
+                "{name}/{}: observability must not perturb the simulation",
+                protocol_name(protocol)
+            );
+            off_total += off_s;
+            on_total += on_s;
+            rows.push(Json::obj([
+                ("kernel", Json::from(name)),
+                ("protocol", Json::from(protocol_name(protocol))),
+                ("cycles", Json::U64(bare.cycles)),
+                ("obs_off_ms", Json::from(off_s * 1e3)),
+                ("obs_on_ms", Json::from(on_s * 1e3)),
+            ]));
+        }
+    }
+
+    let ratio = on_total / off_total.max(1e-9);
+    let doc = Json::obj([
+        ("procs", Json::from(procs)),
+        ("cells", Json::from(rows.len())),
+        ("obs_off_seconds", Json::from(off_total)),
+        ("obs_on_seconds", Json::from(on_total)),
+        ("overhead_ratio", Json::from(ratio)),
+        ("max_ratio", max_ratio.map(Json::from).unwrap_or(Json::Null)),
+        ("runs", Json::Arr(rows)),
+    ]);
+    println!("{}", doc.render_pretty());
+    if let Some(max) = max_ratio {
+        if ratio > max {
+            eprintln!("obs-on overhead {ratio:.2}x exceeds the {max:.2}x threshold");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("obs-on overhead {ratio:.2}x within the {max:.2}x threshold");
+    }
+    ExitCode::SUCCESS
+}

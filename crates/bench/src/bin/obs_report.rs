@@ -9,33 +9,38 @@
 //!   `chrome://tracing`) with one process per protocol: CPU state timelines
 //!   as tracks, matched send→handle async flows, halt markers.
 //!
-//! Usage: `obs_report [kernel] [procs] [out_dir]` (defaults: `mcs-lock 8
-//! obs-out`). Kernels: `ticket-lock`, `mcs-lock`, `uc-mcs-lock`,
-//! `tas-lock`, `ttas-lock`, `anderson-lock`, `central-barrier`,
+//! Usage: `obs_report [kernel] [procs] [out_dir] [--json]` (defaults:
+//! `mcs-lock 8 obs-out`). With `--json` the report document is also
+//! printed to stdout (the per-protocol status lines move to stderr).
+//! Kernels: `ticket-lock`, `mcs-lock`, `uc-mcs-lock`, `tas-lock`,
+//! `ttas-lock`, `anderson-lock`, `central-barrier`,
 //! `dissemination-barrier`, `tree-barrier`, `par-reduction`,
 //! `seq-reduction`. Workloads honor `PPC_SCALE` like the figure binaries.
 
 use std::process::ExitCode;
 
-use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed};
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed, DiagArgs};
 use ppc_bench::PROTOCOLS;
 use sim_machine::export_run;
 use sim_stats::{ChromeTrace, Json};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel_name = args.first().map(String::as_str).unwrap_or("mcs-lock");
-    let procs: usize = match args.get(1) {
-        None => 8,
-        Some(s) => match s.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("invalid processor count {s:?}; expected an integer >= 1");
-                return ExitCode::FAILURE;
-            }
-        },
+    let args = match DiagArgs::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}; usage: obs_report [kernel] [procs] [out_dir] [--json]");
+            return ExitCode::FAILURE;
+        }
     };
-    let out_dir = args.get(2).map(String::as_str).unwrap_or("obs-out");
+    let kernel_name = args.pos_or(0, "mcs-lock");
+    let procs = match args.count_or(1, 8) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = args.pos_or(2, "obs-out");
     let Some(kernel) = kernel_by_name(kernel_name) else {
         eprintln!("unknown kernel {kernel_name:?}; see the doc comment for the list");
         return ExitCode::FAILURE;
@@ -54,7 +59,7 @@ fn main() -> ExitCode {
         let label = protocol_name(protocol);
         let stats = export_run(&mut trace, pid, label, &r, &events, next_flow_id);
         next_flow_id = stats.next_flow_id;
-        println!(
+        let status = format!(
             "{label}: {} cycles, {} flow pairs, {} state slices{}",
             r.cycles,
             stats.flow_pairs,
@@ -65,6 +70,11 @@ fn main() -> ExitCode {
                 String::new()
             }
         );
+        if args.json {
+            eprintln!("{status}");
+        } else {
+            println!("{status}");
+        }
         let obs = r.obs.as_ref().expect("machine ran observed");
         runs.push(Json::obj([
             ("protocol", Json::from(label)),
@@ -91,6 +101,12 @@ fn main() -> ExitCode {
         eprintln!("cannot write {trace_path}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {report_path} and {trace_path} ({} trace events)", trace.len());
+    let wrote = format!("wrote {report_path} and {trace_path} ({} trace events)", trace.len());
+    if args.json {
+        eprintln!("{wrote}");
+        println!("{}", report.render_pretty());
+    } else {
+        println!("{wrote}");
+    }
     ExitCode::SUCCESS
 }

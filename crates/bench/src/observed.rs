@@ -6,8 +6,78 @@ use kernels::runner::KernelSpec;
 use kernels::workloads::{BarrierKind, LockKind, ReductionKind};
 use sim_machine::{Machine, MachineConfig, RunResult, Trace, TraceEvent};
 use sim_proto::Protocol;
+use sim_stats::Json;
 
-use crate::{barrier_workload, lock_workload, reduction_workload};
+use crate::{barrier_workload, lock_workload, reduction_workload, PROTOCOLS};
+
+/// Command-line shape shared by the diagnostic binaries: positional
+/// arguments plus an optional `--json` flag anywhere on the line.
+#[derive(Debug, Clone, Default)]
+pub struct DiagArgs {
+    /// Whether `--json` was passed (machine-readable output to stdout).
+    pub json: bool,
+    /// The remaining positional arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl DiagArgs {
+    /// Parses the process arguments. Unknown `--flags` are an error so a
+    /// typo (`--jsno`) fails loudly instead of being read as a kernel name.
+    pub fn parse() -> Result<DiagArgs, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`DiagArgs::parse`] over an explicit argument list (unit-testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<DiagArgs, String> {
+        let mut out = DiagArgs::default();
+        for a in args {
+            match a.as_str() {
+                "--json" => out.json = true,
+                s if s.starts_with("--") => return Err(format!("unknown flag {s:?}")),
+                _ => out.positional.push(a),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`, or `default` when absent.
+    pub fn pos_or<'a>(&'a self, i: usize, default: &'a str) -> &'a str {
+        self.positional.get(i).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Positional argument `i` parsed as a count `>= 1`.
+    pub fn count_or(&self, i: usize, default: usize) -> Result<usize, String> {
+        match self.positional.get(i) {
+            None => Ok(default),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("invalid count {s:?}; expected an integer >= 1")),
+            },
+        }
+    }
+}
+
+/// Runs `kernel` under every protocol and assembles the full
+/// machine-readable document the diagnostic binaries share for `--json`:
+/// per-protocol cycles, instructions, classified traffic, and the complete
+/// observability report (stall accounts, lineage, critical path).
+pub fn observed_json(kernel_name: &str, procs: usize, kernel: &KernelSpec) -> Json {
+    let runs = PROTOCOLS
+        .into_iter()
+        .map(|protocol| {
+            let (r, _events) = run_observed(procs, protocol, kernel);
+            let obs = r.obs.as_ref().expect("machine ran observed");
+            Json::obj([
+                ("protocol", Json::from(protocol_name(protocol))),
+                ("cycles", Json::U64(r.cycles)),
+                ("instructions", Json::U64(r.instructions)),
+                ("traffic", r.traffic.to_json()),
+                ("obs", obs.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj([("kernel", Json::from(kernel_name)), ("procs", Json::from(procs)), ("runs", Json::Arr(runs))])
+}
 
 /// The kernels the diagnostic binaries accept by name, at the current
 /// `PPC_SCALE` workload.
@@ -43,34 +113,39 @@ pub const KERNEL_NAMES: [&str; 11] = [
     "seq-reduction",
 ];
 
-/// Runs `kernel` on an observed machine with full message tracing; returns
-/// the result (phase names installed) and the recorded event stream.
-pub fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<TraceEvent>) {
-    use kernels::{barriers, locks, phase, reductions};
-    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
-    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
-    let mut r = match kernel {
+/// Installs, runs, and verifies `kernel` on an already-configured machine.
+pub fn run_kernel(m: &mut Machine, kernel: &KernelSpec) -> RunResult {
+    use kernels::{barriers, locks, reductions};
+    match kernel {
         KernelSpec::Lock(w) => {
-            let layout = locks::install(&mut m, w);
+            let layout = locks::install(m, w);
             let r = m.run();
-            locks::verify(&mut m, w, &layout);
+            locks::verify(m, w, &layout);
             r
         }
         KernelSpec::Barrier(w) => {
-            let layout = barriers::install(&mut m, w);
+            let layout = barriers::install(m, w);
             let r = m.run();
-            barriers::verify(&mut m, w, &layout);
+            barriers::verify(m, w, &layout);
             r
         }
         KernelSpec::Reduction(w) => {
-            let layout = reductions::install(&mut m, w);
+            let layout = reductions::install(m, w);
             let r = m.run();
-            reductions::verify(&mut m, w, &layout);
+            reductions::verify(m, w, &layout);
             r
         }
-    };
+    }
+}
+
+/// Runs `kernel` on an observed machine with full message tracing; returns
+/// the result (phase names installed) and the recorded event stream.
+pub fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<TraceEvent>) {
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    m.enable_trace(Trace::new(Trace::MAX_CAPACITY));
+    let mut r = run_kernel(&mut m, kernel);
     if let Some(obs) = r.obs.as_mut() {
-        obs.set_phase_names(phase::names());
+        obs.set_phase_names(kernels::phase::names());
     }
     let trace = m.take_trace().expect("tracing was enabled");
     (r, trace.events().to_vec())
@@ -88,6 +163,18 @@ pub fn protocol_name(p: Protocol) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diag_args_parse_flags_and_positionals() {
+        let a = DiagArgs::parse_from(["mcs-lock".into(), "--json".into(), "8".into()]).unwrap();
+        assert!(a.json);
+        assert_eq!(a.pos_or(0, "x"), "mcs-lock");
+        assert_eq!(a.count_or(1, 4).unwrap(), 8);
+        assert_eq!(a.pos_or(2, "fallback"), "fallback");
+        assert_eq!(a.count_or(2, 7).unwrap(), 7);
+        assert!(DiagArgs::parse_from(["--jsno".into()]).is_err());
+        assert!(DiagArgs::parse_from(["k".into(), "0".into()]).unwrap().count_or(1, 4).is_err());
+    }
 
     #[test]
     fn every_listed_kernel_resolves() {

@@ -13,12 +13,15 @@
 //! scalable barriers generating *no* useless updates, which is impossible
 //! if unrelated writers share a block and accumulate stale sharers.
 
-use sim_isa::{AluOp, Program, ProgramBuilder};
+use sim_isa::{AluOp, Program, ProgramBuilder, SyncOp};
 use sim_machine::Machine;
 use sim_mem::Addr;
 
 use crate::regs::*;
 use crate::workloads::{BarrierKind, BarrierWorkload};
+
+/// The sync-object id every barrier kernel reports its episodes under.
+pub const BARRIER_ID: u32 = 0;
 
 /// Addresses of the barrier structures, for post-run verification.
 #[derive(Debug, Clone)]
@@ -138,6 +141,7 @@ fn central_program(w: &BarrierWorkload, count: Addr, sense: Addr, p: u32, done: 
     b.imm(ITER, w.episodes);
     b.label("loop");
     b.alu(AluOp::Sub, K0, ONE, K0); // local_sense := not local_sense
+    b.sync(SyncOp::BarrierArrive, BARRIER_ID);
     b.fetch_add(T0, BASE, K2); // old count
     b.alu(AluOp::Eq, T1, T0, ONE);
     b.bnz(T1, "last");
@@ -148,6 +152,7 @@ fn central_program(w: &BarrierWorkload, count: Addr, sense: Addr, p: u32, done: 
     b.fence(); // the reset must be ordered before the wake-up
     b.store(BASE2, 0, K0); // sense := local_sense
     b.label("next");
+    b.sync(SyncOp::BarrierDepart, BARRIER_ID);
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");
     emit_epilogue(&mut b, done, w.episodes);
@@ -201,9 +206,12 @@ pub fn emit_dissemination_episode(
     };
     if rounds == 0 {
         // Single processor: a barrier episode is a no-op.
+        b.sync(SyncOp::BarrierArrive, BARRIER_ID);
         b.delay(1);
+        b.sync(SyncOp::BarrierDepart, BARRIER_ID);
         return;
     }
+    b.sync(SyncOp::BarrierArrive, BARRIER_ID);
     b.bnz(K1, &format!("parity1_{tag}"));
     for k in 0..rounds {
         b.imm(T0, partner(0, k));
@@ -221,6 +229,7 @@ pub fn emit_dissemination_episode(
     }
     b.alu(AluOp::Sub, K0, ONE, K0); // if parity = 1 { sense := not sense }
     b.label(&format!("join_{tag}"));
+    b.sync(SyncOp::BarrierDepart, BARRIER_ID);
     b.alu(AluOp::Sub, K1, ONE, K1); // parity := 1 - parity
 }
 
@@ -242,6 +251,7 @@ fn tree_program(
     b.imm(K0, 1); // sense (starts true); global_sense starts false
     b.imm(ITER, w.episodes);
     b.label("loop");
+    b.sync(SyncOp::BarrierArrive, BARRIER_ID);
     // repeat until childnotready = {false, false, false, false}
     for &slot in &tree_nodes[i][..children.len()] {
         b.imm(T0, slot);
@@ -263,6 +273,7 @@ fn tree_program(
             b.store(BASE2, 0, K0); // globalsense := sense
         }
     }
+    b.sync(SyncOp::BarrierDepart, BARRIER_ID);
     b.alu(AluOp::Sub, K0, ONE, K0); // sense := not sense
     b.alui(AluOp::Sub, ITER, ITER, 1);
     b.bnz(ITER, "loop");

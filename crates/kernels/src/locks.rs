@@ -9,13 +9,17 @@
 //! homed at that processor; the MCS tail pointer has its own block on
 //! node 0.
 
-use sim_isa::{AluOp, Program, ProgramBuilder};
+use sim_isa::{AluOp, Program, ProgramBuilder, SyncOp};
 use sim_machine::Machine;
 use sim_mem::Addr;
 
 use crate::phase;
 use crate::regs::*;
 use crate::workloads::{LockKind, LockWorkload, PostRelease};
+
+/// The sync-object id every lock kernel reports its episodes under (each
+/// kernel has a single lock; the per-lock analytics key on this).
+pub const LOCK_ID: u32 = 0;
 
 /// Addresses of the lock structures, for post-run verification.
 #[derive(Debug, Clone)]
@@ -222,8 +226,10 @@ pub fn emit_ticket_prologue(b: &mut ProgramBuilder, next_ticket: Addr, now_servi
 /// Emits a ticket-lock acquire (Figure 1): takes a ticket, spins until
 /// served. The ticket stays in `T0` for the matching release.
 pub fn emit_ticket_acquire(b: &mut ProgramBuilder) {
+    b.sync(SyncOp::AcquireAttempt, LOCK_ID);
     b.fetch_add(T0, BASE, ONE); // my ticket
     b.spin_while_ne(BASE2, T0); // until now_serving == my
+    b.sync(SyncOp::Acquired, LOCK_ID);
 }
 
 /// Emits a ticket-lock release: fence (release semantics), then hand off.
@@ -231,6 +237,7 @@ pub fn emit_ticket_release(b: &mut ProgramBuilder) {
     b.alui(AluOp::Add, T1, T0, 1);
     b.fence(); // prior work drains before the hand-off store
     b.store(BASE2, 0, T1);
+    b.sync(SyncOp::Released, LOCK_ID);
 }
 
 /// Emits register setup for the MCS emitters: tail pointer in `BASE`, this
@@ -248,6 +255,7 @@ pub fn emit_mcs_prologue(b: &mut ProgramBuilder, tail: Addr, qnode: Addr) {
 /// Emits an MCS acquire (Figure 2). `tag` disambiguates labels when the
 /// sequence is emitted more than once in a program.
 pub fn emit_mcs_acquire(b: &mut ProgramBuilder, flush: McsFlush, tag: &str) {
+    b.sync(SyncOp::AcquireAttempt, LOCK_ID);
     b.store(BASE2, 0, ZERO); // I->next := nil
     b.fetch_store(T0, BASE, BASE2); // predecessor := swap(L, I)
     b.bez(T0, &format!("got_{tag}"));
@@ -258,6 +266,7 @@ pub fn emit_mcs_acquire(b: &mut ProgramBuilder, flush: McsFlush, tag: &str) {
     }
     b.spin_while_eq(K0, ONE); // repeat while I->locked
     b.label(&format!("got_{tag}"));
+    b.sync(SyncOp::Acquired, LOCK_ID);
 }
 
 /// Emits an MCS release (Figure 2), tagged like [`emit_mcs_acquire`].
@@ -276,6 +285,7 @@ pub fn emit_mcs_release(b: &mut ProgramBuilder, flush: McsFlush, tag: &str) {
         b.flush(T1); // flush *(I->next) (update-conscious MCS)
     }
     b.label(&format!("released_{tag}"));
+    b.sync(SyncOp::Released, LOCK_ID);
 }
 
 /// Test-and-set (and test-and-test-and-set) with bounded exponential
@@ -301,6 +311,7 @@ fn tas_program(w: &LockWorkload, lock: Addr, iters: u32, done: Addr, test_first:
     b.imm(ITER, iters);
     b.label("loop");
     b.phase(phase::ACQUIRE);
+    b.sync(SyncOp::AcquireAttempt, LOCK_ID);
     b.imm(K1, 4); // reset backoff each acquire
     b.label("try");
     if test_first {
@@ -315,11 +326,13 @@ fn tas_program(w: &LockWorkload, lock: Addr, iters: u32, done: Addr, test_first:
     b.mov(K1, K2);
     b.jmp("try");
     b.label("got");
+    b.sync(SyncOp::Acquired, LOCK_ID);
     b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
     b.phase(phase::RELEASE);
     b.fence(); // release
     b.store(BASE, 0, ZERO);
+    b.sync(SyncOp::Released, LOCK_ID);
     b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);
@@ -346,12 +359,14 @@ fn anderson_program(w: &LockWorkload, counter: Addr, slots: Addr, p: u32, iters:
     b.imm(ITER, iters);
     b.label("loop");
     b.phase(phase::ACQUIRE);
+    b.sync(SyncOp::AcquireAttempt, LOCK_ID);
     // my slot = fetch_and_add(counter) mod P
     b.fetch_add(T0, BASE, ONE);
     b.alu(AluOp::Mod, T0, T0, K1);
     b.alui(AluOp::Shl, T1, T0, 6); // * 64-byte stride
     b.alu(AluOp::Add, T1, T1, BASE2);
     b.spin_while_eq(T1, ZERO); // while must_wait
+    b.sync(SyncOp::Acquired, LOCK_ID);
     b.phase(phase::HOLD);
     b.delay(w.cs_cycles);
     b.phase(phase::RELEASE);
@@ -363,6 +378,7 @@ fn anderson_program(w: &LockWorkload, counter: Addr, slots: Addr, p: u32, iters:
     b.alui(AluOp::Shl, T2, T2, 6);
     b.alu(AluOp::Add, T2, T2, BASE2);
     b.store(T2, 0, ONE);
+    b.sync(SyncOp::Released, LOCK_ID);
     b.phase(phase::OUTSIDE);
     emit_post_release(&mut b, w);
     b.alui(AluOp::Sub, ITER, ITER, 1);

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::instr::{AluOp, Instr, Program, Reg};
+use crate::instr::{AluOp, Instr, Program, Reg, SyncOp};
 
 /// Builds a [`Program`] with forward-referencing labels.
 ///
@@ -179,6 +179,11 @@ impl ProgramBuilder {
     /// Zero-cost observability marker: enter program phase `id`.
     pub fn phase(&mut self, id: u16) -> &mut Self {
         self.raw(Instr::Phase(id))
+    }
+
+    /// Zero-cost observability marker: sync-episode event `op` on object `id`.
+    pub fn sync(&mut self, op: SyncOp, id: u32) -> &mut Self {
+        self.raw(Instr::Sync(op, id))
     }
 
     /// Stop the processor.

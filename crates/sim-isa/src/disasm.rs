@@ -52,6 +52,7 @@ impl fmt::Display for Instr {
             Instr::MagicAcquire(l) => write!(f, "magic_acquire {l}"),
             Instr::MagicRelease(l) => write!(f, "magic_release {l}"),
             Instr::Phase(p) => write!(f, "phase {p}"),
+            Instr::Sync(op, id) => write!(f, "sync  {} {id}", op.name()),
             Instr::Halt => write!(f, "halt"),
         }
     }

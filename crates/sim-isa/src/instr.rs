@@ -55,6 +55,38 @@ impl AluOp {
     }
 }
 
+/// A synchronization-episode event carried by the zero-cost [`Instr::Sync`]
+/// marker. Lock kernels emit the attempt/acquired/released triple around
+/// their real spin-based acquire and release paths; barrier kernels bracket
+/// each episode with arrive/depart. The machine's critical-path profiler
+/// turns the stream into per-lock handoff chains and per-barrier episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SyncOp {
+    /// The processor starts contending for a lock.
+    AcquireAttempt,
+    /// The processor now holds the lock.
+    Acquired,
+    /// The processor gave the lock up (handoff point).
+    Released,
+    /// The processor reached a barrier.
+    BarrierArrive,
+    /// The processor left the barrier (saw the release).
+    BarrierDepart,
+}
+
+impl SyncOp {
+    /// Stable name used in disassembly, reports, and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncOp::AcquireAttempt => "acquire-attempt",
+            SyncOp::Acquired => "acquired",
+            SyncOp::Released => "released",
+            SyncOp::BarrierArrive => "barrier-arrive",
+            SyncOp::BarrierDepart => "barrier-depart",
+        }
+    }
+}
+
 /// One instruction. All instructions execute in one cycle unless they touch
 /// shared memory or explicitly consume time (`Delay*`, `Spin*`, `Fence`,
 /// magic synchronization).
@@ -116,6 +148,9 @@ pub enum Instr {
     /// Costs zero cycles, retires no instruction, and generates no traffic —
     /// annotated and unannotated programs behave identically.
     Phase(u16),
+    /// Observability marker: synchronization-episode event `op` on sync
+    /// object `imm` (lock or barrier id). Zero-cost like [`Instr::Phase`].
+    Sync(SyncOp, u32),
     /// Stop this processor.
     Halt,
 }
@@ -193,6 +228,7 @@ impl Program {
                 | Instr::MagicAcquire(_)
                 | Instr::MagicRelease(_)
                 | Instr::Phase(_)
+                | Instr::Sync(..)
                 | Instr::Halt => {}
             }
         }

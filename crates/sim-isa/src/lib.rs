@@ -20,4 +20,4 @@ pub mod reference;
 
 pub use builder::ProgramBuilder;
 pub use disasm::ProgramStats;
-pub use instr::{AluOp, Instr, Program, Reg, NUM_REGS};
+pub use instr::{AluOp, Instr, Program, Reg, SyncOp, NUM_REGS};

@@ -238,7 +238,7 @@ impl RefMachine {
                     self.threads[w].waiting_lock = None;
                 }
             }
-            Instr::Phase(_) => {} // observability marker: no semantic effect
+            Instr::Phase(_) | Instr::Sync(..) => {} // observability markers: no semantic effect
             Instr::Halt => {
                 self.threads[tid].halted = true;
                 next_pc = self.threads[tid].pc;

@@ -14,7 +14,14 @@
 //!   hottest blocks each get their own track (ids from
 //!   [`LINE_TRACK_BASE`]) of directory-state slices, and every miss whose
 //!   provenance chains back to a remote write becomes a writer→victim
-//!   `"b"`/`"e"` flow in category `"inval"`.
+//!   `"b"`/`"e"` flow in category `"inval"`;
+//! - when the run carried the episode profiler (`ObsReport::crit`), each
+//!   lock gets an ownership track (ids from [`CRIT_TRACK_BASE`]) of hold
+//!   and handoff slices (the handoff slice's args carry the
+//!   visibility/miss split), each barrier gets an episode-span track
+//!   annotated with the last arriver, and every cross-node causal edge in
+//!   the retained critical-path tail becomes a `"b"`/`"e"` flow in
+//!   category `"crit"` from the source cpu track to the dependent one.
 //!
 //! Several runs (e.g. the three protocols on the same kernel) can share one
 //! trace by exporting each under a distinct `pid` — the viewer shows them
@@ -24,7 +31,7 @@ use std::collections::HashMap;
 
 use sim_engine::Cycle;
 use sim_mem::BlockAddr;
-use sim_stats::{ChromeTrace, FlowPairer, Json, LineEventKind, LineageReport};
+use sim_stats::{ChromeTrace, CritReport, FlowPairer, Json, LineEventKind, LineageReport};
 
 use crate::result::RunResult;
 use crate::trace::TraceEvent;
@@ -35,6 +42,10 @@ pub const LINE_TRACK_BASE: u64 = 1000;
 
 /// How many of the hottest blocks get their own provenance track.
 pub const LINE_TRACKS_MAX: usize = 8;
+
+/// First track id used for lock-ownership and barrier-episode tracks
+/// (clear of the per-line tracks above).
+pub const CRIT_TRACK_BASE: u64 = 2000;
 
 /// What one [`export_run`] call contributed to the trace.
 #[derive(Debug, Clone, Copy, Default)]
@@ -112,6 +123,9 @@ pub fn export_run(
     if let Some(lineage) = result.obs.as_ref().and_then(|o| o.lineage.as_ref()) {
         export_lineage(trace, pid, lineage, result.cycles, &mut stats);
     }
+    if let Some(crit) = result.obs.as_ref().and_then(|o| o.crit.as_ref()) {
+        export_crit(trace, pid, crit, &mut stats);
+    }
     stats
 }
 
@@ -171,6 +185,76 @@ fn export_lineage(
     }
 }
 
+/// Adds the synchronization-episode layer: lock-ownership tracks, barrier
+/// episode spans, and critical-path causal arrows between cpu tracks.
+fn export_crit(trace: &mut ChromeTrace, pid: u64, crit: &CritReport, stats: &mut ExportStats) {
+    let mut tid = CRIT_TRACK_BASE;
+
+    // One ownership track per lock: the previous holder's hold interval
+    // followed by the release→acquire handoff gap, both taken from the
+    // retained handoff records (chronological, so slices never overlap).
+    for l in &crit.locks {
+        trace.thread_name(pid, tid, &format!("lock {} ownership", l.lock));
+        for h in &l.records {
+            let hold_start = h.released_at.saturating_sub(h.hold);
+            trace.complete(pid, tid, &format!("n{} holds", h.from), "crit", hold_start, h.hold, vec![]);
+            trace.complete(
+                pid,
+                tid,
+                &format!("handoff n{}→n{}", h.from, h.to),
+                "crit",
+                h.released_at,
+                h.latency(),
+                vec![
+                    ("release_visibility".to_string(), Json::U64(h.release_visibility)),
+                    ("remote_miss".to_string(), Json::U64(h.remote_miss)),
+                    ("other".to_string(), Json::U64(h.other)),
+                    ("queue_wait".to_string(), Json::U64(h.queue_wait)),
+                ],
+            );
+            stats.slices += 2;
+        }
+        tid += 1;
+    }
+
+    // One span track per barrier: each completed episode from first arrival
+    // to last departure, annotated with the last arriver and the
+    // imbalance/fanout split (episodes are sequential on a barrier).
+    for b in &crit.barriers {
+        trace.thread_name(pid, tid, &format!("barrier {} episodes", b.barrier));
+        for e in &b.records {
+            trace.complete(
+                pid,
+                tid,
+                &format!("epoch {} (last n{})", e.epoch, e.last_arriver),
+                "crit",
+                e.first_arrive,
+                e.last_depart.saturating_sub(e.first_arrive),
+                vec![
+                    ("last_arriver".to_string(), Json::from(format!("n{}", e.last_arriver))),
+                    ("imbalance".to_string(), Json::U64(e.imbalance())),
+                    ("fanout".to_string(), Json::U64(e.fanout())),
+                ],
+            );
+            stats.slices += 1;
+        }
+        tid += 1;
+    }
+
+    // Critical-path arrows: every cross-node causal edge in the retained
+    // chain tail links the source node's cpu track to the dependent one at
+    // the moment the chain switches nodes.
+    for s in &crit.critical_path.segments {
+        if let (Some(edge), Some(from)) = (s.edge, s.from) {
+            let name = format!("crit:{edge}");
+            let id = stats.next_flow_id;
+            stats.next_flow_id += 1;
+            trace.async_begin(pid, from as u64, &name, "crit", id, s.start);
+            trace.async_end(pid, s.node as u64, &name, "crit", id, s.start);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +305,61 @@ mod tests {
         assert!(line_tracks > 0, "hottest blocks get provenance tracks");
         let dir_slices = events.iter().filter(|e| e.get("cat").and_then(Json::as_str) == Some("dir")).count();
         assert!(dir_slices > 0, "directory-state slices drawn on line tracks");
+    }
+
+    #[test]
+    fn exports_crit_lanes_for_sync_episodes() {
+        let mut m = Machine::new(MachineConfig::paper_observed(2, Protocol::WriteInvalidate));
+        m.enable_trace(Trace::new(10_000));
+        for n in 0..2 {
+            let mut b = ProgramBuilder::new();
+            for _ in 0..3 {
+                b.magic_acquire(0);
+                b.magic_release(0);
+                b.magic_barrier();
+            }
+            b.halt();
+            m.set_program(n, b.build());
+        }
+        let r = m.run();
+        let events = m.take_trace().unwrap();
+        let crit = r.obs.as_ref().and_then(|o| o.crit.as_ref()).expect("observed run carries crit");
+        assert!(crit.locks.iter().any(|l| l.handoffs > 0), "magic lock recorded handoffs");
+        assert!(crit.barriers.iter().any(|b| b.episodes == 3), "magic barrier recorded episodes");
+
+        let mut trace = ChromeTrace::new();
+        export_run(&mut trace, 1, "WI", &r, events.events(), 0);
+        let parsed = Json::parse(&trace.render()).expect("valid JSON array");
+        let events = parsed.as_arr().unwrap();
+        let crit_tracks = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("tid").and_then(Json::as_u64).unwrap_or(0) >= CRIT_TRACK_BASE
+            })
+            .count();
+        assert_eq!(crit_tracks, 2, "one lock-ownership track and one barrier-episode track");
+        let crit_slices = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("cat").and_then(Json::as_str) == Some("crit")
+            })
+            .count();
+        // 2 slices per retained handoff + 1 per retained episode.
+        let handoffs: usize = crit.locks.iter().map(|l| l.records.len()).sum();
+        let episodes: usize = crit.barriers.iter().map(|b| b.records.len()).sum();
+        assert_eq!(crit_slices, 2 * handoffs + episodes);
+        let crit_flows = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("b")
+                    && e.get("cat").and_then(Json::as_str) == Some("crit")
+            })
+            .count();
+        let cross: usize =
+            crit.critical_path.segments.iter().filter(|s| s.edge.is_some() && s.from.is_some()).count();
+        assert_eq!(crit_flows, cross, "one arrow per retained cross-node edge");
     }
 
     #[test]

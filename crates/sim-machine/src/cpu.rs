@@ -100,6 +100,15 @@ pub struct Cpu {
     pub instructions: u64,
     /// Cycle at which the current read/atomic stall began (latency stats).
     pub stall_since: Cycle,
+    /// Address the current read/spin/atomic stall is waiting on (only
+    /// meaningful while stalled; consumed by critical-path causality).
+    pub stall_addr: Addr,
+    /// Last writer of the atomic's target, captured at issue time — by
+    /// completion the atomic itself has become the last writer.
+    pub stall_writer: Option<(usize, Cycle)>,
+    /// Whether the spin loop currently being executed has actually waited
+    /// (missed, parked, or slept) rather than exiting on its first check.
+    pub spin_waited: bool,
 }
 
 impl Cpu {
@@ -115,6 +124,9 @@ impl Cpu {
             rng: SplitMix64::derive(seed, id as u64),
             instructions: 0,
             stall_since: 0,
+            stall_addr: 0,
+            stall_writer: None,
+            spin_waited: false,
         }
     }
 

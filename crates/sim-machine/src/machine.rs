@@ -7,7 +7,9 @@ use sim_isa::{Instr, Program};
 use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
-use sim_stats::{Classifier, CpuClass, LinkFlits, NodeGauges, NodeSample, ObsCollector, Sample};
+use sim_stats::{
+    Classifier, CpuClass, CritCollector, LinkFlits, NodeGauges, NodeSample, ObsCollector, Sample, WaitKind,
+};
 
 use crate::config::MachineConfig;
 use crate::cpu::{Cpu, CpuState, PendingAtomicIssue};
@@ -46,6 +48,12 @@ fn class_of(state: &CpuState) -> CpuClass {
     }
 }
 
+/// Synthetic sync-object ids for the magic (zero-traffic) primitives, kept
+/// clear of the small ids kernels put in explicit [`Instr::Sync`] markers so
+/// a program mixing both never aliases episodes. Magic lock `l` reports as
+/// sync object `MAGIC_SYNC_BASE + l`; the magic barrier as `MAGIC_SYNC_BASE`.
+const MAGIC_SYNC_BASE: u32 = 0x100;
+
 /// State of one zero-traffic magic lock.
 #[derive(Debug, Default)]
 struct MagicLock {
@@ -79,6 +87,9 @@ pub struct Machine {
     /// Cycle-accounting collector; `Some` only when `cfg.obs.enabled`, so
     /// the default path pays nothing beyond a `None` check per transition.
     obs: Option<ObsCollector>,
+    /// Critical-path and sync-episode collector; rides on the same opt-in
+    /// as `obs` and is equally free when disabled.
+    crit: Option<Box<CritCollector>>,
 }
 
 impl Machine {
@@ -89,6 +100,7 @@ impl Machine {
         let proto_cfg = cfg.proto_config();
         let mut net = Network::new(cfg.num_procs, cfg.net.clone());
         let obs = cfg.obs.enabled.then(|| ObsCollector::new(cfg.num_procs, cfg.obs));
+        let crit = cfg.obs.enabled.then(|| Box::new(CritCollector::new(cfg.num_procs)));
         let mut clf = Classifier::new(geom);
         if obs.is_some() {
             net.enable_link_stats();
@@ -113,6 +125,7 @@ impl Machine {
             read_latency: sim_stats::LatencyHist::new(),
             atomic_latency: sim_stats::LatencyHist::new(),
             obs,
+            crit,
             queue: EventQueue::new(),
             cfg,
         }
@@ -124,6 +137,9 @@ impl Machine {
     fn set_state(&mut self, n: NodeId, state: CpuState, at: Cycle) {
         if let Some(obs) = self.obs.as_mut() {
             obs.transition(n, class_of(&state), at);
+        }
+        if let Some(crit) = self.crit.as_mut() {
+            crit.transition(n, class_of(&state), at);
         }
         self.cpus[n].state = state;
     }
@@ -262,6 +278,7 @@ impl Machine {
         });
         if let Some(o) = obs.as_mut() {
             o.lineage = self.clf.take_lineage();
+            o.crit = self.crit.take().map(|c| c.finish(self.last_halt));
         }
         RunResult {
             cycles: self.last_halt,
@@ -405,7 +422,28 @@ impl Machine {
                 if let Some(obs) = self.obs.as_mut() {
                     obs.set_phase(n, p, t);
                 }
+                if let Some(crit) = self.crit.as_mut() {
+                    crit.set_phase(n, p, t);
+                }
                 self.clf.set_phase(n, p);
+                self.cpus[n].pc += 1;
+                continue;
+            }
+            // Sync-episode markers are zero-cost like phase markers: they
+            // retire no instruction and consume no cycle, so annotated
+            // kernels time identically to unannotated ones. They feed the
+            // critical-path collector's lock/barrier episode analytics.
+            if let Instr::Sync(op, id) = instr {
+                if let Some(crit) = self.crit.as_mut() {
+                    use sim_isa::SyncOp;
+                    match op {
+                        SyncOp::AcquireAttempt => crit.lock_attempt(n, id, t),
+                        SyncOp::Acquired => crit.lock_acquired(n, id, t),
+                        SyncOp::Released => crit.lock_released(n, id, t),
+                        SyncOp::BarrierArrive => crit.barrier_arrive(n, id, t),
+                        SyncOp::BarrierDepart => crit.barrier_depart(n, id, t),
+                    }
+                }
                 self.cpus[n].pc += 1;
                 continue;
             }
@@ -497,6 +535,7 @@ impl Machine {
                     }
                     self.set_state(n, CpuState::StallRead { rd }, t);
                     self.cpus[n].stall_since = t;
+                    self.cpus[n].stall_addr = addr;
                     self.process_effects(n, fx, t);
                     return;
                 }
@@ -577,6 +616,9 @@ impl Machine {
                     }
                 }
                 Instr::MagicBarrier => {
+                    if let Some(crit) = self.crit.as_mut() {
+                        crit.barrier_arrive(n, MAGIC_SYNC_BASE, t);
+                    }
                     self.cpus[n].pc += 1;
                     self.set_state(n, CpuState::InBarrier, t);
                     self.barrier_waiting.push(n);
@@ -584,11 +626,17 @@ impl Machine {
                     return;
                 }
                 Instr::MagicAcquire(l) => {
+                    if let Some(crit) = self.crit.as_mut() {
+                        crit.lock_attempt(n, MAGIC_SYNC_BASE + l, t);
+                    }
                     let lock = self.magic_locks.entry(l).or_default();
                     if lock.holder.is_none() {
                         lock.holder = Some(n);
                         self.cpus[n].pc += 1;
                         t += self.cfg.magic_lock_cycles;
+                        if let Some(crit) = self.crit.as_mut() {
+                            crit.lock_acquired(n, MAGIC_SYNC_BASE + l, t);
+                        }
                     } else {
                         lock.queue.push_back(n);
                         self.set_state(n, CpuState::WaitLock(l), t);
@@ -599,19 +647,26 @@ impl Machine {
                     let cost = self.cfg.magic_lock_cycles;
                     let lock = self.magic_locks.entry(l).or_default();
                     assert_eq!(lock.holder, Some(n), "magic release of a lock not held");
-                    if let Some(next) = lock.queue.pop_front() {
-                        lock.holder = Some(next);
+                    let next = lock.queue.pop_front();
+                    lock.holder = next;
+                    if let Some(crit) = self.crit.as_mut() {
+                        crit.lock_released(n, MAGIC_SYNC_BASE + l, t);
+                    }
+                    if let Some(next) = next {
                         // The waiter parked on its acquire instruction; hand
                         // it the lock and move it past the acquire.
                         self.cpus[next].pc += 1;
                         self.wake_cpu(next, t + cost);
-                    } else {
-                        lock.holder = None;
+                        if let Some(crit) = self.crit.as_mut() {
+                            crit.lock_acquired(next, MAGIC_SYNC_BASE + l, t + cost);
+                        }
                     }
                     self.cpus[n].pc += 1;
                     t += cost;
                 }
-                Instr::Phase(_) => unreachable!("handled before instruction retirement"),
+                Instr::Phase(_) | Instr::Sync(..) => {
+                    unreachable!("handled before instruction retirement")
+                }
                 Instr::Halt => {
                     self.set_state(n, CpuState::Halted, t);
                     self.halted += 1;
@@ -644,6 +699,8 @@ impl Machine {
                         // Check missed: fetch the line, then re-execute.
                         self.set_state(n, CpuState::StallSpinRead, *t);
                         self.cpus[n].stall_since = *t;
+                        self.cpus[n].stall_addr = addr;
+                        self.cpus[n].spin_waited = true;
                         self.process_effects(n, fx, *t);
                         return false;
                     }
@@ -653,10 +710,22 @@ impl Machine {
         let exit = if spin_while_ne { val == cmp } else { val != cmp };
         let period = self.cfg.spin_check_period;
         if exit {
+            // A spin that actually waited exits causally after the remote
+            // write that changed the watched word: hand the critical-path
+            // collector a spin-fill edge from that writer.
+            if self.cpus[n].spin_waited && !from_wb {
+                if let Some(crit) = self.crit.as_mut() {
+                    if let Some((w, wt)) = self.clf.last_writer_of(addr) {
+                        crit.wait_ended(n, w, wt, addr, WaitKind::SpinFill, *t);
+                    }
+                }
+            }
+            self.cpus[n].spin_waited = false;
             self.cpus[n].pc += 1;
             *t += period; // the successful check still costs one iteration
             return true;
         }
+        self.cpus[n].spin_waited = true;
         if from_wb || !self.cfg.spin_parking {
             // Re-check on the period grid without parking.
             self.set_state(n, CpuState::SpinSleep, *t);
@@ -680,6 +749,9 @@ impl Machine {
     }
 
     fn issue_atomic(&mut self, n: NodeId, pai: PendingAtomicIssue, now: Cycle) {
+        // Captured before the operation: once it completes, this processor
+        // itself is the last writer and the causal predecessor is gone.
+        let writer_before = if self.crit.is_some() { self.clf.last_writer_of(pai.addr) } else { None };
         let fx = self.nodes[n].cpu_atomic(pai.op, pai.addr, pai.operand, pai.operand2, &mut self.clf, now);
         if let Some(old) = fx.atomic_done {
             self.cpus[n].regs[pai.rd] = old;
@@ -692,6 +764,8 @@ impl Machine {
         } else {
             self.set_state(n, CpuState::StallAtomic { rd: pai.rd }, now);
             self.cpus[n].stall_since = now;
+            self.cpus[n].stall_addr = pai.addr;
+            self.cpus[n].stall_writer = writer_before;
             self.process_effects(n, fx, now);
         }
     }
@@ -702,6 +776,9 @@ impl Machine {
             let cost = self.cfg.magic_barrier_cycles;
             for w in std::mem::take(&mut self.barrier_waiting) {
                 self.wake_cpu(w, now + cost);
+                if let Some(crit) = self.crit.as_mut() {
+                    crit.barrier_depart(w, MAGIC_SYNC_BASE, now + cost);
+                }
             }
         }
     }
@@ -749,6 +826,14 @@ impl Machine {
                     self.cpus[x].regs[rd] = v;
                     self.cpus[x].pc += 1;
                     self.wake_cpu(x, now + 1);
+                    // The filled value is causally after its last writer;
+                    // record the read-fill edge for the critical path.
+                    let addr = self.cpus[x].stall_addr;
+                    if let Some(crit) = self.crit.as_mut() {
+                        if let Some((w, wt)) = self.clf.last_writer_of(addr) {
+                            crit.wait_ended(x, w, wt, addr, WaitKind::ReadFill, now + 1);
+                        }
+                    }
                 }
                 CpuState::StallSpinRead => {
                     // Re-execute the spin instruction; the line is now
@@ -788,6 +873,12 @@ impl Machine {
                     self.cpus[x].regs[rd] = old;
                     self.cpus[x].pc += 1;
                     self.wake_cpu(x, now + 1);
+                    let addr = self.cpus[x].stall_addr;
+                    if let Some((w, wt)) = self.cpus[x].stall_writer.take() {
+                        if let Some(crit) = self.crit.as_mut() {
+                            crit.wait_ended(x, w, wt, addr, WaitKind::AtomicFill, now + 1);
+                        }
+                    }
                 }
                 ref other => panic!("atomic completion in state {other:?}"),
             }
@@ -1146,6 +1237,9 @@ impl Machine {
     /// [`Machine::run`]; see `TrafficReport::by_structure`.
     pub fn register_structure(&mut self, name: &str, addr: Addr, words: u32) {
         self.clf.register_structure(name, addr, words);
+        if let Some(crit) = self.crit.as_mut() {
+            crit.register_structure(name, addr, addr + 4 * words);
+        }
     }
 }
 

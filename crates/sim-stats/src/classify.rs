@@ -63,8 +63,6 @@ pub struct Classifier {
 /// A named address range for per-structure traffic attribution.
 #[derive(Debug, Clone)]
 struct StructureRange {
-    /// Kept for diagnostics (the report carries its own copy).
-    #[allow(dead_code)]
     name: String,
     lo: Addr,
     hi: Addr,
@@ -161,6 +159,19 @@ impl Classifier {
 
     fn structure_of(&self, addr: Addr) -> Option<usize> {
         self.structures.iter().rposition(|r| (r.lo..r.hi).contains(&addr))
+    }
+
+    /// The registered structure name covering `addr`, if any (later
+    /// registrations win on overlap, matching traffic attribution).
+    pub fn structure_name_of(&self, addr: Addr) -> Option<&str> {
+        self.structure_of(addr).map(|i| self.structures[i].name.as_str())
+    }
+
+    /// The last globally-visible writer of `addr` and the commit cycle —
+    /// the causal source of a wait that ended on that word. Feeds the
+    /// critical-path profiler's chain merges.
+    pub fn last_writer_of(&self, addr: Addr) -> Option<(NodeId, Cycle)> {
+        self.last_writer.get(&addr).copied()
     }
 
     fn bump_miss(&mut self, addr: Addr, class: MissClass) {

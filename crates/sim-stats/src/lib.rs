@@ -31,6 +31,7 @@
 
 pub mod chrome;
 pub mod classify;
+pub mod crit;
 pub mod hist;
 pub mod json;
 pub mod lineage;
@@ -40,6 +41,10 @@ pub mod sampler;
 
 pub use chrome::{ChromeTrace, FlowPairer};
 pub use classify::{Classifier, LossCause};
+pub use crit::{
+    check_reconciliation, BarrierReport, ChainReport, ChainSegment, CritCollector, CritReport, Episode,
+    Handoff, LockReport, WaitKind,
+};
 pub use hist::LatencyHist;
 pub use json::Json;
 pub use lineage::{

@@ -87,6 +87,12 @@ impl CycleAccount {
         self.cycles[class.index()] += n;
     }
 
+    /// Removes `n` cycles from `class` (saturating).
+    pub fn sub(&mut self, class: CpuClass, n: u64) {
+        let c = &mut self.cycles[class.index()];
+        *c = c.saturating_sub(n);
+    }
+
     /// Cycles attributed to `class`.
     pub fn get(&self, class: CpuClass) -> u64 {
         self.cycles[class.index()]
@@ -318,6 +324,7 @@ impl ObsCollector {
             link_flits,
             samples: self.samples,
             lineage: None,
+            crit: None,
         }
     }
 }
@@ -393,6 +400,10 @@ pub struct ObsReport {
     /// aggregation); attached by the machine from the classifier's
     /// [`crate::lineage::Lineage`] recorder after the run.
     pub lineage: Option<crate::lineage::LineageReport>,
+    /// Critical-path and sync-episode profile (lock handoffs, barrier
+    /// episodes, causal stall chains); attached by the machine from its
+    /// [`crate::crit::CritCollector`] after the run.
+    pub crit: Option<crate::crit::CritReport>,
 }
 
 impl ObsReport {
@@ -402,7 +413,8 @@ impl ObsReport {
         self.phase_names = names.into_iter().collect();
     }
 
-    fn phase_label(&self, phase: u16) -> String {
+    /// Display label for a phase id (`phase_names` entry, else `phaseN`).
+    pub fn phase_label(&self, phase: u16) -> String {
         self.phase_names.get(&phase).cloned().unwrap_or_else(|| format!("phase{phase}"))
     }
 
@@ -471,6 +483,9 @@ impl ObsReport {
         ];
         if let Some(lineage) = &self.lineage {
             pairs.push(("lineage", lineage.to_json(&|p| self.phase_label(p))));
+        }
+        if let Some(crit) = &self.crit {
+            pairs.push(("crit", crit.to_json(&|p| self.phase_label(p))));
         }
         Json::obj(pairs)
     }
