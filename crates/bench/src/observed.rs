@@ -1,6 +1,7 @@
 //! Fully-observed single runs, shared by the diagnostic binaries
-//! (`obs_report`, `line_profile`): name → kernel lookup and a run helper
-//! that enables cycle accounting, line provenance, and message tracing.
+//! (`obs_report`, `line_profile`, `net_profile`): name → kernel lookup
+//! and a run helper that enables cycle accounting, line provenance,
+//! network telemetry, and message tracing.
 
 use kernels::runner::KernelSpec;
 use kernels::workloads::{BarrierKind, LockKind, ReductionKind};

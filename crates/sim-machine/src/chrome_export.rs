@@ -21,7 +21,13 @@
 //!   visibility/miss split), each barrier gets an episode-span track
 //!   annotated with the last arriver, and every cross-node causal edge in
 //!   the retained critical-path tail becomes a `"b"`/`"e"` flow in
-//!   category `"crit"` from the source cpu track to the dependent one.
+//!   category `"crit"` from the source cpu track to the dependent one;
+//! - when the run carried network telemetry (`ObsReport::netobs`), the
+//!   busiest physical mesh links each get a utilisation track (ids from
+//!   [`NET_TRACK_BASE`]) of per-sample-interval flit slices, and every
+//!   retained message journey becomes a `"b"`/`"e"` flow in category
+//!   `"net"` from the sender's cpu track (at inject) to the receiver's (at
+//!   delivery).
 //!
 //! Several runs (e.g. the three protocols on the same kernel) can share one
 //! trace by exporting each under a distinct `pid` — the viewer shows them
@@ -46,6 +52,13 @@ pub const LINE_TRACKS_MAX: usize = 8;
 /// First track id used for lock-ownership and barrier-episode tracks
 /// (clear of the per-line tracks above).
 pub const CRIT_TRACK_BASE: u64 = 2000;
+
+/// First track id used for physical-link utilisation tracks (clear of the
+/// crit tracks above).
+pub const NET_TRACK_BASE: u64 = 3000;
+
+/// How many of the busiest physical links get their own utilisation track.
+pub const NET_TRACKS_MAX: usize = 8;
 
 /// What one [`export_run`] call contributed to the trace.
 #[derive(Debug, Clone, Copy, Default)]
@@ -125,6 +138,9 @@ pub fn export_run(
     }
     if let Some(crit) = result.obs.as_ref().and_then(|o| o.crit.as_ref()) {
         export_crit(trace, pid, crit, &mut stats);
+    }
+    if let Some(netobs) = result.obs.as_ref().and_then(|o| o.netobs.as_ref()) {
+        export_netobs(trace, pid, netobs, result.cycles, &mut stats);
     }
     stats
 }
@@ -255,6 +271,62 @@ fn export_crit(trace: &mut ChromeTrace, pid: u64, crit: &CritReport, stats: &mut
     }
 }
 
+/// Adds the network-telemetry layer: per-physical-link utilisation tracks
+/// (flits moved per sample interval on the busiest links) and a journey
+/// arrow per retained message record.
+fn export_netobs(
+    trace: &mut ChromeTrace,
+    pid: u64,
+    netobs: &sim_stats::NetObsReport,
+    run_end: Cycle,
+    stats: &mut ExportStats,
+) {
+    let index: HashMap<(usize, usize), usize> =
+        netobs.phys_links.iter().enumerate().map(|(i, l)| ((l.src, l.dst), i)).collect();
+    for (k, l) in netobs.worst_links(NET_TRACKS_MAX).into_iter().enumerate() {
+        if l.flits == 0 {
+            break;
+        }
+        let tid = NET_TRACK_BASE + k as u64;
+        trace.thread_name(pid, tid, &format!("link n{}→n{}", l.src, l.dst));
+        let li = index[&(l.src, l.dst)];
+        // One slice per sampling interval with traffic; the counters are
+        // cumulative, so each sample's delta is the interval's flits. One
+        // flit occupies the link for one cycle, so delta/interval is the
+        // link's utilisation.
+        let (mut prev_at, mut prev_flits) = (0, 0);
+        let mut emit = |trace: &mut ChromeTrace, start: Cycle, end: Cycle, delta: u64| {
+            if end > start && delta > 0 {
+                let util = 100.0 * delta as f64 / (end - start) as f64;
+                trace.complete(
+                    pid,
+                    tid,
+                    &format!("{delta} flits"),
+                    "net",
+                    start,
+                    end - start,
+                    vec![("util_pct".to_string(), Json::F64(util))],
+                );
+                stats.slices += 1;
+            }
+        };
+        for s in &netobs.link_samples {
+            emit(trace, prev_at, s.at, s.flits[li].saturating_sub(prev_flits));
+            (prev_at, prev_flits) = (s.at, s.flits[li]);
+        }
+        emit(trace, prev_at, run_end, l.flits.saturating_sub(prev_flits));
+    }
+
+    // Journey arrows: sender's cpu track at inject → receiver's at delivery.
+    for r in &netobs.records {
+        let name = format!("net:{}", r.class);
+        let id = stats.next_flow_id;
+        stats.next_flow_id += 1;
+        trace.async_begin(pid, r.src as u64, &name, "net", id, r.inject);
+        trace.async_end(pid, r.dst as u64, &name, "net", id, r.delivered.max(r.inject));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +432,58 @@ mod tests {
         let cross: usize =
             crit.critical_path.segments.iter().filter(|s| s.edge.is_some() && s.from.is_some()).count();
         assert_eq!(crit_flows, cross, "one arrow per retained cross-node edge");
+    }
+
+    #[test]
+    fn exports_net_link_tracks_and_journey_arrows() {
+        let mut m = Machine::new(MachineConfig::paper_observed(4, Protocol::PureUpdate));
+        m.enable_trace(Trace::new(10_000));
+        let addr = m.alloc().alloc_block_on(0, 1);
+        let mut b = ProgramBuilder::new();
+        b.imm(0, addr).imm(1, 7).store(0, 0, 1).fence().halt();
+        m.set_program(1, b.build());
+        let mut b2 = ProgramBuilder::new();
+        b2.imm(0, addr).imm(1, 7).spin_while_ne(0, 1).halt();
+        m.set_program(2, b2.build());
+        let r = m.run();
+        let events = m.take_trace().unwrap();
+        let netobs = r.obs.as_ref().and_then(|o| o.netobs.as_ref()).expect("observed run carries netobs");
+        assert!(!netobs.records.is_empty(), "remote traffic retained journey records");
+
+        let mut trace = ChromeTrace::new();
+        export_run(&mut trace, 1, "PU", &r, events.events(), 0);
+        let parsed = Json::parse(&trace.render()).expect("valid JSON array");
+        let events = parsed.as_arr().unwrap();
+        let net_tracks = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("tid").and_then(Json::as_u64).unwrap_or(0) >= NET_TRACK_BASE
+            })
+            .count();
+        assert!(net_tracks > 0, "busiest links get utilisation tracks");
+        assert!(net_tracks <= NET_TRACKS_MAX);
+        let net_slices = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("cat").and_then(Json::as_str) == Some("net")
+            })
+            .count();
+        assert!(net_slices > 0, "nonzero links draw at least the tail slice");
+        let begins = |cat: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some("b")
+                        && e.get("cat").and_then(Json::as_str) == Some(cat)
+                })
+                .count()
+        };
+        assert_eq!(begins("net"), netobs.records.len(), "one arrow per retained journey");
+        let count =
+            |ph: &str| events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph)).count();
+        assert_eq!(count("b"), count("e"), "every arrow is matched");
     }
 
     #[test]

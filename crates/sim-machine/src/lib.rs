@@ -29,7 +29,9 @@ pub mod machine;
 pub mod result;
 pub mod trace;
 
-pub use chrome_export::{export_run, ExportStats, CRIT_TRACK_BASE, LINE_TRACK_BASE};
+pub use chrome_export::{
+    export_run, ExportStats, CRIT_TRACK_BASE, LINE_TRACK_BASE, NET_TRACKS_MAX, NET_TRACK_BASE,
+};
 pub use config::MachineConfig;
 pub use cpu::{Cpu, CpuState};
 pub use machine::Machine;

@@ -8,7 +8,8 @@ use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
 use sim_stats::{
-    Classifier, CpuClass, CritCollector, LinkFlits, NodeGauges, NodeSample, ObsCollector, Sample, WaitKind,
+    Classifier, CpuClass, CritCollector, EndpointPairFlits, NetObsCollector, NodeGauges, NodeSample,
+    ObsCollector, Sample, WaitKind,
 };
 
 use crate::config::MachineConfig;
@@ -90,6 +91,9 @@ pub struct Machine {
     /// Critical-path and sync-episode collector; rides on the same opt-in
     /// as `obs` and is equally free when disabled.
     crit: Option<Box<CritCollector>>,
+    /// Network/memory-back-end telemetry collector (message journeys,
+    /// physical-link traffic, hot-home profiles); same opt-in as `obs`.
+    netobs: Option<Box<NetObsCollector>>,
 }
 
 impl Machine {
@@ -104,10 +108,17 @@ impl Machine {
         let mut clf = Classifier::new(geom);
         if obs.is_some() {
             net.enable_link_stats();
+            // Network telemetry rides on the same opt-in: the network
+            // records per-message journeys and per-physical-link flits, the
+            // classifier buckets update classifications by home node.
+            net.enable_journeys();
+            net.enable_phys_link_stats();
+            clf.enable_home_stats();
             // Line provenance rides on the same opt-in: when observing, the
             // classifier also records per-block transition/causality events.
             clf.enable_lineage();
         }
+        let netobs = cfg.obs.enabled.then(|| Box::new(NetObsCollector::new(net.shape())));
         Machine {
             geom,
             net,
@@ -126,6 +137,7 @@ impl Machine {
             atomic_latency: sim_stats::LatencyHist::new(),
             obs,
             crit,
+            netobs,
             queue: EventQueue::new(),
             cfg,
         }
@@ -258,8 +270,8 @@ impl Machine {
                 rx_busy: self.net.rx_busy(n),
             })
             .collect();
-        let mut obs = self.obs.take().map(|collector| {
-            let gauges = (0..self.cfg.num_procs)
+        let obs = self.obs.take().map(|collector| {
+            let gauges: Vec<NodeGauges> = (0..self.cfg.num_procs)
                 .map(|n| NodeGauges {
                     mem_queue_wait: self.mem_srv[n].wait_cycles(),
                     mem_busy: self.mem_srv[n].busy_cycles(),
@@ -272,14 +284,16 @@ impl Machine {
                 .net
                 .link_flits()
                 .into_iter()
-                .map(|(src, dst, flits)| LinkFlits { src, dst, flits })
+                .map(|(src, dst, flits)| EndpointPairFlits { src, dst, flits })
                 .collect();
-            collector.finish(self.last_halt, gauges, links)
-        });
-        if let Some(o) = obs.as_mut() {
+            let mut o = collector.finish(self.last_halt, gauges.clone(), links);
             o.lineage = self.clf.take_lineage();
             o.crit = self.crit.take().map(|c| c.finish(self.last_halt));
-        }
+            o.netobs = self.netobs.take().map(|c| {
+                c.finish(self.last_halt, self.net.phys_link_flits(), &gauges, self.clf.take_home_stats())
+            });
+            o
+        });
         RunResult {
             cycles: self.last_halt,
             traffic,
@@ -314,6 +328,14 @@ impl Machine {
                 svc => {
                     let cycles = self.service_cycles(svc);
                     let done = self.mem_srv[msg.dst].occupy(now, cycles);
+                    if let Some(no) = self.netobs.as_mut() {
+                        no.home_service(
+                            msg.dst,
+                            matches!(svc, MemService::Block),
+                            cycles,
+                            done - cycles - now,
+                        );
+                    }
                     self.queue.schedule(done, Ev::HomeHandle(msg));
                 }
             },
@@ -349,6 +371,11 @@ impl Machine {
         let c = self.net.counters();
         let sample = Sample { at: now, nodes, msgs_sent: c.messages + c.local_messages, flits_sent: c.flits };
         self.obs.as_mut().unwrap().record_sample(sample);
+        if let Some(no) = self.netobs.as_mut() {
+            if let Some(flits) = self.net.phys_flits_raw() {
+                no.sample_links(now, flits);
+            }
+        }
         // Reschedule only while other events are pending: an empty queue
         // with stalled processors must still trip the deadlock panic in
         // `run`, and sampling alone cannot keep a dead machine "alive".
@@ -808,6 +835,15 @@ impl Machine {
             let at = self.net.send(now, m.src, m.dst, m.payload_bytes());
             if let Some(obs) = self.obs.as_mut() {
                 obs.count_msg(m.kind.name(), at - now);
+            }
+            if let Some(no) = self.netobs.as_mut() {
+                match self.net.take_last_journey() {
+                    Some(j) => {
+                        let home = self.geom.home_of(m.addr);
+                        no.record(m.kind.name(), self.clf.structure_name_of(m.addr), home, &j);
+                    }
+                    None => no.record_local(m.kind.name(), at - now),
+                }
             }
             self.queue.schedule(at, Ev::Deliver(m));
         }

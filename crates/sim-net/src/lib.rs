@@ -59,6 +59,77 @@ pub struct NetCounters {
     pub total_hops: u64,
 }
 
+/// The decomposed delivery record of one mesh message (an opt-in
+/// observability feature; see [`Network::enable_journeys`]).
+///
+/// The endpoint-contention model makes the decomposition exact:
+///
+/// ```text
+/// delivered − inject = tx_wait + tx_service + wire + rx_wait
+/// ```
+///
+/// * `tx_wait` — cycles the message queued behind earlier traffic at the
+///   source transmit port;
+/// * `tx_service` (= `flits`) — cycles the port spends streaming the
+///   message's flits; wormhole pipelining means the same span also covers
+///   the tail flit's lag behind the header at every later stage, so it
+///   appears exactly once in the identity;
+/// * `wire` — `switch_delay · hops` of uncontended header pipelining
+///   through the mesh;
+/// * `rx_wait` — cycles the header waited for the destination receive
+///   port beyond its uncontended arrival.
+///
+/// Node-local messages bypass the mesh and produce no journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Journey {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Flits the message occupied on every port it crossed.
+    pub flits: u64,
+    /// Switch hops between source and destination.
+    pub hops: u64,
+    /// Cycle the message was handed to the source port.
+    pub inject: Cycle,
+    /// Cycles spent queued at the source transmit port.
+    pub tx_wait: Cycle,
+    /// Cycles of header pipelining through the mesh (`switch_delay · hops`).
+    pub wire: Cycle,
+    /// Cycles the header queued at the destination receive port.
+    pub rx_wait: Cycle,
+    /// Cycle the last flit was accepted at the destination.
+    pub delivered: Cycle,
+}
+
+impl Journey {
+    /// Cycles the source port spent streaming this message's flits.
+    pub fn tx_service(&self) -> Cycle {
+        self.flits
+    }
+
+    /// End-to-end delivery latency.
+    pub fn total(&self) -> Cycle {
+        self.delivered - self.inject
+    }
+
+    /// Whether the four components close exactly against the total
+    /// (they always do by construction; exposed for property tests).
+    pub fn closes(&self) -> bool {
+        self.tx_wait + self.tx_service() + self.wire + self.rx_wait == self.total()
+    }
+}
+
+/// Flit counters over the mesh's *physical* directed links (adjacent node
+/// pairs), as opposed to the per-(source, destination) endpoint pairs of
+/// [`Network::link_flits`]. Indexed per [`MeshShape::links`].
+#[derive(Debug, Clone)]
+struct PhysLinkStats {
+    links: Vec<(NodeId, NodeId)>,
+    index: BTreeMap<(NodeId, NodeId), usize>,
+    flits: Vec<u64>,
+}
+
 /// The mesh network: topology plus per-node interface ports.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -70,6 +141,13 @@ pub struct Network {
     /// Per-(src, dst) flit counts; `None` until enabled (the map costs a
     /// lookup per message, so it is an opt-in observability feature).
     link_flits: Option<BTreeMap<(NodeId, NodeId), u64>>,
+    /// When on, each mesh `send` leaves its decomposed delivery record in
+    /// `last_journey` for the caller to take and tag (opt-in).
+    record_journeys: bool,
+    last_journey: Option<Journey>,
+    /// Physical directed-link flit counters; `None` until enabled (each
+    /// message walks its route once when on).
+    phys: Option<PhysLinkStats>,
 }
 
 impl Network {
@@ -83,6 +161,9 @@ impl Network {
             rx: vec![FifoServer::new(); nodes],
             counters: NetCounters::default(),
             link_flits: None,
+            record_journeys: false,
+            last_journey: None,
+            phys: None,
         }
     }
 
@@ -102,6 +183,50 @@ impl Network {
             .as_ref()
             .map(|m| m.iter().map(|(&(s, d), &f)| (s, d, f)).collect())
             .unwrap_or_default()
+    }
+
+    /// Starts recording a [`Journey`] per mesh message (counts only traffic
+    /// sent after the call). Take each record with
+    /// [`Network::take_last_journey`] right after the `send` that produced
+    /// it — the slot holds one journey and is overwritten by the next send.
+    pub fn enable_journeys(&mut self) {
+        self.record_journeys = true;
+    }
+
+    /// The journey of the most recent [`Network::send`], when journey
+    /// recording is on and that send crossed the mesh (node-local messages
+    /// leave `None`). Taking clears the slot.
+    pub fn take_last_journey(&mut self) -> Option<Journey> {
+        self.last_journey.take()
+    }
+
+    /// Starts tracking flits over the mesh's physical directed links
+    /// (counts only traffic sent after the call). Each message then credits
+    /// its flit count to every link on its dimension-ordered route — a
+    /// message of `f` flits over `h` hops adds `f` to each of `h` links.
+    pub fn enable_phys_link_stats(&mut self) {
+        if self.phys.is_none() {
+            let links = self.shape.links();
+            let index = links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+            let flits = vec![0; links.len()];
+            self.phys = Some(PhysLinkStats { links, index, flits });
+        }
+    }
+
+    /// Flits over every physical directed link, in the canonical
+    /// [`MeshShape::links`] order (zero-traffic links included); empty
+    /// unless [`Network::enable_phys_link_stats`] was called.
+    pub fn phys_link_flits(&self) -> Vec<(NodeId, NodeId, u64)> {
+        self.phys
+            .as_ref()
+            .map(|p| p.links.iter().zip(&p.flits).map(|(&(a, b), &f)| (a, b, f)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The raw per-link flit counters in [`MeshShape::links`] order, for
+    /// cheap periodic snapshots; `None` unless physical-link stats are on.
+    pub fn phys_flits_raw(&self) -> Option<&[u64]> {
+        self.phys.as_ref().map(|p| p.flits.as_slice())
     }
 
     /// The mesh shape chosen for this node count.
@@ -128,6 +253,9 @@ impl Network {
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, payload_bytes: u32) -> Cycle {
         if src == dst {
             self.counters.local_messages += 1;
+            if self.record_journeys {
+                self.last_journey = None;
+            }
             return now + self.cfg.local_delay;
         }
         let flits = self.flits_for(payload_bytes);
@@ -138,6 +266,11 @@ impl Network {
         if let Some(links) = self.link_flits.as_mut() {
             *links.entry((src, dst)).or_insert(0) += flits;
         }
+        if let Some(p) = self.phys.as_mut() {
+            for w in self.shape.route(src, dst).windows(2) {
+                p.flits[p.index[&(w[0], w[1])]] += flits;
+            }
+        }
 
         // Source port: all flits leave the NI back to back.
         let tx_start = self.tx[src].next_start(now);
@@ -147,7 +280,21 @@ impl Network {
         // destination `flits` cycles after the header started out.
         let head_arrival = tx_start + self.cfg.switch_delay * hops;
         // Destination port: accepts one message at a time at flit rate.
-        self.rx[dst].occupy(head_arrival, flits)
+        let delivered = self.rx[dst].occupy(head_arrival, flits);
+        if self.record_journeys {
+            self.last_journey = Some(Journey {
+                src,
+                dst,
+                flits,
+                hops,
+                inject: now,
+                tx_wait: tx_start - now,
+                wire: head_arrival - tx_start,
+                rx_wait: delivered - head_arrival - flits,
+                delivered,
+            });
+        }
+        delivered
     }
 
     /// Traffic counters accumulated so far.
@@ -244,6 +391,77 @@ mod tests {
         assert_eq!(c.messages, 2);
         assert_eq!(c.flits, n.flits_for(0) + n.flits_for(64));
         assert_eq!(c.total_hops, 2);
+    }
+
+    #[test]
+    fn journeys_decompose_exactly_and_are_opt_in() {
+        let mut n = net(4); // 2x2
+        n.send(0, 0, 1, 0);
+        assert!(n.take_last_journey().is_none(), "disabled by default");
+        n.enable_journeys();
+        // Two back-to-back sends from the same source: the second waits at
+        // the transmit port.
+        let f = n.flits_for(0);
+        n.send(100, 0, 1, 0);
+        let first = n.take_last_journey().unwrap();
+        assert_eq!(
+            first,
+            Journey {
+                src: 0,
+                dst: 1,
+                flits: f,
+                hops: 1,
+                inject: 100,
+                tx_wait: 0,
+                wire: 2,
+                rx_wait: 0,
+                delivered: 100 + 2 + f,
+            }
+        );
+        n.send(100, 0, 2, 0);
+        let second = n.take_last_journey().unwrap();
+        assert_eq!(second.tx_wait, f, "queued behind the first message's flits");
+        assert!(first.closes() && second.closes());
+        assert_eq!(second.total(), second.tx_wait + second.tx_service() + second.wire + second.rx_wait);
+        assert!(n.take_last_journey().is_none(), "taking clears the slot");
+        // Receive-port contention shows up as rx_wait.
+        let mut m = net(9); // 3x3: nodes 1 and 7 are equidistant from 4
+        m.enable_journeys();
+        m.send(0, 1, 4, 0);
+        m.send(0, 7, 4, 0);
+        let contended = m.take_last_journey().unwrap();
+        assert_eq!(contended.rx_wait, m.flits_for(0));
+        assert!(contended.closes());
+        // Local messages leave no journey.
+        let mut l = net(4);
+        l.enable_journeys();
+        l.send(5, 3, 3, 64);
+        assert!(l.take_last_journey().is_none());
+    }
+
+    #[test]
+    fn phys_link_flits_follow_routes() {
+        let mut n = net(9); // 3x3
+        n.send(0, 0, 8, 0);
+        assert!(n.phys_link_flits().is_empty(), "disabled by default");
+        assert!(n.phys_flits_raw().is_none());
+        n.enable_phys_link_stats();
+        let f0 = n.flits_for(0);
+        let f64 = n.flits_for(64);
+        n.send(10, 0, 8, 0); // route 0,1,2,5,8 (X then Y)
+        n.send(20, 1, 2, 64); // route 1,2
+        n.send(30, 4, 4, 64); // local: no physical links
+        let flits: std::collections::BTreeMap<(NodeId, NodeId), u64> =
+            n.phys_link_flits().into_iter().filter(|&(_, _, f)| f > 0).map(|(a, b, f)| ((a, b), f)).collect();
+        assert_eq!(
+            flits,
+            std::collections::BTreeMap::from([((0, 1), f0), ((1, 2), f0 + f64), ((2, 5), f0), ((5, 8), f0),])
+        );
+        // Flit·hop conservation: per-link sums equal Σ flits·hops.
+        let total: u64 = n.phys_link_flits().iter().map(|&(_, _, f)| f).sum();
+        assert_eq!(total, f0 * 4 + f64);
+        // The canonical order covers every directed mesh link, zeros kept.
+        assert_eq!(n.phys_link_flits().len(), n.shape().links().len());
     }
 
     #[test]

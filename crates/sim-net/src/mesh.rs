@@ -22,10 +22,14 @@ impl MeshShape {
     /// Machine configurations used by the paper's experiments map to:
     /// 1 → 1×1, 2 → 2×1, 4 → 2×2, 8 → 4×2, 16 → 4×4, 32 → 8×4.
     ///
+    /// Every positive count factors as at least `nodes × 1`, so this never
+    /// fails on a valid count — but a prime count has *only* that
+    /// factorization and yields a degenerate 1-row strip mesh (7 → 7×1),
+    /// with correspondingly longer average routes than a near-square shape.
+    ///
     /// # Panics
     ///
-    /// Panics for `nodes == 0` or a node count with no near-square
-    /// factorization (all powers of two and perfect squares are fine).
+    /// Panics for `nodes == 0`.
     pub fn for_nodes(nodes: usize) -> Self {
         assert!(nodes > 0, "mesh needs at least one node");
         // Find the factorization cols*rows == nodes with cols >= rows and
@@ -65,6 +69,31 @@ impl MeshShape {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
         ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Every directed physical link of the mesh — each ordered pair of
+    /// adjacent nodes — in a canonical order: ascending by source node,
+    /// then by destination. A `cols × rows` mesh has
+    /// `2·(2·cols·rows − cols − rows)` directed links. This enumeration
+    /// fixes the index space used by per-link traffic attribution.
+    pub fn links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for a in 0..self.nodes() {
+            let (x, y) = self.coords(a);
+            if y > 0 {
+                out.push((a, self.node_at(x, y - 1)));
+            }
+            if x > 0 {
+                out.push((a, self.node_at(x - 1, y)));
+            }
+            if x + 1 < self.cols {
+                out.push((a, self.node_at(x + 1, y)));
+            }
+            if y + 1 < self.rows {
+                out.push((a, self.node_at(x, y + 1)));
+            }
+        }
+        out
     }
 
     /// The dimension-ordered route from `a` to `b`, inclusive of both
@@ -161,6 +190,39 @@ mod tests {
             for w in route.windows(2) {
                 assert_eq!(m.hops(w[0], w[1]), 1);
             }
+        }
+    }
+
+    #[test]
+    fn prime_counts_yield_strip_meshes() {
+        // Primes have no factorization other than n×1: the shape degrades
+        // to a single-row strip rather than panicking.
+        for p in [2usize, 3, 5, 7, 13, 31] {
+            assert_eq!(MeshShape::for_nodes(p), MeshShape { cols: p, rows: 1 });
+        }
+        // The strip is fully routable end to end.
+        let m = MeshShape::for_nodes(7);
+        assert_eq!(m.hops(0, 6), 6);
+        assert_eq!(m.route(0, 6), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn links_enumerate_every_adjacent_pair_once() {
+        for nodes in [1usize, 2, 6, 7, 16, 32] {
+            let m = MeshShape::for_nodes(nodes);
+            let links = m.links();
+            assert_eq!(links.len(), 2 * (2 * m.cols * m.rows - m.cols - m.rows));
+            let mut seen = std::collections::BTreeSet::new();
+            for &(a, b) in &links {
+                assert_eq!(m.hops(a, b), 1, "links connect mesh neighbors");
+                assert!(seen.insert((a, b)), "no duplicate directed link");
+            }
+            // Bidirectional: the reverse of every link is present too.
+            for &(a, b) in &links {
+                assert!(seen.contains(&(b, a)));
+            }
+            // Canonical order: ascending by (source, destination).
+            assert!(links.windows(2).all(|w| w[0] < w[1]));
         }
     }
 

@@ -6,7 +6,29 @@ use sim_engine::{Cycle, NodeId};
 use sim_mem::{Addr, BlockAddr, Geometry};
 
 use crate::lineage::{Lineage, LineageReport};
-use crate::report::{MissClass, TrafficReport, UpdateClass};
+use crate::report::{MissClass, TrafficReport, UpdateClass, UpdateStats};
+
+/// Per-home-node update accounting for the network telemetry layer: which
+/// home directory's traffic turned out useful vs useless, and how many
+/// update deliveries each home's region generated. Indexed by home node.
+#[derive(Debug, Clone, Default)]
+pub struct HomeUpdates {
+    /// End-of-lifetime update classification, bucketed by the updated
+    /// word's home node.
+    pub classified: Vec<UpdateStats>,
+    /// `(applied, dropped)` update arrivals at sharer caches, bucketed by
+    /// the updated word's home node.
+    pub deliveries: Vec<(u64, u64)>,
+}
+
+impl HomeUpdates {
+    fn new(num_nodes: usize) -> Self {
+        HomeUpdates {
+            classified: vec![UpdateStats::default(); num_nodes],
+            deliveries: vec![(0, 0); num_nodes],
+        }
+    }
+}
 
 /// Why a cache copy went away — recorded when it happens, consumed when the
 /// node misses on the block again.
@@ -58,6 +80,10 @@ pub struct Classifier {
     /// every code path below branch-free on the lineage side, so the
     /// classifier behaves bit-identically to a build without it.
     lineage: Option<Box<Lineage>>,
+    /// Per-home update accounting for network telemetry (PR 5). Same
+    /// passivity contract as `lineage`: `None` by default, pure mirror of
+    /// the classifications when on.
+    home_updates: Option<Box<HomeUpdates>>,
 }
 
 /// A named address range for per-structure traffic attribution.
@@ -80,6 +106,7 @@ impl Classifier {
             report: TrafficReport::default(),
             finished: false,
             lineage: None,
+            home_updates: None,
         }
     }
 
@@ -103,6 +130,19 @@ impl Classifier {
     /// mirrored in.
     pub fn take_lineage(&mut self) -> Option<LineageReport> {
         self.lineage.take().map(|l| l.into_report())
+    }
+
+    /// Switches on per-home-node update accounting. Passive like lineage:
+    /// classifications are mirrored into per-home buckets, nothing else
+    /// changes.
+    pub fn enable_home_stats(&mut self) {
+        self.home_updates = Some(Box::new(HomeUpdates::new(self.geom.num_nodes)));
+    }
+
+    /// Detaches the per-home update accounting. Call after
+    /// [`Classifier::finish`] so end-of-run classifications are included.
+    pub fn take_home_stats(&mut self) -> Option<HomeUpdates> {
+        self.home_updates.take().map(|h| *h)
     }
 
     /// `node` entered program `phase` (bridged from the machine's `Phase`
@@ -136,6 +176,14 @@ impl Classifier {
         if let Some(l) = self.lineage.as_mut() {
             let block = self.geom.block_of(addr);
             l.update_arrival(node, block, writer, dropped, now);
+        }
+        if let Some(h) = self.home_updates.as_mut() {
+            let d = &mut h.deliveries[self.geom.home_of(addr)];
+            if dropped {
+                d.1 += 1;
+            } else {
+                d.0 += 1;
+            }
         }
     }
 
@@ -191,6 +239,9 @@ impl Classifier {
         }
         if let Some(l) = self.lineage.as_mut() {
             l.mirror_update(self.geom.block_of(addr), class);
+        }
+        if let Some(h) = self.home_updates.as_mut() {
+            h.classified[self.geom.home_of(addr)].bump(class);
         }
     }
 
@@ -659,6 +710,34 @@ mod attribution_tests {
         let r = c.finish();
         assert_eq!(r.by_structure[1].misses.cold, 1, "first-word wins its overlap");
         assert_eq!(r.by_structure[0].misses.cold, 1, "rest of the block still attributed");
+    }
+
+    #[test]
+    fn home_stats_mirror_update_totals() {
+        let geom = Geometry::new(4);
+        let mut plain = Classifier::new(geom);
+        let mut observed = Classifier::new(geom);
+        observed.enable_home_stats();
+        for c in [&mut plain, &mut observed] {
+            c.update_arrival(0, B, 1, false, 5);
+            c.update_delivered(0, B);
+            c.word_referenced(0, B);
+            c.update_arrival(0, B + 4, 1, true, 6);
+            c.update_caused_drop(0, B + 4);
+            c.update_arrival(2, B + 8, 1, false, 7);
+            c.update_delivered(2, B + 8); // survives to termination
+            c.finish();
+        }
+        assert_eq!(plain.report().updates, observed.report().updates, "home stats are passive");
+        let h = observed.take_home_stats().expect("home stats enabled");
+        let mut merged = UpdateStats::default();
+        for s in &h.classified {
+            merged.merge(s);
+        }
+        assert_eq!(merged, observed.report().updates, "per-home buckets balance the totals");
+        let home = geom.home_of(B);
+        assert_eq!(h.deliveries[home], (2, 1), "applied and dropped arrivals bucket by home");
+        assert!(observed.take_home_stats().is_none(), "taking detaches");
     }
 
     #[test]

@@ -44,6 +44,12 @@ impl LatencyHist {
         }
     }
 
+    /// Exact sum of all recorded samples (the histogram buckets are
+    /// approximate, the sum is not).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Largest recorded sample.
     pub fn max(&self) -> Cycle {
         self.max

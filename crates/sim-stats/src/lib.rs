@@ -25,9 +25,11 @@
 //! The crate also hosts the machine-independent half of the observability
 //! subsystem: per-processor cycle accounting and phase breakdowns
 //! ([`obs`]), periodic gauge sampling ([`sampler`]), per-cache-line
-//! provenance and sharing-pattern classification ([`lineage`]), Chrome
-//! `trace_event` export ([`chrome`]), and the dependency-free JSON value
-//! they all serialize through ([`json`]).
+//! provenance and sharing-pattern classification ([`lineage`]), network
+//! and memory-back-end telemetry — message journeys, physical-link
+//! traffic, hot-home profiles ([`netobs`]) — Chrome `trace_event` export
+//! ([`chrome`]), and the dependency-free JSON value they all serialize
+//! through ([`json`]).
 
 pub mod chrome;
 pub mod classify;
@@ -35,12 +37,13 @@ pub mod crit;
 pub mod hist;
 pub mod json;
 pub mod lineage;
+pub mod netobs;
 pub mod obs;
 pub mod report;
 pub mod sampler;
 
 pub use chrome::{ChromeTrace, FlowPairer};
-pub use classify::{Classifier, LossCause};
+pub use classify::{Classifier, HomeUpdates, LossCause};
 pub use crit::{
     check_reconciliation, BarrierReport, ChainReport, ChainSegment, CritCollector, CritReport, Episode,
     Handoff, LockReport, WaitKind,
@@ -51,9 +54,13 @@ pub use lineage::{
     BlockProfile, InvalCause, LineEvent, LineEventKind, Lineage, LineageReport, ProvenanceChain,
     SharingPattern, StructureLineage,
 };
+pub use netobs::{
+    check_net_reconciliation, HomeProfile, JourneyRec, JourneyTotals, LinkSample, NetObsCollector,
+    NetObsReport, PhysLinkFlits, JOURNEY_RECORD_CAP, LINK_SAMPLE_CAP, UNATTRIBUTED,
+};
 pub use obs::{
-    CpuClass, CycleAccount, LinkFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig, ObsReport, StateSlice,
-    CPU_CLASSES,
+    CpuClass, CycleAccount, EndpointPairFlits, LinkFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig,
+    ObsReport, StateSlice, CPU_CLASSES,
 };
 pub use report::{MissClass, MissStats, StructureTraffic, TrafficReport, UpdateClass, UpdateStats};
 pub use sampler::{NodeSample, Sample, TimeSeries};

@@ -291,7 +291,12 @@ impl ObsCollector {
     /// Closes every node's account at `wall` (attributing the tail interval
     /// to its current class) and builds the report. The per-node component
     /// gauges are read out by the machine and passed in.
-    pub fn finish(mut self, wall: Cycle, gauges: Vec<NodeGauges>, link_flits: Vec<LinkFlits>) -> ObsReport {
+    pub fn finish(
+        mut self,
+        wall: Cycle,
+        gauges: Vec<NodeGauges>,
+        endpoint_pair_flits: Vec<EndpointPairFlits>,
+    ) -> ObsReport {
         assert_eq!(gauges.len(), self.nodes.len());
         let mut phase_totals: BTreeMap<u16, CycleAccount> = BTreeMap::new();
         let per_node: Vec<NodeObs> = self
@@ -321,10 +326,11 @@ impl ObsCollector {
             phase_names: BTreeMap::new(),
             msg_counts: self.msg_counts,
             msg_latency: self.msg_latency,
-            link_flits,
+            endpoint_pair_flits,
             samples: self.samples,
             lineage: None,
             crit: None,
+            netobs: None,
         }
     }
 }
@@ -345,9 +351,15 @@ pub struct NodeGauges {
     pub wb_high_water: usize,
 }
 
-/// Flits carried over one directed source→destination pair.
+/// Flits exchanged between one directed source→destination *endpoint pair*
+/// (message source and final destination), regardless of the physical mesh
+/// links the message crossed in between. For per-physical-link traffic see
+/// [`crate::netobs::PhysLinkFlits`].
+///
+/// Known as `LinkFlits` (JSON key `link_flits`) before the physical-link
+/// stats existed; renamed to make the endpoint-pair semantics explicit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LinkFlits {
+pub struct EndpointPairFlits {
     /// Sending node.
     pub src: usize,
     /// Receiving node.
@@ -355,6 +367,9 @@ pub struct LinkFlits {
     /// Flits sent.
     pub flits: u64,
 }
+
+/// Compatibility alias for the pre-rename name of [`EndpointPairFlits`].
+pub type LinkFlits = EndpointPairFlits;
 
 /// Everything observability measured for one node.
 #[derive(Debug, Clone)]
@@ -392,8 +407,12 @@ pub struct ObsReport {
     pub msg_counts: BTreeMap<&'static str, u64>,
     /// Distribution of per-message network latencies (send to delivery).
     pub msg_latency: LatencyHist,
-    /// Flits by directed link endpoint pair.
-    pub link_flits: Vec<LinkFlits>,
+    /// Flits by directed message endpoint pair (source node → final
+    /// destination node). Physical per-mesh-link traffic lives in
+    /// [`ObsReport::netobs`]. This field carried the JSON key `link_flits`
+    /// before the physical-link stats existed; it is now serialized as
+    /// `endpoint_pair_flits`.
+    pub endpoint_pair_flits: Vec<EndpointPairFlits>,
     /// The periodic gauge samples.
     pub samples: TimeSeries,
     /// Per-cache-line provenance (patterns, causal edges, per-structure
@@ -404,6 +423,10 @@ pub struct ObsReport {
     /// episodes, causal stall chains); attached by the machine from its
     /// [`crate::crit::CritCollector`] after the run.
     pub crit: Option<crate::crit::CritReport>,
+    /// Network/memory-back-end telemetry (message journeys, physical-link
+    /// traffic, hot-home profiles); attached by the machine from its
+    /// [`crate::netobs::NetObsCollector`] after the run.
+    pub netobs: Option<crate::netobs::NetObsReport>,
 }
 
 impl ObsReport {
@@ -441,8 +464,8 @@ impl ObsReport {
                 ])
             })
             .collect();
-        let link_flits = self
-            .link_flits
+        let endpoint_pair_flits = self
+            .endpoint_pair_flits
             .iter()
             .map(|l| {
                 Json::obj([
@@ -478,7 +501,7 @@ impl ObsReport {
                     ),
                 ]),
             ),
-            ("link_flits", Json::Arr(link_flits)),
+            ("endpoint_pair_flits", Json::Arr(endpoint_pair_flits)),
             ("samples", self.samples.to_json()),
         ];
         if let Some(lineage) = &self.lineage {
@@ -486,6 +509,9 @@ impl ObsReport {
         }
         if let Some(crit) = &self.crit {
             pairs.push(("crit", crit.to_json(&|p| self.phase_label(p))));
+        }
+        if let Some(netobs) = &self.netobs {
+            pairs.push(("netobs", netobs.to_json()));
         }
         Json::obj(pairs)
     }

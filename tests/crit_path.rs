@@ -234,7 +234,7 @@ fn central_barrier_release_broadcast_costs_more_under_wi() {
 /// monotonically non-decreasing timestamp order.
 #[test]
 fn exported_trace_is_well_formed_across_all_lanes() {
-    use sim_machine::{export_run, Trace, CRIT_TRACK_BASE};
+    use sim_machine::{export_run, Trace, CRIT_TRACK_BASE, NET_TRACK_BASE};
     use sim_stats::ChromeTrace;
     use std::collections::HashMap;
 
@@ -262,6 +262,7 @@ fn exported_trace_is_well_formed_across_all_lanes() {
     type FlowEnds = (u64, u64, Option<u64>, Option<u64>);
     let mut flows: HashMap<(u64, String, u64), FlowEnds> = HashMap::new();
     let mut crit_tracks = 0;
+    let mut net_tracks = 0;
     for e in events {
         let ph = e.get("ph").and_then(Json::as_str).expect("every event has a phase");
         let pid = field(e, "pid").expect("every event has a pid");
@@ -288,8 +289,11 @@ fn exported_trace_is_well_formed_across_all_lanes() {
             "i" | "M" => {}
             other => panic!("unexpected event phase {other:?}"),
         }
-        if ph == "M" && tid >= CRIT_TRACK_BASE {
+        if ph == "M" && (CRIT_TRACK_BASE..NET_TRACK_BASE).contains(&tid) {
             crit_tracks += 1;
+        }
+        if ph == "M" && tid >= NET_TRACK_BASE {
+            net_tracks += 1;
         }
     }
     for ((pid, cat, id), (b, e, bts, ets)) in &flows {
@@ -297,6 +301,7 @@ fn exported_trace_is_well_formed_across_all_lanes() {
         assert!(ets.unwrap() >= bts.unwrap(), "flow {pid}/{cat}/{id} ends before it begins");
     }
     assert_eq!(crit_tracks, 3, "each protocol contributes its lock-ownership track");
+    assert!(net_tracks >= 3, "each protocol contributes per-link utilisation tracks");
     assert!(
         flows.keys().any(|(_, cat, _)| cat == "crit"),
         "the critical-path tail contributes causal arrows"

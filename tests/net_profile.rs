@@ -1,0 +1,199 @@
+//! End-to-end checks of the network-telemetry layer: journey stage sums
+//! close exactly against delivery times for random raw-network traffic,
+//! the full journey/link/home accounting reconciles against the
+//! observability layer's network bookkeeping under every protocol, and
+//! the hot-home analytics mechanically reproduce the paper's Section 4.2
+//! claim — under pure update the centralized barrier counter's home node
+//! is the machine's traffic hot spot with a majority-useless update mix,
+//! and competitive update cuts the useless updates homed there.
+
+use kernels::workloads::{BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease};
+use kernels::{barriers, locks};
+use sim_machine::{Machine, MachineConfig, RunResult};
+use sim_net::{MeshShape, NetConfig, Network};
+use sim_proto::Protocol;
+use sim_stats::{check_net_reconciliation, NetObsReport};
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+/// Deterministic 64-bit generator (SplitMix64) for the property test.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Journey invariants on the raw network under random traffic: every
+/// remote send's stage decomposition reproduces `delivered − inject`
+/// exactly, the journeys' flit totals match `NetCounters::flits`, and the
+/// per-physical-link sums match the journeys' flit·hop totals.
+#[test]
+fn random_traffic_journeys_decompose_and_reconcile() {
+    for nodes in [2, 7, 12, 16] {
+        let mut net = Network::new(nodes, NetConfig::default());
+        net.enable_journeys();
+        net.enable_phys_link_stats();
+        let shape = MeshShape::for_nodes(nodes);
+        let mut rng = SplitMix64(0xC0FF_EE00 + nodes as u64);
+        let (mut flits, mut flit_hops, mut remote) = (0u64, 0u64, 0u64);
+        let mut now = 0;
+        for _ in 0..500 {
+            now += rng.next() % 7;
+            let src = (rng.next() % nodes as u64) as usize;
+            let dst = (rng.next() % nodes as u64) as usize;
+            let payload = (rng.next() % 65) as u32;
+            let delivered = net.send(now, src, dst, payload);
+            let j = net.take_last_journey();
+            if src == dst {
+                assert!(j.is_none(), "local sends record no journey");
+                continue;
+            }
+            let j = j.expect("every remote send records a journey");
+            assert!(
+                j.closes(),
+                "journey {src}->{dst} at {now}: {} + {} + {} + {} != {}",
+                j.tx_wait,
+                j.tx_service(),
+                j.wire,
+                j.rx_wait,
+                j.total()
+            );
+            assert_eq!(j.inject, now);
+            assert_eq!(j.delivered, delivered);
+            assert_eq!(j.hops, shape.hops(src, dst) as u64);
+            remote += 1;
+            flits += j.flits;
+            flit_hops += j.flits * j.hops;
+        }
+        let c = net.counters();
+        assert_eq!(c.messages, remote, "{nodes} nodes");
+        assert_eq!(c.flits, flits, "{nodes} nodes: journey flits match the run counters");
+        let phys: u64 = net.phys_link_flits().iter().map(|&(_, _, f)| f).sum();
+        assert_eq!(phys, flit_hops, "{nodes} nodes: each flit is counted once per hop");
+    }
+}
+
+fn central_barrier(episodes: u32) -> BarrierWorkload {
+    BarrierWorkload { kind: BarrierKind::Centralized, episodes }
+}
+
+fn run_barrier(procs: usize, protocol: Protocol, w: BarrierWorkload) -> RunResult {
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    let layout = barriers::install(&mut m, &w);
+    let r = m.run();
+    barriers::verify(&mut m, &w, &layout);
+    r
+}
+
+fn run_mcs(procs: usize, protocol: Protocol, total_acquires: u32) -> RunResult {
+    let w =
+        LockWorkload { kind: LockKind::Mcs, total_acquires, cs_cycles: 20, post_release: PostRelease::None };
+    let mut m = Machine::new(MachineConfig::paper_observed(procs, protocol));
+    let layout = locks::install(&mut m, &w);
+    let r = m.run();
+    locks::verify(&mut m, &w, &layout);
+    r
+}
+
+fn netobs(r: &RunResult) -> &NetObsReport {
+    r.obs.as_ref().expect("observed run").netobs.as_ref().expect("observed runs carry network telemetry")
+}
+
+/// The reconciliation check (journey stage sums, message/flit/cycle
+/// totals, physical-link and per-home partitions) holds exactly under
+/// every protocol for both a barrier and a lock kernel.
+#[test]
+fn journey_accounting_reconciles_under_every_protocol() {
+    for protocol in PROTOCOLS {
+        let r = run_barrier(8, protocol, central_barrier(24));
+        check_net_reconciliation(netobs(&r), r.obs.as_ref().unwrap())
+            .unwrap_or_else(|e| panic!("central-barrier under {protocol:?}: {e}"));
+        let r = run_mcs(8, protocol, 64);
+        check_net_reconciliation(netobs(&r), r.obs.as_ref().unwrap())
+            .unwrap_or_else(|e| panic!("mcs-lock under {protocol:?}: {e}"));
+    }
+}
+
+/// The paper's hot-spot story, mechanically: under PU the centralized
+/// barrier counter's home node (node 0 — the workload allocates the
+/// counter and sense words there) attracts the machine's peak rx-port
+/// traffic, its update mix is majority-useless (counter proliferation),
+/// and its memory module is the busiest. CU cuts the useless updates
+/// homed at that node.
+#[test]
+fn pu_concentrates_useless_flits_on_the_barrier_home_and_cu_cuts_them() {
+    let pu = run_barrier(16, Protocol::PureUpdate, central_barrier(24));
+    let net_pu = netobs(&pu);
+
+    let hot = net_pu.homes.iter().max_by_key(|h| h.homed_rx_flits).expect("homes reported");
+    assert_eq!(hot.node, 0, "the counter's home node is the traffic hot spot");
+    let total_flits = net_pu.totals().flits;
+    assert!(
+        hot.homed_rx_flits * 2 > total_flits,
+        "the hot home dominates rx-port traffic: {} of {total_flits} flits",
+        hot.homed_rx_flits
+    );
+    let share = hot.useless_share().expect("updates were classified at the hot home");
+    assert!(share > 0.5, "majority-useless update mix under PU: {share:.3}");
+    assert!(
+        net_pu.homes.iter().all(|h| h.mem_busy <= net_pu.homes[0].mem_busy),
+        "the hot home's memory module is the busiest"
+    );
+    assert_eq!(
+        net_pu.homes.iter().map(|h| h.update_deliveries).max().unwrap(),
+        net_pu.homes[0].update_deliveries,
+        "update deliveries concentrate on the hot home's addresses"
+    );
+
+    let cu = run_barrier(16, Protocol::CompetitiveUpdate, central_barrier(24));
+    let net_cu = netobs(&cu);
+    assert!(
+        net_cu.homes[0].updates.useless() < net_pu.homes[0].updates.useless(),
+        "CU cuts the useless updates homed at the hot node: {} vs {}",
+        net_cu.homes[0].updates.useless(),
+        net_pu.homes[0].updates.useless()
+    );
+    assert!(net_cu.homes[0].update_drops > 0, "the competitive threshold actually dropped copies");
+}
+
+/// Journey aggregates tag messages with the structure labels the kernels
+/// register, and the per-class × per-structure tables partition the same
+/// traffic.
+#[test]
+fn journeys_are_attributed_to_registered_structures() {
+    let r = run_barrier(8, Protocol::PureUpdate, central_barrier(24));
+    let net = netobs(&r);
+    assert!(net.by_structure.contains_key("count"), "barrier counter labeled: {:?}", net.by_structure.keys());
+    assert!(net.by_structure.contains_key("sense"), "sense flag labeled");
+    let class_msgs: u64 = net.by_class.values().map(|t| t.count).sum();
+    let struct_msgs: u64 = net.by_structure.values().map(|t| t.count).sum();
+    assert_eq!(class_msgs, struct_msgs, "both breakdowns cover every remote message");
+    assert!(net.by_class.keys().any(|k| k.starts_with("Update")), "PU run carries update messages");
+}
+
+/// The physical-link layer sees real traffic: the canonical link
+/// enumeration matches the mesh, totals equal the journeys' flit·hop
+/// products, and the heatmap mentions every node.
+#[test]
+fn phys_links_and_heatmap_cover_the_mesh() {
+    let r = run_barrier(16, Protocol::PureUpdate, central_barrier(24));
+    let net = netobs(&r);
+    let shape = net.shape();
+    assert_eq!(net.phys_links.len(), shape.links().len());
+    let phys: u64 = net.phys_links.iter().map(|l| l.flits).sum();
+    assert_eq!(phys, net.totals().flit_hops);
+    assert!(phys > 0, "the barrier generated mesh traffic");
+    let map = net.heatmap();
+    for n in 0..shape.nodes() {
+        assert!(map.contains(&format!("n{n:02}")), "node {n} missing from heatmap:\n{map}");
+    }
+    let worst = net.worst_links(4);
+    assert!(worst[0].flits >= worst[1].flits, "worst links sorted descending");
+}

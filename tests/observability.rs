@@ -155,8 +155,8 @@ fn message_counts_match_net_counters() {
     let counted: u64 = obs.msg_counts.values().sum();
     assert_eq!(counted, r.net.messages + r.net.local_messages);
     assert_eq!(obs.msg_latency.count(), counted);
-    let flits: u64 = obs.link_flits.iter().map(|l| l.flits).sum();
-    assert_eq!(flits, r.net.flits, "per-link flits sum to the global counter");
+    let flits: u64 = obs.endpoint_pair_flits.iter().map(|l| l.flits).sum();
+    assert_eq!(flits, r.net.flits, "per-endpoint-pair flits sum to the global counter");
 }
 
 /// A 2-node WI ping-pong whose Chrome trace must have every send matched
@@ -223,4 +223,9 @@ fn report_json_is_complete_and_parses() {
         assert_eq!(sum, r.cycles);
     }
     assert!(parsed.get("phase_totals").unwrap().get("acquire").is_some(), "names installed");
+    assert!(parsed.get("endpoint_pair_flits").is_some(), "renamed from the pre-netobs link_flits key");
+    assert!(parsed.get("link_flits").is_none(), "old key is gone from the schema");
+    let netobs = parsed.get("netobs").expect("observed runs embed the network-telemetry report");
+    assert!(netobs.get("journeys").is_some());
+    assert!(netobs.get("homes").is_some());
 }
