@@ -28,7 +28,7 @@
 use std::process::ExitCode;
 
 use ppc_bench::observed::{
-    kernel_by_name, observed_json, protocol_name, run_observed, DiagArgs, KERNEL_NAMES,
+    kernel_by_name, observed_json, protocol_name, run_observed, summary_line, DiagArgs, KERNEL_NAMES,
 };
 use ppc_bench::PROTOCOLS;
 use sim_stats::{BarrierReport, ChainReport, CritReport, LockReport, ObsReport, CPU_CLASSES};
@@ -221,7 +221,7 @@ fn main() -> ExitCode {
         let (r, _events) = run_observed(procs, protocol, &kernel);
         let obs = r.obs.as_ref().expect("machine ran observed");
         let crit = obs.crit.as_ref().expect("observed runs carry the episode profiler");
-        println!("\n== {} == {} cycles", protocol_name(protocol), r.cycles);
+        println!("\n{}", summary_line(protocol_name(protocol), r.cycles, std::iter::empty::<&str>()));
         print_report(crit, obs);
     }
     ExitCode::SUCCESS

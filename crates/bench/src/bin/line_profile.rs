@@ -20,7 +20,7 @@
 use std::process::ExitCode;
 
 use ppc_bench::observed::{
-    kernel_by_name, observed_json, protocol_name, run_observed, DiagArgs, KERNEL_NAMES,
+    kernel_by_name, observed_json, protocol_name, run_observed, summary_line, DiagArgs, KERNEL_NAMES,
 };
 use ppc_bench::PROTOCOLS;
 
@@ -65,16 +65,23 @@ fn main() -> ExitCode {
         let phase_label = |p: u16| obs.phase_names.get(&p).cloned().unwrap_or_else(|| format!("phase{p}"));
 
         println!(
-            "\n== {} == {} cycles, {} blocks touched, {} provenance events{}",
-            protocol_name(protocol),
-            r.cycles,
-            lineage.blocks.len(),
-            lineage.events.len(),
-            if lineage.events_dropped > 0 {
-                format!(" (+{} past cap)", lineage.events_dropped)
-            } else {
-                String::new()
-            }
+            "\n{}",
+            summary_line(
+                protocol_name(protocol),
+                r.cycles,
+                [
+                    format!("{} blocks touched", lineage.blocks.len()),
+                    format!(
+                        "{} provenance events{}",
+                        lineage.events.len(),
+                        if lineage.events_dropped > 0 {
+                            format!(" (+{} past cap)", lineage.events_dropped)
+                        } else {
+                            String::new()
+                        }
+                    ),
+                ],
+            )
         );
         println!(
             "{:<12}{:<18}{:<18}{:>8}{:>9}{:>9}{:>10}{:>8}",

@@ -24,7 +24,7 @@
 use std::process::ExitCode;
 
 use ppc_bench::observed::{
-    kernel_by_name, observed_json, protocol_name, run_observed, DiagArgs, KERNEL_NAMES,
+    kernel_by_name, observed_json, protocol_name, run_observed, summary_line, DiagArgs, KERNEL_NAMES,
 };
 use ppc_bench::PROTOCOLS;
 use sim_proto::Protocol;
@@ -146,7 +146,7 @@ fn main() -> ExitCode {
         let net = obs.netobs.as_ref().expect("observed runs carry network telemetry");
         let tag = protocol_name(protocol);
 
-        println!("\n== {tag} == {} cycles", r.cycles);
+        println!("\n{}", summary_line(tag, r.cycles, std::iter::empty::<&str>()));
         journey_tables(net);
         println!();
         print!("{}", net.heatmap());

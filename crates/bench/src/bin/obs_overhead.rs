@@ -10,12 +10,16 @@
 //!
 //! Usage: `obs_overhead [procs] [max_ratio]` (defaults: `8`, no limit).
 //! With `max_ratio` set, exits nonzero when obs-on wall-clock exceeds
-//! `max_ratio` × obs-off — the CI regression guard. Workloads honor
+//! `max_ratio` × obs-off — the CI regression guard. The threshold can also
+//! come from `PPC_OBS_MAX_RATIO` (the CLI argument wins), and
+//! `PPC_OBS_REPEATS` repeats each timing cell, keeping the fastest of N —
+//! both validated through [`ppc_bench::env_cfg`]. Workloads honor
 //! `PPC_SCALE`. The committed `BENCH_obs.json` records a measured run.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ppc_bench::env_cfg;
 use ppc_bench::observed::{kernel_by_name, protocol_name, run_kernel, DiagArgs, KERNEL_NAMES};
 use ppc_bench::PROTOCOLS;
 use sim_machine::{Machine, MachineConfig};
@@ -36,29 +40,59 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let max_ratio = match args.positional.get(1) {
+    // Threshold precedence: CLI argument, then PPC_OBS_MAX_RATIO, then no
+    // limit. Both sources reject garbage instead of ignoring it.
+    let cli_ratio = match args.positional.get(1) {
         None => None,
-        Some(s) => match s.parse::<f64>() {
-            Ok(r) if r > 0.0 => Some(r),
-            _ => {
-                eprintln!("invalid max_ratio {s:?}; expected a positive number");
+        Some(s) => match env_cfg::parse_positive_f64("max_ratio", Some(s)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         },
     };
+    let env_ratio = match env_cfg::parse_positive_f64(
+        "PPC_OBS_MAX_RATIO",
+        std::env::var("PPC_OBS_MAX_RATIO").ok().as_deref(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio = cli_ratio.or(env_ratio);
+    let repeats =
+        match env_cfg::parse_count("PPC_OBS_REPEATS", std::env::var("PPC_OBS_REPEATS").ok().as_deref()) {
+            Ok(n) => n.unwrap_or(1),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
 
     let mut rows = Vec::new();
     let (mut off_total, mut on_total) = (0.0_f64, 0.0_f64);
     for name in KERNEL_NAMES {
         let kernel = kernel_by_name(name).expect("listed kernel resolves");
         for protocol in PROTOCOLS {
-            let t0 = Instant::now();
-            let bare = run_kernel(&mut Machine::new(MachineConfig::paper(procs, protocol)), &kernel);
-            let off_s = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let observed =
-                run_kernel(&mut Machine::new(MachineConfig::paper_observed(procs, protocol)), &kernel);
-            let on_s = t1.elapsed().as_secs_f64();
+            // Best-of-N timing: repeats damp scheduler noise on loaded CI
+            // hosts; the simulated results are identical each time.
+            let (mut off_s, mut on_s) = (f64::INFINITY, f64::INFINITY);
+            let (mut bare, mut observed) = (None, None);
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let b = run_kernel(&mut Machine::new(MachineConfig::paper(procs, protocol)), &kernel);
+                off_s = off_s.min(t0.elapsed().as_secs_f64());
+                let t1 = Instant::now();
+                let o =
+                    run_kernel(&mut Machine::new(MachineConfig::paper_observed(procs, protocol)), &kernel);
+                on_s = on_s.min(t1.elapsed().as_secs_f64());
+                bare = Some(b);
+                observed = Some(o);
+            }
+            let (bare, observed) = (bare.expect("repeats >= 1"), observed.expect("repeats >= 1"));
             assert_eq!(
                 (bare.cycles, bare.instructions),
                 (observed.cycles, observed.instructions),
@@ -81,6 +115,7 @@ fn main() -> ExitCode {
     let doc = Json::obj([
         ("procs", Json::from(procs)),
         ("cells", Json::from(rows.len())),
+        ("repeats", Json::from(repeats)),
         ("obs_off_seconds", Json::from(off_total)),
         ("obs_on_seconds", Json::from(on_total)),
         ("overhead_ratio", Json::from(ratio)),

@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed, DiagArgs};
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_observed, summary_line, DiagArgs};
 use ppc_bench::PROTOCOLS;
 use sim_machine::export_run;
 use sim_stats::{ChromeTrace, Json};
@@ -59,16 +59,18 @@ fn main() -> ExitCode {
         let label = protocol_name(protocol);
         let stats = export_run(&mut trace, pid, label, &r, &events, next_flow_id);
         next_flow_id = stats.next_flow_id;
-        let status = format!(
-            "{label}: {} cycles, {} flow pairs, {} state slices{}",
+        let status = summary_line(
+            label,
             r.cycles,
-            stats.flow_pairs,
-            stats.slices,
-            if r.trace_dropped > 0 {
-                format!(" ({} trace events dropped)", r.trace_dropped)
-            } else {
-                String::new()
-            }
+            [
+                format!("{} flow pairs", stats.flow_pairs),
+                format!("{} state slices", stats.slices),
+                if r.trace_dropped > 0 {
+                    format!("{} trace events dropped", r.trace_dropped)
+                } else {
+                    String::new()
+                },
+            ],
         );
         if args.json {
             eprintln!("{status}");

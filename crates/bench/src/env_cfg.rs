@@ -55,6 +55,66 @@ where
     }
 }
 
+/// Reads and parses `name`, returning `None` when unset; garbage still
+/// aborts. For knobs with no default (e.g. an optional CI threshold).
+pub fn env_opt<T: FromStr>(name: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    match parse(name, std::env::var(name).ok().as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// [`parse`] for a strictly positive, finite `f64` (ratios, thresholds):
+/// `0`, negatives, `NaN`, and `inf` are configuration errors, not values.
+pub fn parse_positive_f64(name: &str, raw: Option<&str>) -> Result<Option<f64>, String> {
+    match parse::<f64>(name, raw)? {
+        Some(v) if v.is_finite() && v > 0.0 => Ok(Some(v)),
+        Some(v) => Err(format!("invalid {name}={v}: must be a positive finite number")),
+        None => Ok(None),
+    }
+}
+
+/// [`parse`] for a strictly positive count (repeat counts, sample sizes):
+/// `0` is a configuration error, not "run nothing".
+pub fn parse_count(name: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    match parse::<usize>(name, raw)? {
+        Some(0) => Err(format!("invalid {name}=0: must be a positive count")),
+        other => Ok(other),
+    }
+}
+
+/// [`parse`] for a boolean switch: `1`/`on`/`true`/`yes` and
+/// `0`/`off`/`false`/`no` (case-insensitive); anything else is garbage.
+pub fn parse_flag(name: &str, raw: Option<&str>) -> Result<Option<bool>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) if s.trim().is_empty() => Ok(None),
+        Some(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => Ok(Some(true)),
+            "0" | "off" | "false" | "no" => Ok(Some(false)),
+            _ => Err(format!("invalid {name}={s:?}: expected 1/on/true or 0/off/false")),
+        },
+    }
+}
+
+/// Reads a boolean switch from the environment (default off); garbage
+/// aborts like every other knob.
+pub fn env_flag(name: &str) -> bool {
+    match parse_flag(name, std::env::var(name).ok().as_deref()) {
+        Ok(v) => v.unwrap_or(false),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +146,39 @@ mod tests {
     #[test]
     fn negative_count_is_garbage_not_default() {
         assert!(parse::<usize>("PPC_WORKERS", Some("-2")).is_err());
+    }
+
+    #[test]
+    fn positive_f64_accepts_thresholds_and_rejects_nonsense() {
+        assert_eq!(parse_positive_f64("PPC_OBS_MAX_RATIO", Some("3.0")), Ok(Some(3.0)));
+        assert_eq!(parse_positive_f64("PPC_OBS_MAX_RATIO", None), Ok(None));
+        for bad in ["0", "-1.5", "nan", "inf", "fast"] {
+            let err = parse_positive_f64("PPC_OBS_MAX_RATIO", Some(bad)).unwrap_err();
+            assert!(err.contains("PPC_OBS_MAX_RATIO"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn count_rejects_zero_by_name() {
+        assert_eq!(parse_count("PPC_OBS_REPEATS", Some("3")), Ok(Some(3)));
+        assert_eq!(parse_count("PPC_OBS_REPEATS", None), Ok(None));
+        let err = parse_count("PPC_OBS_REPEATS", Some("0")).unwrap_err();
+        assert!(err.contains("PPC_OBS_REPEATS"), "{err}");
+        assert!(parse_count("PPC_OBS_REPEATS", Some("two")).is_err());
+    }
+
+    #[test]
+    fn flags_accept_spellings_and_reject_maybes() {
+        for on in ["1", "on", "true", "YES", " On "] {
+            assert_eq!(parse_flag("PPC_HOSTOBS", Some(on)), Ok(Some(true)), "{on}");
+        }
+        for off in ["0", "off", "False", "no"] {
+            assert_eq!(parse_flag("PPC_HOSTOBS", Some(off)), Ok(Some(false)), "{off}");
+        }
+        assert_eq!(parse_flag("PPC_HOSTOBS", None), Ok(None));
+        assert_eq!(parse_flag("PPC_HOSTOBS", Some("  ")), Ok(None));
+        let err = parse_flag("PPC_HOSTOBS", Some("maybe")).unwrap_err();
+        assert!(err.contains("PPC_HOSTOBS"), "{err}");
+        assert!(err.contains("maybe"), "{err}");
     }
 }

@@ -152,6 +152,28 @@ pub fn run_observed(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (R
     (r, trace.events().to_vec())
 }
 
+/// The grep-able per-run summary line every diagnostic binary prints:
+/// `== tag == N cycles, detail, detail`. One format across `obs_report`,
+/// `line_profile`, `crit_path`, `net_profile`, and `harness_profile`, so
+/// scripts (and the CI smoke jobs) can match `^== ` regardless of which
+/// tool produced the output. Empty detail strings are skipped, which lets
+/// callers pass conditional suffixes unconditionally.
+pub fn summary_line<I>(tag: &str, cycles: u64, details: I) -> String
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut s = format!("== {tag} == {cycles} cycles");
+    for d in details {
+        let d = d.as_ref();
+        if !d.is_empty() {
+            s.push_str(", ");
+            s.push_str(d);
+        }
+    }
+    s
+}
+
 /// Long protocol label ("WI"/"PU"/"CU") used by the diagnostic outputs.
 pub fn protocol_name(p: Protocol) -> &'static str {
     match p {
@@ -175,6 +197,15 @@ mod tests {
         assert_eq!(a.count_or(2, 7).unwrap(), 7);
         assert!(DiagArgs::parse_from(["--jsno".into()]).is_err());
         assert!(DiagArgs::parse_from(["k".into(), "0".into()]).unwrap().count_or(1, 4).is_err());
+    }
+
+    #[test]
+    fn summary_line_is_uniform_and_skips_empty_details() {
+        assert_eq!(summary_line("WI", 1234, std::iter::empty::<&str>()), "== WI == 1234 cycles");
+        assert_eq!(
+            summary_line("PU", 99, ["3 flow pairs", "", "7 slices"]),
+            "== PU == 99 cycles, 3 flow pairs, 7 slices"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ use std::sync::{Mutex, OnceLock};
 use kernels::runner::{kernel_fingerprint, run_experiment_configured, ExperimentOutcome, ExperimentSpec};
 use sim_engine::{stable_hash64, StableHasher};
 use sim_machine::MachineConfig;
-use sim_stats::{LatencyHist, MissStats, StructureTraffic, TrafficReport, UpdateStats};
+use sim_stats::{
+    ChromeTrace, FingerprintChain, Json, LatencyHist, MissStats, StructureTraffic, TrafficReport, UpdateStats,
+};
 
 /// Bump when the on-disk entry format or the key derivation changes; old
 /// entries then miss instead of parsing wrong.
@@ -54,12 +56,17 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// A cell on the paper's machine.
+    /// A cell on the paper's machine. With `PPC_HOSTOBS=1` in the
+    /// environment the cell runs with host observability (self-profiling
+    /// and determinism fingerprints) — simulated results are unchanged,
+    /// which the CI golden diff enforces; the cache key changes, so
+    /// hostobs and plain entries never alias.
     pub fn paper(procs: usize, protocol: sim_proto::Protocol, kernel: kernels::runner::KernelSpec) -> Self {
-        RunSpec {
-            spec: ExperimentSpec { procs, protocol, kernel },
-            cfg: MachineConfig::paper(procs, protocol),
+        let mut cfg = MachineConfig::paper(procs, protocol);
+        if crate::env_cfg::env_flag("PPC_HOSTOBS") {
+            cfg.hostobs = sim_stats::HostObsConfig::enabled();
         }
+        RunSpec { spec: ExperimentSpec { procs, protocol, kernel }, cfg }
     }
 
     /// A cell with an explicit machine configuration.
@@ -125,6 +132,145 @@ pub struct SweepStats {
     pub from_memory: usize,
     /// Cells loaded from the on-disk cache.
     pub from_disk: usize,
+    /// Disk entries that were present but failed verification (bad magic,
+    /// stale key, checksum or decode failure) and forced re-simulation.
+    /// Included in `simulated`, counted separately here so a corrupted
+    /// cache directory is visible instead of silently slow.
+    pub disk_poisoned: usize,
+}
+
+/// Where one sweep cell's outcome came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// Simulated from scratch (including after a poisoned disk entry).
+    Simulated,
+    /// Served by the in-process memo table.
+    Memory,
+    /// Loaded from the on-disk cache.
+    Disk,
+}
+
+impl CellSource {
+    /// Stable label for traces and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellSource::Simulated => "simulated",
+            CellSource::Memory => "memo",
+            CellSource::Disk => "disk",
+        }
+    }
+}
+
+/// One cell's execution record inside a profiled sweep.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Index into the sweep's spec slice.
+    pub index: usize,
+    /// Worker thread that claimed the cell (0-based).
+    pub worker: usize,
+    /// Start offset from the sweep's start, host nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the sweep's start, host nanoseconds.
+    pub end_ns: u64,
+    /// How the outcome was obtained.
+    pub source: CellSource,
+}
+
+impl CellRecord {
+    /// Cell duration in host nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The host-side profile of one sweep: what each worker did when. The
+/// sweep-pool half of the harness-observability layer; pairs with the
+/// per-run [`sim_stats::HostObsReport`].
+#[derive(Debug, Clone)]
+pub struct SweepProfile {
+    /// Whole-sweep wall time in host nanoseconds.
+    pub wall_ns: u64,
+    /// Worker threads the pool actually ran.
+    pub workers: usize,
+    /// Per-cell records, in spec order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl SweepProfile {
+    /// Busy nanoseconds per worker (sum of its cell durations).
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        let mut busy = vec![0u64; self.workers];
+        for c in &self.cells {
+            busy[c.worker] += c.duration_ns();
+        }
+        busy
+    }
+
+    /// Pool utilization: busy worker-time over available worker-time.
+    pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.worker_busy_ns().iter().sum();
+        busy as f64 / (self.wall_ns.max(1) as f64 * self.workers.max(1) as f64)
+    }
+
+    /// The sweep as a Chrome trace: one track per worker, one slice per
+    /// cell (`label_of(index)` names the slice), timestamps in
+    /// microseconds. Load in `chrome://tracing` / Perfetto like the
+    /// simulated-machine traces from `chrome_export`.
+    pub fn chrome_trace(&self, label_of: impl Fn(usize) -> String) -> ChromeTrace {
+        /// Track-id base for the sweep pool, clear of the simulated
+        /// machine's pid 1 tracks so merged traces don't collide.
+        const SWEEP_PID: u64 = 100;
+        let mut t = ChromeTrace::new();
+        t.process_name(SWEEP_PID, "sweep pool");
+        for w in 0..self.workers {
+            t.thread_name(SWEEP_PID, w as u64, &format!("worker {w}"));
+        }
+        for c in &self.cells {
+            t.complete(
+                SWEEP_PID,
+                c.worker as u64,
+                &label_of(c.index),
+                c.source.name(),
+                c.start_ns / 1_000,
+                c.duration_ns() / 1_000,
+                vec![
+                    ("source".to_string(), Json::from(c.source.name())),
+                    ("cell".to_string(), Json::U64(c.index as u64)),
+                ],
+            );
+        }
+        t
+    }
+
+    /// The profile as a JSON value (per-worker busy times and per-cell
+    /// durations, not the raw trace).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("wall_ms", Json::F64(self.wall_ns as f64 / 1e6)),
+            ("workers", Json::U64(self.workers as u64)),
+            ("utilization", Json::F64(self.utilization())),
+            (
+                "worker_busy_ms",
+                Json::Arr(self.worker_busy_ns().iter().map(|&ns| Json::F64(ns as f64 / 1e6)).collect()),
+            ),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("cell", Json::U64(c.index as u64)),
+                                ("worker", Json::U64(c.worker as u64)),
+                                ("ms", Json::F64(c.duration_ns() as f64 / 1e6)),
+                                ("source", Json::from(c.source.name())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Runs every spec (with environment-default [`SweepOptions`]) and
@@ -136,21 +282,41 @@ pub fn run_specs(specs: &[RunSpec]) -> Vec<ExperimentOutcome> {
 /// Runs every spec under explicit options; outcomes come back in spec
 /// order regardless of worker scheduling.
 pub fn run_specs_with(specs: &[RunSpec], opts: &SweepOptions) -> (Vec<ExperimentOutcome>, SweepStats) {
+    let (outcomes, stats, _) = run_specs_profiled(specs, opts);
+    (outcomes, stats)
+}
+
+/// [`run_specs_with`] plus a [`SweepProfile`] of the pool itself. The
+/// profile costs two `Instant` reads per cell — nothing next to a
+/// simulation — so the unprofiled entry points share this implementation.
+pub fn run_specs_profiled(
+    specs: &[RunSpec],
+    opts: &SweepOptions,
+) -> (Vec<ExperimentOutcome>, SweepStats, SweepProfile) {
     let simulated = AtomicUsize::new(0);
     let from_memory = AtomicUsize::new(0);
     let from_disk = AtomicUsize::new(0);
+    let disk_poisoned = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ExperimentOutcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = opts.workers.clamp(1, specs.len().max(1));
+    let sweep_start = std::time::Instant::now();
+    let worker_logs: Vec<Mutex<Vec<CellRecord>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for (w, log) in worker_logs.iter().enumerate() {
+            let counters = (&simulated, &from_memory, &from_disk, &disk_poisoned);
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
-                let out = run_one(&specs[i], opts, (&simulated, &from_memory, &from_disk));
+                let start_ns = sweep_start.elapsed().as_nanos() as u64;
+                let (out, source) = run_one(&specs[i], opts, counters);
+                let end_ns = sweep_start.elapsed().as_nanos() as u64;
                 *slots[i].lock().unwrap() = Some(out);
+                log.lock().unwrap().push(CellRecord { index: i, worker: w, start_ns, end_ns, source });
             });
         }
     });
@@ -160,8 +326,13 @@ pub fn run_specs_with(specs: &[RunSpec], opts: &SweepOptions) -> (Vec<Experiment
         simulated: simulated.load(Ordering::Relaxed),
         from_memory: from_memory.load(Ordering::Relaxed),
         from_disk: from_disk.load(Ordering::Relaxed),
+        disk_poisoned: disk_poisoned.load(Ordering::Relaxed),
     };
-    (outcomes, stats)
+    let mut cells: Vec<CellRecord> =
+        worker_logs.into_iter().flat_map(|log| log.into_inner().unwrap()).collect();
+    cells.sort_by_key(|c| c.index);
+    let profile = SweepProfile { wall_ns: sweep_start.elapsed().as_nanos() as u64, workers, cells };
+    (outcomes, stats, profile)
 }
 
 /// The process-wide memo table shared by every sweep in this process.
@@ -180,18 +351,29 @@ pub fn clear_memo() {
 fn run_one(
     rs: &RunSpec,
     opts: &SweepOptions,
-    (simulated, from_memory, from_disk): (&AtomicUsize, &AtomicUsize, &AtomicUsize),
-) -> ExperimentOutcome {
+    (simulated, from_memory, from_disk, disk_poisoned): (
+        &AtomicUsize,
+        &AtomicUsize,
+        &AtomicUsize,
+        &AtomicUsize,
+    ),
+) -> (ExperimentOutcome, CellSource) {
     let key = rs.cache_key();
     if let Some(hit) = memo().lock().unwrap().get(&key).cloned() {
         from_memory.fetch_add(1, Ordering::Relaxed);
-        return hit;
+        return (hit, CellSource::Memory);
     }
     if let Some(dir) = &opts.disk_cache {
-        if let Some(out) = load_entry(&entry_path(dir, &key), &key) {
-            from_disk.fetch_add(1, Ordering::Relaxed);
-            memo().lock().unwrap().insert(key, out.clone());
-            return out;
+        match load_entry(&entry_path(dir, &key), &key) {
+            DiskLookup::Hit(out) => {
+                from_disk.fetch_add(1, Ordering::Relaxed);
+                memo().lock().unwrap().insert(key, (*out).clone());
+                return (*out, CellSource::Disk);
+            }
+            DiskLookup::Poisoned => {
+                disk_poisoned.fetch_add(1, Ordering::Relaxed);
+            }
+            DiskLookup::Miss => {}
         }
     }
     let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
@@ -202,7 +384,7 @@ fn run_one(
     }
     simulated.fetch_add(1, Ordering::Relaxed);
     memo().lock().unwrap().insert(key, out.clone());
-    out
+    (out, CellSource::Simulated)
 }
 
 fn entry_path(dir: &Path, key: &str) -> PathBuf {
@@ -284,7 +466,41 @@ fn encode_outcome(out: &ExperimentOutcome) -> String {
     s.push_str(&format!("net={} {} {} {}\n", n.messages, n.local_messages, n.flits, n.total_hops));
     s.push_str(&format!("read_hist={}\n", encode_hist(&out.read_latency)));
     s.push_str(&format!("atomic_hist={}\n", encode_hist(&out.atomic_latency)));
+    // Optional: hostobs runs carry their determinism fingerprint through
+    // the cache, so warm-cache sweeps replay the exact chain the original
+    // simulation produced (the fingerprint-determinism tests rely on it).
+    if let Some(fp) = &out.fingerprint {
+        s.push_str(&format!(
+            "fp={} {} {} {} {}",
+            fp.epoch_events,
+            fp.total_events,
+            fp.state_digest.0,
+            fp.state_digest.1,
+            fp.epochs.len()
+        ));
+        for (lo, hi) in &fp.epochs {
+            s.push_str(&format!(" {lo} {hi}"));
+        }
+        s.push('\n');
+    }
     s
+}
+
+fn decode_fingerprint(line: &str) -> Option<FingerprintChain> {
+    let nums: Vec<u64> = line.split(' ').map(|t| t.parse().ok()).collect::<Option<_>>()?;
+    let [epoch_events, total_events, state_lo, state_hi, nepochs, ..] = nums[..] else {
+        return None;
+    };
+    let tail = &nums[5..];
+    if tail.len() != nepochs as usize * 2 {
+        return None;
+    }
+    Some(FingerprintChain {
+        epoch_events,
+        epochs: tail.chunks_exact(2).map(|c| (c[0], c[1])).collect(),
+        total_events,
+        state_digest: (state_lo, state_hi),
+    })
 }
 
 fn parse_u64s(line: &str, n: usize) -> Option<Vec<u64>> {
@@ -340,6 +556,10 @@ fn decode_outcome(payload: &str) -> Option<ExperimentOutcome> {
         },
         read_latency: decode_hist(fields.get("read_hist")?)?,
         atomic_latency: decode_hist(fields.get("atomic_hist")?)?,
+        fingerprint: match fields.get("fp") {
+            Some(line) => Some(decode_fingerprint(line)?),
+            None => None,
+        },
     })
 }
 
@@ -365,22 +585,42 @@ fn update_stats(n: &[u64]) -> UpdateStats {
     }
 }
 
+/// Result of probing the on-disk cache for one cell.
+enum DiskLookup {
+    /// The entry verified and decoded; serve it.
+    Hit(Box<ExperimentOutcome>),
+    /// No entry on disk (or unreadable): the expected cold-cache case.
+    Miss,
+    /// An entry exists but failed verification (magic, key, checksum, or
+    /// decode): re-simulate, and count the corruption.
+    Poisoned,
+}
+
 /// Loads a cache entry, verifying magic, key, and checksum. Any mismatch
-/// or parse failure is a miss: the caller re-simulates and overwrites.
-fn load_entry(path: &Path, expect_key: &str) -> Option<ExperimentOutcome> {
-    let body = std::fs::read_to_string(path).ok()?;
-    let rest = body.strip_prefix(MAGIC)?.strip_prefix('\n')?;
-    let rest = rest.strip_prefix("key=")?;
-    let (key, rest) = rest.split_once('\n')?;
-    if key != expect_key {
-        return None;
+/// or parse failure is a [`DiskLookup::Poisoned`] miss: the caller
+/// re-simulates and overwrites.
+fn load_entry(path: &Path, expect_key: &str) -> DiskLookup {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return DiskLookup::Miss;
+    };
+    let verified = || -> Option<ExperimentOutcome> {
+        let rest = body.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+        let rest = rest.strip_prefix("key=")?;
+        let (key, rest) = rest.split_once('\n')?;
+        if key != expect_key {
+            return None;
+        }
+        let (payload, tail) = rest.split_once("end=")?;
+        let checksum = tail.trim_end_matches('\n');
+        if format!("{:016x}", stable_hash64(payload.as_bytes())) != checksum {
+            return None;
+        }
+        decode_outcome(payload)
+    };
+    match verified() {
+        Some(out) => DiskLookup::Hit(Box::new(out)),
+        None => DiskLookup::Poisoned,
     }
-    let (payload, tail) = rest.split_once("end=")?;
-    let checksum = tail.trim_end_matches('\n');
-    if format!("{:016x}", stable_hash64(payload.as_bytes())) != checksum {
-        return None;
-    }
-    decode_outcome(payload)
 }
 
 /// Writes an entry atomically (temp file + rename), so concurrent workers
@@ -448,10 +688,35 @@ mod tests {
         let key = rs.cache_key();
         store_entry(&dir, &key, &out).unwrap();
         let path = entry_path(&dir, &key);
-        assert!(load_entry(&path, &key).is_some(), "intact entry loads");
+        assert!(matches!(load_entry(&path, &key), DiskLookup::Hit(_)), "intact entry loads");
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &body[..body.len() / 2]).unwrap();
-        assert!(load_entry(&path, &key).is_none(), "truncated entry misses");
+        assert!(
+            matches!(load_entry(&path, &key), DiskLookup::Poisoned),
+            "truncated entry is poisoned, not served"
+        );
+        assert!(
+            matches!(load_entry(&dir.join("absent.run"), &key), DiskLookup::Miss),
+            "absent entry is a plain miss"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_rides_the_entry_format() {
+        let mut rs = tiny_spec(64);
+        rs.cfg.hostobs = sim_stats::HostObsConfig::enabled();
+        let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
+        let fp = out.fingerprint.clone().expect("hostobs run carries a fingerprint");
+        assert!(fp.total_events > 0 && !fp.epochs.is_empty());
+        let decoded = decode_outcome(&encode_outcome(&out)).expect("decodes");
+        assert_eq!(decoded.fingerprint, Some(fp), "fingerprint chain round-trips exactly");
+
+        // A plain run has no fingerprint, and the field stays absent.
+        let rs = tiny_spec(64);
+        let out = run_experiment_configured(&rs.spec, rs.cfg.clone());
+        assert!(out.fingerprint.is_none());
+        assert!(!encode_outcome(&out).contains("fp="));
+        assert_eq!(decode_outcome(&encode_outcome(&out)).expect("decodes").fingerprint, None);
     }
 }

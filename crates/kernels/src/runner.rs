@@ -47,6 +47,9 @@ pub struct ExperimentOutcome {
     pub read_latency: sim_stats::LatencyHist,
     /// Distribution of atomic-operation stall times.
     pub atomic_latency: sim_stats::LatencyHist,
+    /// Determinism fingerprint of the run; `None` unless the machine ran
+    /// with `hostobs.fingerprint` set.
+    pub fingerprint: Option<sim_stats::FingerprintChain>,
 }
 
 /// Builds the machine, installs the kernel, runs it, verifies kernel
@@ -74,6 +77,7 @@ pub fn run_experiment_configured(spec: &ExperimentSpec, cfg: MachineConfig) -> E
                 net: r.net,
                 read_latency: r.read_latency,
                 atomic_latency: r.atomic_latency,
+                fingerprint: r.fingerprint,
             }
         }
         KernelSpec::Barrier(w) => {
@@ -88,6 +92,7 @@ pub fn run_experiment_configured(spec: &ExperimentSpec, cfg: MachineConfig) -> E
                 net: r.net,
                 read_latency: r.read_latency,
                 atomic_latency: r.atomic_latency,
+                fingerprint: r.fingerprint,
             }
         }
         KernelSpec::Reduction(w) => {
@@ -102,6 +107,7 @@ pub fn run_experiment_configured(spec: &ExperimentSpec, cfg: MachineConfig) -> E
                 net: r.net,
                 read_latency: r.read_latency,
                 atomic_latency: r.atomic_latency,
+                fingerprint: r.fingerprint,
             }
         }
     }

@@ -19,7 +19,7 @@ pub mod rng;
 pub mod server;
 pub mod stable_hash;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::SplitMix64;
 pub use server::FifoServer;
 pub use stable_hash::{stable_hash64, StableHasher};

@@ -31,6 +31,22 @@ const WHEEL_MASK: u64 = WHEEL - 1;
 /// Occupancy bitmap: one bit per wheel slot, packed into u64 words.
 const BITMAP_WORDS: usize = (WHEEL / 64) as usize;
 
+/// Lifetime counters maintained by the queue itself (trivially cheap, so
+/// always on): how much was scheduled, how often the far heap was
+/// involved, and the deepest the queue ever got. Snapshot via
+/// [`EventQueue::stats`]; interpreted by the host-observability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled over the queue's lifetime.
+    pub scheduled: u64,
+    /// Schedules that landed beyond the wheel horizon (far-heap pushes).
+    pub far_spills: u64,
+    /// Far-heap entries merged back into the wheel by window advances.
+    pub far_merged: u64,
+    /// Peak pending-event count.
+    pub peak_len: u64,
+}
+
 /// A far-future entry: fires at `at`, carrying payload `E`.
 struct FarEntry<E> {
     at: Cycle,
@@ -89,6 +105,7 @@ pub struct EventQueue<E> {
     horizon: Cycle,
     next_seq: u64,
     now: Cycle,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -108,6 +125,7 @@ impl<E> EventQueue<E> {
             horizon: WHEEL,
             next_seq: 0,
             now: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -137,14 +155,17 @@ impl<E> EventQueue<E> {
         debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.stats.scheduled += 1;
         if at < self.horizon {
             let slot = at & WHEEL_MASK;
             self.slots[slot as usize].push_back((seq, payload));
             self.mark(slot);
             self.wheel_len += 1;
         } else {
+            self.stats.far_spills += 1;
             self.far.push(FarEntry { at, seq, payload });
         }
+        self.stats.peak_len = self.stats.peak_len.max(self.len() as u64);
     }
 
     /// Schedules `payload` to fire `delay` cycles from the current cycle.
@@ -168,6 +189,7 @@ impl<E> EventQueue<E> {
             self.slots[slot as usize].push_back((seq, payload));
             self.mark(slot);
             self.wheel_len += 1;
+            self.stats.far_merged += 1;
         }
     }
 
@@ -248,6 +270,21 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Number of currently occupied bucket-wheel slots (of [`WHEEL`]).
+    pub fn occupied_slots(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of events currently parked in the far-future heap.
+    pub fn far_len(&self) -> usize {
+        self.far.len()
     }
 }
 
@@ -458,6 +495,121 @@ mod tests {
             assert_eq!(q.pop(), Some((5 + round as u64 * WHEEL, round)));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stats_count_spills_merges_and_peak() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.schedule(3, "near");
+        q.schedule(WHEEL + 5, "far");
+        q.schedule(3 * WHEEL, "farther");
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.far_spills, 2);
+        assert_eq!(s.far_merged, 0);
+        assert_eq!(s.peak_len, 3);
+        assert_eq!(q.occupied_slots(), 1);
+        assert_eq!(q.far_len(), 2);
+        // Drain: both far events must be merged back through the wheel.
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.far_merged, 2);
+        assert_eq!(s.peak_len, 3, "peak is a high-water mark, not current depth");
+        assert_eq!(q.occupied_slots(), 0);
+        assert_eq!(q.far_len(), 0);
+    }
+
+    /// The exact horizon boundary: an event at `horizon - 1` goes to the
+    /// wheel, at `horizon` to the far heap, and both pop in time order
+    /// after the window advances across them.
+    #[test]
+    fn far_heap_migration_at_the_exact_horizon_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(WHEEL - 1, "last-wheel");
+        q.schedule(WHEEL, "first-far");
+        assert_eq!(q.far_len(), 1, "horizon cycle itself must spill");
+        assert_eq!(q.stats().far_spills, 1);
+        assert_eq!(q.pop(), Some((WHEEL - 1, "last-wheel")));
+        // Popping at WHEEL-1 advanced the window; the spilled event is now
+        // a wheel resident.
+        assert_eq!(q.far_len(), 0);
+        assert_eq!(q.stats().far_merged, 1);
+        assert_eq!(q.pop(), Some((WHEEL, "first-far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Slot 1023 is the last physical slot; cycles 1023 and 1023 + WHEEL
+    /// share it across consecutive windows. The wrap from slot 1023 back
+    /// to slot 0 must not reorder or lose events.
+    #[test]
+    fn wrap_around_at_slot_1023() {
+        let mut q = EventQueue::new();
+        q.schedule(WHEEL - 1, "slot1023");
+        q.schedule(WHEEL + 1, "slot1-next-window");
+        q.schedule(2 * WHEEL - 1, "slot1023-next-window");
+        assert_eq!(q.pop(), Some((WHEEL - 1, "slot1023")));
+        assert_eq!(q.pop(), Some((WHEEL + 1, "slot1-next-window")));
+        assert_eq!(q.pop(), Some((2 * WHEEL - 1, "slot1023-next-window")));
+        assert_eq!(q.pop(), None);
+
+        // Same boundary with the scan starting mid-window: an occupied
+        // slot numerically *before* the current slot belongs to the
+        // wrapped half of the window and must still be found.
+        let mut q = EventQueue::new();
+        q.schedule(WHEEL / 2, ());
+        q.pop();
+        q.schedule(WHEEL / 2 + WHEEL_MASK, ()); // wraps to slot (WHEEL/2 - 1)
+        assert_eq!(q.pop(), Some((WHEEL / 2 + WHEEL_MASK, ())));
+    }
+
+    /// Seeded property test: under heavy same-slot load — hundreds of
+    /// events landing on one cycle from both direct schedules and far-heap
+    /// merges — pop order must equal global insertion (seq) order.
+    #[test]
+    fn same_cycle_seq_order_under_heavy_same_slot_load() {
+        for seed in 0..20u64 {
+            let mut rng = crate::SplitMix64::new(0x5105_0000 + seed);
+            let mut q = EventQueue::new();
+            let target = 2 * WHEEL + 513; // reached only via a far spill
+            let mut expect = Vec::new();
+            let mut payload = 0u64;
+            // Phase 1: pile events onto `target` while it is beyond the
+            // horizon (spills) and onto a warm-up tick stream.
+            for _ in 0..200 {
+                if rng.next_below(2) == 0 {
+                    q.schedule(target, payload);
+                    expect.push(payload);
+                    payload += 1;
+                } else {
+                    q.schedule(rng.next_below(WHEEL / 2), u64::MAX);
+                }
+            }
+            // Drain the warm-up events; the window advance merges the
+            // far pile into the wheel.
+            while let Some((at, p)) = q.pop() {
+                if at == target {
+                    // Phase 2 entry: first target event reached. Put it back
+                    // conceptually by checking order below instead.
+                    assert_eq!(p, expect[0], "seed {seed}: merge broke seq order");
+                    expect.remove(0);
+                    break;
+                }
+                assert_eq!(p, u64::MAX, "seed {seed}: unexpected payload");
+            }
+            // Phase 3: schedule more events directly onto the same (now
+            // in-window, current) cycle; they must pop after every earlier
+            // same-cycle event, in insertion order.
+            for _ in 0..100 {
+                q.schedule(target, payload);
+                expect.push(payload);
+                payload += 1;
+            }
+            for want in expect {
+                assert_eq!(q.pop(), Some((target, want)), "seed {seed}: same-slot order broke");
+            }
+            assert_eq!(q.pop(), None, "seed {seed}: stray events");
+        }
     }
 
     mod differential {

@@ -4,7 +4,7 @@ use sim_engine::Cycle;
 use sim_mem::{CacheConfig, MemTiming};
 use sim_net::NetConfig;
 use sim_proto::{ProtoConfig, Protocol};
-use sim_stats::ObsConfig;
+use sim_stats::{HostObsConfig, ObsConfig};
 
 /// Full configuration of a simulated machine. Defaults reproduce the
 /// paper's 32-node DASH-like multiprocessor (Section 3.1).
@@ -44,6 +44,10 @@ pub struct MachineConfig {
     /// Disabled by default: the default path performs no accounting and
     /// produces bit-identical results to a build without the subsystem.
     pub obs: ObsConfig,
+    /// Host-observability switches (self-profiling of the simulator
+    /// process and determinism fingerprints). Disabled by default; like
+    /// `obs`, enabling it never changes simulated results.
+    pub hostobs: HostObsConfig,
 }
 
 impl MachineConfig {
@@ -65,6 +69,7 @@ impl MachineConfig {
             seed: 0x5eed,
             max_cycles: 2_000_000_000,
             obs: ObsConfig::default(),
+            hostobs: HostObsConfig::default(),
         }
     }
 
@@ -72,6 +77,12 @@ impl MachineConfig {
     /// periodic sampling, and state timelines).
     pub fn paper_observed(num_procs: usize, protocol: Protocol) -> Self {
         MachineConfig { obs: ObsConfig::enabled(), ..Self::paper(num_procs, protocol) }
+    }
+
+    /// The paper machine with host observability enabled (dispatch-time
+    /// profiling, event-queue analytics, determinism fingerprints).
+    pub fn paper_hostobs(num_procs: usize, protocol: Protocol) -> Self {
+        MachineConfig { hostobs: HostObsConfig::enabled(), ..Self::paper(num_procs, protocol) }
     }
 
     /// Protocol-layer slice of this configuration.
@@ -100,6 +111,15 @@ mod tests {
         assert_eq!(c.net.switch_delay, 2);
         assert_eq!(c.cu_threshold, 4);
         assert!(!c.obs.enabled, "observability is opt-in");
+        assert!(!c.hostobs.enabled && !c.hostobs.fingerprint, "host observability is opt-in");
+    }
+
+    #[test]
+    fn hostobs_variant_flips_only_hostobs() {
+        let c = MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate);
+        assert!(c.hostobs.enabled && c.hostobs.fingerprint);
+        assert!(!c.obs.enabled);
+        assert_eq!(c.seed, MachineConfig::paper(8, Protocol::CompetitiveUpdate).seed);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
 use sim_stats::{
-    Classifier, CpuClass, CritCollector, EndpointPairFlits, NetObsCollector, NodeGauges, NodeSample,
-    ObsCollector, Sample, WaitKind,
+    Classifier, CpuClass, CritCollector, EndpointPairFlits, FingerprintRecorder, HostCat, HostProfiler,
+    NetObsCollector, NodeGauges, NodeSample, ObsCollector, Sample, WaitKind,
 };
 
 use crate::config::MachineConfig;
@@ -94,6 +94,13 @@ pub struct Machine {
     /// Network/memory-back-end telemetry collector (message journeys,
     /// physical-link traffic, hot-home profiles); same opt-in as `obs`.
     netobs: Option<Box<NetObsCollector>>,
+    /// Host self-profiler (dispatch-category wall timers, queue-analytics
+    /// sampling); `Some` only when `cfg.hostobs.enabled`. Host time never
+    /// feeds back into simulated time, so results are unchanged.
+    hostprof: Option<Box<HostProfiler>>,
+    /// Determinism-fingerprint recorder; `Some` only when
+    /// `cfg.hostobs.fingerprint`.
+    fp: Option<Box<FingerprintRecorder>>,
 }
 
 impl Machine {
@@ -138,6 +145,11 @@ impl Machine {
             obs,
             crit,
             netobs,
+            hostprof: cfg.hostobs.enabled.then(|| Box::new(HostProfiler::new(cfg.hostobs))),
+            fp: cfg
+                .hostobs
+                .fingerprint
+                .then(|| Box::new(FingerprintRecorder::new(cfg.hostobs.fingerprint_epoch))),
             queue: EventQueue::new(),
             cfg,
         }
@@ -228,6 +240,7 @@ impl Machine {
     /// `run` call.
     pub fn run(&mut self) -> RunResult {
         assert!(self.wbs.is_empty(), "Machine::run called twice");
+        let run_start = self.hostprof.as_ref().map(|_| std::time::Instant::now());
         self.wbs = (0..self.cfg.num_procs).map(|_| WriteBuffer::new(self.cfg.wb_entries)).collect();
         for n in 0..self.cfg.num_procs {
             self.queue.schedule(0, Ev::CpuStep(n));
@@ -236,7 +249,7 @@ impl Machine {
             self.queue.schedule(self.cfg.obs.sample_interval.max(1), Ev::Sample);
         }
         while self.halted < self.cfg.num_procs {
-            let Some((now, ev)) = self.queue.pop() else {
+            let Some((now, ev)) = self.pop_timed() else {
                 panic!(
                     "deadlock at cycle {}: {} of {} processors halted; states: {:?}",
                     self.queue.now(),
@@ -250,14 +263,14 @@ impl Machine {
                 "exceeded max_cycles ({}): possible livelock",
                 self.cfg.max_cycles
             );
-            self.handle_event(now, ev);
+            self.dispatch(now, ev);
         }
         // Drain in-flight protocol traffic so memory, directories, and the
         // update classification settle (execution time is already fixed at
         // the last halt; these events cost no measured cycles).
-        while let Some((now, ev)) = self.queue.pop() {
+        while let Some((now, ev)) = self.pop_timed() {
             if !matches!(ev, Ev::CpuStep(_)) {
-                self.handle_event(now, ev);
+                self.dispatch(now, ev);
             }
         }
         let instructions = self.cpus.iter().map(|c| c.instructions).sum();
@@ -294,6 +307,11 @@ impl Machine {
             });
             o
         });
+        let host = self.hostprof.take().map(|hp| {
+            let wall = run_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            Box::new(hp.finish(self.last_halt, wall, self.queue.stats()))
+        });
+        let fingerprint = self.fp.take().map(|fp| fp.finish(self.state_digest(&traffic)));
         RunResult {
             cycles: self.last_halt,
             traffic,
@@ -303,8 +321,90 @@ impl Machine {
             read_latency: std::mem::take(&mut self.read_latency),
             atomic_latency: std::mem::take(&mut self.atomic_latency),
             obs,
+            host,
+            fingerprint,
             trace_dropped: self.trace.as_ref().map(|t| t.dropped()).unwrap_or(0),
         }
+    }
+
+    /// Pops the next event, charging the pop to [`HostCat::Pop`] and
+    /// sampling queue analytics when the profiler is on. The default path
+    /// is a single `None` check around the plain pop.
+    fn pop_timed(&mut self) -> Option<(Cycle, Ev)> {
+        if self.hostprof.is_none() {
+            return self.queue.pop();
+        }
+        let t0 = std::time::Instant::now();
+        let popped = self.queue.pop();
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let (depth, occupied, far) = (self.queue.len(), self.queue.occupied_slots(), self.queue.far_len());
+        let hp = self.hostprof.as_mut().expect("checked above");
+        hp.add(HostCat::Pop, nanos);
+        if popped.is_some() && hp.note_pop() {
+            hp.sample_queue(depth, occupied, far);
+        }
+        popped
+    }
+
+    /// Fingerprints `ev` and dispatches it to [`Machine::handle_event`],
+    /// charging the handler's wall time to its dispatch category (minus
+    /// nested slices already charged elsewhere, e.g. network routing).
+    fn dispatch(&mut self, now: Cycle, ev: Ev) {
+        if let Some(fp) = self.fp.as_mut() {
+            // Pop order is (cycle, seq) order, so feeding the recorder here
+            // covers the sequence number implicitly.
+            match &ev {
+                Ev::CpuStep(n) => fp.record(now, "cpu", *n as u64, 0),
+                Ev::Deliver(m) => {
+                    fp.record(now, m.kind.name(), ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr))
+                }
+                Ev::HomeHandle(m) => {
+                    fp.record(now, "home", ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr))
+                }
+                Ev::WbIssue(n) => fp.record(now, "wb", *n as u64, 0),
+                Ev::Sample => fp.record(now, "sample", 0, 0),
+            }
+        }
+        if self.hostprof.is_none() {
+            return self.handle_event(now, ev);
+        }
+        let cat = match &ev {
+            Ev::CpuStep(_) => HostCat::CpuStep,
+            Ev::Deliver(_) => HostCat::Deliver,
+            Ev::HomeHandle(_) => HostCat::HomeHandle,
+            Ev::WbIssue(_) => HostCat::WbIssue,
+            Ev::Sample => HostCat::Sample,
+        };
+        let t0 = std::time::Instant::now();
+        self.handle_event(now, ev);
+        let total = t0.elapsed().as_nanos() as u64;
+        let hp = self.hostprof.as_mut().expect("checked above");
+        let inner = hp.take_inner();
+        hp.add(cat, total.saturating_sub(inner));
+    }
+
+    /// Digest of the final machine state for the determinism fingerprint:
+    /// per-processor architectural state plus the network counters and the
+    /// full traffic classification. Deliberately avoids anything iterated
+    /// from a `HashMap` (e.g. cache residency scans), whose order is not
+    /// stable across runs.
+    fn state_digest(&self, traffic: &sim_stats::TrafficReport) -> (u64, u64) {
+        let mut h = sim_engine::StableHasher::new();
+        h.write_u64(self.last_halt);
+        for cpu in &self.cpus {
+            h.write_u64(cpu.pc as u64);
+            h.write_u64(cpu.instructions);
+            for &r in &cpu.regs {
+                h.write_u64(u64::from(r));
+            }
+        }
+        let c = self.net.counters();
+        h.write_u64(c.messages);
+        h.write_u64(c.local_messages);
+        h.write_u64(c.flits);
+        h.write_u64(c.total_hops);
+        h.write_str(&format!("{traffic:?}"));
+        h.finish128()
     }
 
     fn handle_event(&mut self, now: Cycle, ev: Ev) {
@@ -832,7 +932,16 @@ impl Machine {
                     addr: m.addr,
                 });
             }
-            let at = self.net.send(now, m.src, m.dst, m.payload_bytes());
+            let at = if let Some(hp) = self.hostprof.as_deref_mut() {
+                // Nested slice: charged to NetRoute and subtracted from the
+                // enclosing handler's category in `dispatch`.
+                let t0 = std::time::Instant::now();
+                let at = self.net.send(now, m.src, m.dst, m.payload_bytes());
+                hp.add_inner(HostCat::NetRoute, t0.elapsed().as_nanos() as u64);
+                at
+            } else {
+                self.net.send(now, m.src, m.dst, m.payload_bytes())
+            };
             if let Some(obs) = self.obs.as_mut() {
                 obs.count_msg(m.kind.name(), at - now);
             }

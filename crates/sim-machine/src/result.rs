@@ -51,6 +51,12 @@ pub struct RunResult {
     /// The full observability report (cycle accounting, timelines, samples);
     /// `None` unless `MachineConfig::obs.enabled` was set.
     pub obs: Option<sim_stats::ObsReport>,
+    /// Host self-profile of this run (dispatch-time breakdown, event-queue
+    /// analytics); `None` unless `MachineConfig::hostobs.enabled` was set.
+    pub host: Option<Box<sim_stats::HostObsReport>>,
+    /// Determinism fingerprint of this run's event stream and final state;
+    /// `None` unless `MachineConfig::hostobs.fingerprint` was set.
+    pub fingerprint: Option<sim_stats::FingerprintChain>,
     /// Events the message trace dropped after its buffer filled (0 when
     /// tracing was off or the buffer sufficed). A nonzero value warns that
     /// trace-derived artifacts (e.g. Chrome flow events) are incomplete.
@@ -82,6 +88,8 @@ mod tests {
             read_latency: Default::default(),
             atomic_latency: Default::default(),
             obs: None,
+            host: None,
+            fingerprint: None,
             trace_dropped: 0,
         };
         // 32000 episodes of (50 work + 50 latency) = 3.2M cycles.

@@ -28,13 +28,15 @@
 //! provenance and sharing-pattern classification ([`lineage`]), network
 //! and memory-back-end telemetry — message journeys, physical-link
 //! traffic, hot-home profiles ([`netobs`]) — Chrome `trace_event` export
-//! ([`chrome`]), and the dependency-free JSON value they all serialize
-//! through ([`json`]).
+//! ([`chrome`]), host-side self-profiling and streaming determinism
+//! fingerprints ([`hostobs`]), and the dependency-free JSON value they
+//! all serialize through ([`json`]).
 
 pub mod chrome;
 pub mod classify;
 pub mod crit;
 pub mod hist;
+pub mod hostobs;
 pub mod json;
 pub mod lineage;
 pub mod netobs;
@@ -49,6 +51,10 @@ pub use crit::{
     Handoff, LockReport, WaitKind,
 };
 pub use hist::LatencyHist;
+pub use hostobs::{
+    FingerprintChain, FingerprintDivergence, FingerprintRecorder, HostCat, HostCatReport, HostObsConfig,
+    HostObsReport, HostProfiler, QueueReport, HOST_CATS,
+};
 pub use json::Json;
 pub use lineage::{
     BlockProfile, InvalCause, LineEvent, LineEventKind, Lineage, LineageReport, ProvenanceChain,

@@ -1,0 +1,168 @@
+//! Enforcement layer for harness observability (host self-profiling and
+//! determinism fingerprints).
+//!
+//! Two promises are on trial:
+//!
+//! * **Zero perturbation** — running with `hostobs` enabled measures the
+//!   harness but may not change the simulated machine by a single cycle,
+//!   instruction, or traffic event.
+//! * **Fingerprint invariance** — the epoch-digest chain is a property of
+//!   the *simulated run*, not of the plumbing around it: worker count,
+//!   the in-process memo table, and the on-disk sweep cache must all
+//!   replay it byte-identically, and genuinely different runs must
+//!   produce chains that diff to a concrete first divergence.
+//!
+//! Workloads are deliberately small so the whole file runs in a
+//! debug-mode tier-1 pass; neither promise depends on scale.
+
+use kernels::runner::{ExperimentSpec, KernelSpec};
+use kernels::workloads::{BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease};
+use ppc_bench::observed::run_kernel;
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+use sim_stats::FingerprintChain;
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+/// Workload sizes are unique to this file so its memo/disk cache keys
+/// never collide with other test binaries sharing the scratch space.
+fn small_lock() -> KernelSpec {
+    KernelSpec::Lock(LockWorkload {
+        kind: LockKind::Mcs,
+        total_acquires: 192,
+        cs_cycles: 40,
+        post_release: PostRelease::None,
+    })
+}
+
+fn small_barrier() -> KernelSpec {
+    KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Centralized, episodes: 36 })
+}
+
+fn run(cfg: MachineConfig, kernel: &KernelSpec) -> sim_machine::RunResult {
+    run_kernel(&mut Machine::new(cfg), kernel)
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppc-hostobs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Six cells (2 proc counts × 3 protocols), all carrying fingerprints.
+fn fingerprint_specs(kernel: &KernelSpec) -> Vec<RunSpec> {
+    [2usize, 4]
+        .into_iter()
+        .flat_map(|procs| PROTOCOLS.into_iter().map(move |protocol| (procs, protocol)))
+        .map(|(procs, protocol)| {
+            RunSpec::with_config(
+                ExperimentSpec { procs, protocol, kernel: *kernel },
+                MachineConfig::paper_hostobs(procs, protocol),
+            )
+        })
+        .collect()
+}
+
+fn chains(outs: &[kernels::runner::ExperimentOutcome]) -> Vec<FingerprintChain> {
+    outs.iter().map(|o| o.fingerprint.clone().expect("hostobs cell carries a fingerprint")).collect()
+}
+
+#[test]
+fn hostobs_never_perturbs_the_simulation() {
+    for kernel in [small_lock(), small_barrier()] {
+        for protocol in PROTOCOLS {
+            let bare = run(MachineConfig::paper(4, protocol), &kernel);
+            let obs = run(MachineConfig::paper_hostobs(4, protocol), &kernel);
+            assert!(bare.host.is_none() && bare.fingerprint.is_none());
+            assert_eq!(bare.cycles, obs.cycles, "{protocol:?}: cycles moved under hostobs");
+            assert_eq!(bare.instructions, obs.instructions, "{protocol:?}");
+            assert_eq!(
+                format!("{:?}", bare.traffic),
+                format!("{:?}", obs.traffic),
+                "{protocol:?}: traffic classification moved under hostobs"
+            );
+            assert_eq!(format!("{:?}", bare.net), format!("{:?}", obs.net), "{protocol:?}");
+        }
+    }
+}
+
+#[test]
+fn host_report_accounts_for_the_run() {
+    let r = run(MachineConfig::paper_hostobs(4, Protocol::WriteInvalidate), &small_lock());
+    let host = r.host.expect("hostobs run carries a host profile");
+    assert_eq!(host.cycles, r.cycles);
+    assert!(host.events > 0, "no events popped?");
+    let pops = host.cats.iter().find(|c| c.name == "event-pop").expect("pop category present");
+    // Every successful pop is timed; empty polls at the end of the run
+    // are timed too, so calls can exceed the event count slightly.
+    assert!(pops.calls >= host.events, "every pop is timed");
+    assert!(host.accounted_nanos() <= host.wall_nanos, "categories partition wall time");
+    assert!(host.events_per_cycle() > 0.0);
+
+    let q = &host.queue;
+    assert!(q.scheduled >= host.events, "every popped event was scheduled");
+    assert!(q.peak_depth >= 1);
+    assert!(q.depth.count() > 0, "queue occupancy was sampled");
+
+    let fp = r.fingerprint.expect("hostobs run carries a fingerprint");
+    assert_eq!(fp.total_events, host.events, "fingerprint saw every event");
+    assert_eq!(
+        fp.epochs.len() as u64,
+        host.events.div_ceil(fp.epoch_events),
+        "one digest per (possibly partial) epoch"
+    );
+}
+
+#[test]
+fn fingerprints_are_identical_across_worker_counts() {
+    let specs = fingerprint_specs(&small_lock());
+    sweep::clear_memo();
+    let serial = SweepOptions { workers: 1, disk_cache: None };
+    let (outs, _) = sweep::run_specs_with(&specs, &serial);
+    let reference = chains(&outs);
+    for workers in [2, 8] {
+        sweep::clear_memo();
+        let (outs, _) = sweep::run_specs_with(&specs, &SweepOptions { workers, disk_cache: None });
+        for (i, (got, want)) in chains(&outs).iter().zip(&reference).enumerate() {
+            assert_eq!(want.first_divergence(got), None, "cell {i} diverged under {workers} workers");
+            assert_eq!(got, want, "cell {i}: chains compare unequal under {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn fingerprints_survive_the_disk_cache_byte_identically() {
+    let specs = fingerprint_specs(&small_barrier());
+    let dir = scratch_dir("disk");
+    let opts = SweepOptions { workers: 2, disk_cache: Some(dir.clone()) };
+
+    sweep::clear_memo();
+    let (cold, stats) = sweep::run_specs_with(&specs, &opts);
+    assert_eq!(stats.simulated, specs.len(), "cold pass must simulate, got {stats:?}");
+    let reference = chains(&cold);
+
+    // Drop the in-process table so the warm pass exercises the on-disk
+    // entry decoder (the `fp=` line), not a memory lookup.
+    sweep::clear_memo();
+    let (warm, stats) = sweep::run_specs_with(&specs, &opts);
+    assert_eq!(stats.from_disk, specs.len(), "warm pass must replay from disk, got {stats:?}");
+    assert_eq!(chains(&warm), reference, "fingerprints decoded from disk differ");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn different_runs_diff_to_a_concrete_divergence() {
+    let kernel = small_lock();
+    let a = run(MachineConfig::paper_hostobs(4, Protocol::WriteInvalidate), &kernel)
+        .fingerprint
+        .expect("fingerprint present");
+    let b = run(MachineConfig::paper_hostobs(4, Protocol::PureUpdate), &kernel)
+        .fingerprint
+        .expect("fingerprint present");
+    let d = a.first_divergence(&b).expect("different protocols must diverge");
+    // Protocols diverge in the very first event epoch, and the reported
+    // divergence must point there — not merely at the final state.
+    assert_eq!(d, sim_stats::FingerprintDivergence::Epoch(0));
+}
