@@ -1,0 +1,126 @@
+//! Benches of the conservative-PDES core: the same contended cell timed on
+//! the serial core and at 2 and 4 shards, plus one cold three-cell sweep per
+//! shard count. The sharded runs are cycle-exact replicas of the serial run
+//! (`tests/pdes_equivalence.rs` proves it), so every delta here is pure host
+//! cost: epoch barriers, handoff draining, and the merged-commit bookkeeping.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`), matching
+//! `simulator_throughput.rs`. Run with
+//! `cargo bench -p ppc-bench --bench pdes_throughput`; the JSON document at
+//! the end of the output is what `BENCH_pdes.json` at the repo root records
+//! (extract with `sed -n '/^{/,$p'`). Read that file's `host` section before
+//! comparing shard counts: on a single-core host the sharded core cannot go
+//! faster, so the numbers measure its overhead, not a speedup.
+
+use std::time::Instant;
+
+use kernels::runner::ExperimentSpec;
+use ppc_bench::observed::{kernel_by_name, run_kernel};
+use ppc_bench::sweep::{self, RunSpec, SweepOptions};
+use ppc_bench::PROTOCOLS;
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+use sim_stats::Json;
+
+const PROCS: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const SAMPLES: u32 = 3;
+
+fn main() {
+    let kernel = kernel_by_name("mcs-lock").expect("known kernel");
+
+    // The event count is shard-invariant (the sharded core commits the same
+    // events in the same order), so measure it once with host observability
+    // on, then time plain runs that carry no profiling overhead.
+    let observed = run_kernel(
+        &mut Machine::new(MachineConfig::paper_hostobs(PROCS, Protocol::WriteInvalidate)),
+        &kernel,
+    );
+    let events = observed.host.as_ref().expect("hostobs run carries a host profile").events;
+
+    let mut cell_rows = Vec::new();
+    for shards in SHARD_COUNTS {
+        let run = || {
+            run_kernel(
+                &mut Machine::new(MachineConfig::paper(PROCS, Protocol::WriteInvalidate).with_shards(shards)),
+                &kernel,
+            )
+        };
+        run(); // warm up
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            let r = run();
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(r.cycles, observed.cycles, "sharded timing run diverged from serial");
+        }
+        println!(
+            "pdes/cell/mcs-lock_8p_wi/shards={shards:<2} {:>10.3} ms/iter (best of {SAMPLES}), {:>9.0} events/sec",
+            best * 1e3,
+            events as f64 / best
+        );
+        cell_rows.push(Json::obj([
+            ("shards", Json::from(shards)),
+            ("wall_ms", Json::F64(best * 1e3)),
+            ("events", Json::U64(events)),
+            ("events_per_sec", Json::F64(events as f64 / best)),
+        ]));
+    }
+
+    // A cold sweep per shard count: one sample each, because the in-process
+    // memo table would serve any repeat warm. Worker count is pinned so the
+    // pool shape does not vary with the host.
+    let mut sweep_rows = Vec::new();
+    for shards in SHARD_COUNTS {
+        let specs: Vec<RunSpec> = PROTOCOLS
+            .iter()
+            .map(|&protocol| {
+                RunSpec::with_config(
+                    ExperimentSpec { procs: PROCS, protocol, kernel },
+                    MachineConfig::paper(PROCS, protocol).with_shards(shards),
+                )
+            })
+            .collect();
+        let opts = SweepOptions { workers: 2, disk_cache: None };
+        let t0 = Instant::now();
+        let (_, stats) = sweep::run_specs_with(&specs, &opts);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(stats.simulated, specs.len(), "cold sweep unexpectedly hit a cache");
+        println!(
+            "pdes/sweep-cold/mcs-lock_8p_3proto/shards={shards:<2} {:>10.3} ms ({} cells, 2 workers)",
+            wall * 1e3,
+            specs.len()
+        );
+        sweep_rows.push(Json::obj([
+            ("shards", Json::from(shards)),
+            ("wall_ms", Json::F64(wall * 1e3)),
+            ("cells", Json::from(specs.len())),
+            ("workers", Json::U64(2)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("kernel", Json::from("mcs-lock")),
+        ("procs", Json::from(PROCS)),
+        (
+            "host",
+            Json::obj([
+                (
+                    "available_parallelism",
+                    Json::from(std::thread::available_parallelism().map_or(0, usize::from)),
+                ),
+                (
+                    "note",
+                    Json::from(
+                        "single-core host: the sharded core cannot run faster than serial here; \
+                         deltas vs shards=1 record the PDES core's own overhead \
+                         (epoch barriers, handoff buffers, merged-commit bookkeeping)",
+                    ),
+                ),
+            ]),
+        ),
+        ("cell", Json::Arr(cell_rows)),
+        ("sweep_cold", Json::Arr(sweep_rows)),
+    ]);
+    println!("{}", doc.render_pretty());
+}

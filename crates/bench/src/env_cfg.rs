@@ -89,6 +89,19 @@ pub fn parse_count(name: &str, raw: Option<&str>) -> Result<Option<usize>, Strin
     }
 }
 
+/// Reads `PPC_SHARDS` — the shard count for the conservative-PDES core
+/// (1, the default, selects the serial core). `0` and garbage are
+/// configuration errors, like every other knob.
+pub fn env_shards() -> usize {
+    match parse_count("PPC_SHARDS", std::env::var("PPC_SHARDS").ok().as_deref()) {
+        Ok(v) => v.unwrap_or(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// [`parse`] for a boolean switch: `1`/`on`/`true`/`yes` and
 /// `0`/`off`/`false`/`no` (case-insensitive); anything else is garbage.
 pub fn parse_flag(name: &str, raw: Option<&str>) -> Result<Option<bool>, String> {
@@ -156,6 +169,19 @@ mod tests {
             let err = parse_positive_f64("PPC_OBS_MAX_RATIO", Some(bad)).unwrap_err();
             assert!(err.contains("PPC_OBS_MAX_RATIO"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn shards_knob_rejects_zero_and_garbage() {
+        // `env_shards` routes through `parse_count`; the pure layer is
+        // what's testable without racing on process-global env state.
+        assert_eq!(parse_count("PPC_SHARDS", None), Ok(None), "unset means the serial core");
+        assert_eq!(parse_count("PPC_SHARDS", Some("4")), Ok(Some(4)));
+        let err = parse_count("PPC_SHARDS", Some("0")).unwrap_err();
+        assert!(err.contains("PPC_SHARDS"), "{err}");
+        assert!(err.contains("positive count"), "{err}");
+        let err = parse_count("PPC_SHARDS", Some("two")).unwrap_err();
+        assert!(err.contains("PPC_SHARDS"), "{err}");
     }
 
     #[test]

@@ -60,12 +60,16 @@ impl RunSpec {
     /// environment the cell runs with host observability (self-profiling
     /// and determinism fingerprints) — simulated results are unchanged,
     /// which the CI golden diff enforces; the cache key changes, so
-    /// hostobs and plain entries never alias.
+    /// hostobs and plain entries never alias. With `PPC_SHARDS=n` the
+    /// cell runs on the conservative-PDES sharded core — cycle-exact, so
+    /// the same golden diff holds, but the key still changes (fail-safe:
+    /// a core bug can never be masked by a stale serial cache entry).
     pub fn paper(procs: usize, protocol: sim_proto::Protocol, kernel: kernels::runner::KernelSpec) -> Self {
         let mut cfg = MachineConfig::paper(procs, protocol);
         if crate::env_cfg::env_flag("PPC_HOSTOBS") {
             cfg.hostobs = sim_stats::HostObsConfig::enabled();
         }
+        cfg.shards = crate::env_cfg::env_shards();
         RunSpec { spec: ExperimentSpec { procs, protocol, kernel }, cfg }
     }
 
@@ -106,7 +110,11 @@ impl SweepOptions {
     /// (see [`crate::env_cfg`]).
     pub fn from_env() -> Self {
         let workers = crate::env_cfg::env_or_else("PPC_WORKERS", || {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            // Sharded cells hash fingerprint sub-chains on extra host
+            // threads; divide the default worker pool so a sweep does not
+            // oversubscribe the host. An explicit PPC_WORKERS wins.
+            (host / crate::env_cfg::env_shards().max(1)).max(1)
         });
         let disk_cache = match std::env::var("PPC_SWEEP_CACHE") {
             Ok(s) if s == "off" || s == "0" => None,

@@ -14,11 +14,13 @@
 //! * [`SplitMix64`] — a tiny deterministic PRNG for the workload variants
 //!   that need bounded pseudo-random delays.
 
+pub mod pdes;
 pub mod queue;
 pub mod rng;
 pub mod server;
 pub mod stable_hash;
 
+pub use pdes::{ShardCounters, ShardPlan, ShardedQueue};
 pub use queue::{EventQueue, QueueStats};
 pub use rng::SplitMix64;
 pub use server::FifoServer;

@@ -1,0 +1,515 @@
+//! Conservative parallel-discrete-event (PDES) core: sharded event queues
+//! advanced in lockstep epochs.
+//!
+//! [`ShardPlan`] partitions the simulated nodes into contiguous shards;
+//! [`ShardedQueue`] gives each shard its own bucket-wheel [`EventQueue`]
+//! and merges them into one global `(cycle, seq)` order. Time advances in
+//! *epochs* of `lookahead` cycles: every event whose cycle falls inside
+//! the current epoch window `[epoch_start, epoch_start + lookahead)` is
+//! popped in global order; cross-shard messages produced during the epoch
+//! are parked in per-(source, destination) handoff buffers and drained at
+//! the epoch barrier, where the next window is opened at the new global
+//! minimum.
+//!
+//! The conservative invariant that makes the barrier safe: a cross-shard
+//! message sent at cycle `t` inside the epoch arrives no earlier than
+//! `t + lookahead` (for the mesh machine, delivery latency is at least
+//! `switch_delay · hops + flits`, and `lookahead` is derived from the
+//! minimum inter-shard hop distance — see `sim_net::MeshShape`). Hence
+//! every handoff drained at the barrier fires at or after the epoch's end
+//! and can never have been due *inside* the epoch just completed. The
+//! drain asserts exactly that, so a mis-derived lookahead fails loudly
+//! instead of silently reordering events.
+//!
+//! One global sequence counter spans all shards. Because events commit in
+//! the same `(cycle, seq)` order a single queue would produce, the counter
+//! assigns every schedule the same seq it would have received serially —
+//! which is what the differential tests in `tests/pdes_equivalence.rs`
+//! prove end to end against the fingerprint chains.
+//!
+//! Not every cross-shard event is a network message: magic-sync wake-ups
+//! (idealized locks and barriers) fire after a fixed cost that may be
+//! smaller than the lookahead. Those bypass the handoff fabric through
+//! [`ShardedQueue::schedule_direct`] — safe because commit order is the
+//! globally merged one — and are tallied separately so observability can
+//! report how much traffic rides outside the conservative bound.
+
+use std::time::Instant;
+
+use crate::queue::{EventQueue, QueueStats};
+use crate::{Cycle, NodeId};
+
+/// A static partition of `nodes` simulated nodes into `shards` contiguous
+/// blocks, plus the conservative lookahead (in cycles) any cross-shard
+/// network message is guaranteed to take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shard_of: Vec<usize>,
+    shards: usize,
+    lookahead: Cycle,
+}
+
+impl ShardPlan {
+    /// Builds a contiguous partition of `nodes` nodes into (at most)
+    /// `requested` shards — the effective shard count is clamped to the
+    /// node count, so requesting more shards than nodes degenerates to
+    /// one node per shard. `lookahead` must be at least 1 (an epoch must
+    /// make progress).
+    pub fn contiguous(nodes: usize, requested: usize, lookahead: Cycle) -> Self {
+        assert!(nodes > 0, "a shard plan needs at least one node");
+        assert!(requested > 0, "shard count must be at least 1");
+        assert!(lookahead >= 1, "lookahead must be at least 1 cycle");
+        let shards = requested.min(nodes);
+        // Node n lands in block n·shards/nodes: contiguous, and block
+        // sizes differ by at most one.
+        let shard_of = (0..nodes).map(|n| n * shards / nodes).collect();
+        ShardPlan { shard_of, shards, lookahead }
+    }
+
+    /// Effective number of shards (≤ node count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of simulated nodes covered by the plan.
+    pub fn nodes(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning node `n`.
+    pub fn shard_of(&self, n: NodeId) -> usize {
+        self.shard_of[n]
+    }
+
+    /// The conservative cross-shard lookahead, in cycles.
+    pub fn lookahead(&self) -> Cycle {
+        self.lookahead
+    }
+}
+
+/// A buffered cross-shard event: fires at `at` with global seq `seq`.
+struct Handoff<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+/// Per-shard counters surfaced to the host-observability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Events popped (committed) from this shard's queue.
+    pub pops: u64,
+    /// Events scheduled into this shard's queue.
+    pub scheduled: u64,
+}
+
+/// Several per-shard [`EventQueue`]s merged into one global
+/// `(cycle, seq)` order, advanced in lookahead-bounded epochs.
+///
+/// The pop stream is *identical* to a single [`EventQueue`] fed the same
+/// schedule calls in the same order — sharding changes where events wait,
+/// never when they commit.
+pub struct ShardedQueue<E> {
+    queues: Vec<EventQueue<E>>,
+    /// Handoff buffer from shard `src` to shard `dst` at
+    /// `handoff[src * shards + dst]`.
+    handoff: Vec<Vec<Handoff<E>>>,
+    pending_handoffs: usize,
+    shards: usize,
+    lookahead: Cycle,
+    /// Global insertion counter spanning every shard queue.
+    next_seq: u64,
+    /// Cycle of the most recently committed event.
+    now: Cycle,
+    /// Shard of the most recently committed event — the "sending" side of
+    /// any handoff scheduled while its handler runs.
+    current_shard: usize,
+    /// Exclusive end of the current epoch window; 0 before the first
+    /// barrier establishes a window.
+    epoch_end: Cycle,
+    epochs: u64,
+    handoff_events: u64,
+    direct_cross: u64,
+    peak_len: u64,
+    pops: Vec<u64>,
+    barrier_timing: bool,
+    barrier_nanos: u64,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Creates an empty sharded queue for `plan.shards()` shards.
+    pub fn new(plan: &ShardPlan) -> Self {
+        let shards = plan.shards();
+        ShardedQueue {
+            queues: (0..shards).map(|_| EventQueue::new()).collect(),
+            handoff: (0..shards * shards).map(|_| Vec::new()).collect(),
+            pending_handoffs: 0,
+            shards,
+            lookahead: plan.lookahead(),
+            next_seq: 0,
+            now: 0,
+            current_shard: 0,
+            epoch_end: 0,
+            epochs: 0,
+            handoff_events: 0,
+            direct_cross: 0,
+            peak_len: 0,
+            pops: vec![0; shards],
+            barrier_timing: false,
+            barrier_nanos: 0,
+        }
+    }
+
+    /// Starts timing epoch barriers (drain + window advance) on the host
+    /// clock; off by default so the hot path stays untimed.
+    pub fn enable_barrier_timing(&mut self) {
+        self.barrier_timing = true;
+    }
+
+    /// The cycle of the most recently popped event (0 before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn note_len(&mut self) {
+        self.peak_len = self.peak_len.max(self.len() as u64);
+    }
+
+    /// Schedules `payload` at `at` into shard `shard`'s queue directly.
+    ///
+    /// Use for events that stay on the committing shard, and for
+    /// *non-network* cross-shard events (magic-sync wake-ups) whose
+    /// latency may undercut the lookahead — the globally merged commit
+    /// order keeps direct insertion safe. Cross-shard direct schedules
+    /// are tallied in [`ShardedQueue::direct_cross`].
+    pub fn schedule_direct(&mut self, at: Cycle, shard: usize, payload: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if shard != self.current_shard {
+            self.direct_cross += 1;
+        }
+        self.queues[shard].schedule_with_seq(at, seq, payload);
+        self.note_len();
+    }
+
+    /// Schedules a cross-shard *network* message: parks it in the
+    /// handoff buffer from the committing shard to `shard`, to be drained
+    /// at the next epoch barrier. The conservative bound requires
+    /// `at ≥ epoch_end`; the barrier drain asserts it. Same-shard targets
+    /// fall through to direct insertion.
+    pub fn schedule_handoff(&mut self, at: Cycle, shard: usize, payload: E) {
+        if shard == self.current_shard {
+            self.schedule_direct(at, shard, payload);
+            return;
+        }
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.handoff_events += 1;
+        self.pending_handoffs += 1;
+        self.handoff[self.current_shard * self.shards + shard].push(Handoff { at, seq, payload });
+        self.note_len();
+    }
+
+    /// Drains every handoff buffer into its destination shard queue and
+    /// opens the next epoch window at the new global minimum.
+    fn barrier(&mut self) {
+        let t0 = self.barrier_timing.then(Instant::now);
+        if self.pending_handoffs > 0 {
+            for src in 0..self.shards {
+                for dst in 0..self.shards {
+                    let buf = &mut self.handoff[src * self.shards + dst];
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    for Handoff { at, seq, payload } in buf.drain(..) {
+                        assert!(
+                            at >= self.epoch_end,
+                            "cross-shard handoff {src}→{dst} fires at {at}, inside the epoch \
+                             ending at {}: the lookahead bound ({} cycles) is violated",
+                            self.epoch_end,
+                            self.lookahead,
+                        );
+                        self.queues[dst].schedule_with_seq(at, seq, payload);
+                    }
+                }
+            }
+            self.pending_handoffs = 0;
+        }
+        // Open the next window at the earliest pending cycle.
+        if let Some(start) = self.queues.iter().filter_map(|q| q.peek_key()).map(|(at, _)| at).min() {
+            self.epoch_end = start + self.lookahead;
+            self.epochs += 1;
+        }
+        if let Some(t0) = t0 {
+            self.barrier_nanos += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Removes and returns the globally earliest `(cycle, seq)` event,
+    /// advancing the clock (and, when the window is exhausted, the epoch).
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        loop {
+            let best = (0..self.shards).filter_map(|i| self.queues[i].peek_key().map(|k| (k, i))).min();
+            match best {
+                Some(((at, _), shard)) if at < self.epoch_end => {
+                    let (at, payload) = self.queues[shard].pop().expect("peeked shard is empty");
+                    self.current_shard = shard;
+                    self.pops[shard] += 1;
+                    self.now = at;
+                    return Some((at, payload));
+                }
+                None if self.pending_handoffs == 0 => return None,
+                // Window exhausted (or only handoffs remain): run the
+                // epoch barrier and retry.
+                _ => self.barrier(),
+            }
+        }
+    }
+
+    /// The `(cycle, seq)` key the next [`ShardedQueue::pop`] would
+    /// return, ignoring events still parked in handoff buffers.
+    pub fn peek_committed_key(&self) -> Option<(Cycle, u64)> {
+        self.queues.iter().filter_map(|q| q.peek_key()).min()
+    }
+
+    /// Pending events across all shard queues and handoff buffers.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.pending_handoffs
+    }
+
+    /// Whether nothing is pending anywhere (queues *and* handoffs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated lifetime counters across every shard queue. `peak_len`
+    /// is the global high-water mark (tracked here), not a sum of
+    /// per-shard peaks.
+    pub fn stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for q in &self.queues {
+            let s = q.stats();
+            total.scheduled += s.scheduled;
+            total.far_spills += s.far_spills;
+            total.far_merged += s.far_merged;
+        }
+        total.peak_len = self.peak_len;
+        total
+    }
+
+    /// Occupied bucket-wheel slots summed across shards.
+    pub fn occupied_slots(&self) -> usize {
+        self.queues.iter().map(|q| q.occupied_slots()).sum()
+    }
+
+    /// Far-heap residents summed across shards.
+    pub fn far_len(&self) -> usize {
+        self.queues.iter().map(|q| q.far_len()).sum()
+    }
+
+    /// Effective shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The lookahead the epoch windows are bounded by.
+    pub fn lookahead(&self) -> Cycle {
+        self.lookahead
+    }
+
+    /// Epoch barriers taken so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Cross-shard events routed through handoff buffers.
+    pub fn handoff_events(&self) -> u64 {
+        self.handoff_events
+    }
+
+    /// Cross-shard events inserted directly (magic-sync wake-ups that
+    /// legitimately undercut the lookahead).
+    pub fn direct_cross(&self) -> u64 {
+        self.direct_cross
+    }
+
+    /// Host nanoseconds spent inside epoch barriers; 0 unless
+    /// [`ShardedQueue::enable_barrier_timing`] was called.
+    pub fn barrier_nanos(&self) -> u64 {
+        self.barrier_nanos
+    }
+
+    /// The shard of the most recently committed event.
+    pub fn current_shard(&self) -> usize {
+        self.current_shard
+    }
+
+    /// Per-shard pop/schedule counters, in shard order.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        (0..self.shards)
+            .map(|i| ShardCounters { pops: self.pops[i], scheduled: self.queues[i].stats().scheduled })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn plan_is_contiguous_and_balanced() {
+        let p = ShardPlan::contiguous(32, 8, 2);
+        assert_eq!(p.shards(), 8);
+        assert_eq!(p.nodes(), 32);
+        // Contiguous blocks of 4.
+        for n in 0..32 {
+            assert_eq!(p.shard_of(n), n / 4);
+        }
+        // Uneven split stays contiguous, block sizes differ by ≤ 1.
+        let p = ShardPlan::contiguous(5, 2, 2);
+        let shards: Vec<usize> = (0..5).map(|n| p.shard_of(n)).collect();
+        assert_eq!(shards, vec![0, 0, 0, 1, 1]);
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "contiguous");
+    }
+
+    #[test]
+    fn plan_clamps_shards_to_node_count() {
+        let p = ShardPlan::contiguous(3, 16, 2);
+        assert_eq!(p.shards(), 3, "more shards than nodes degenerates to one node per shard");
+        assert_eq!((0..3).map(|n| p.shard_of(n)).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be at least 1")]
+    fn plan_rejects_zero_lookahead() {
+        ShardPlan::contiguous(4, 2, 0);
+    }
+
+    /// Mirrors every op on a serial [`EventQueue`] and a [`ShardedQueue`]
+    /// and asserts the pop streams are identical. Payloads carry the
+    /// target node so the sharded side can route.
+    fn differential_case(seed: u64, nodes: usize, shards: usize, lookahead: Cycle, ops: usize) {
+        let plan = ShardPlan::contiguous(nodes, shards, lookahead);
+        let mut serial: EventQueue<(usize, u64)> = EventQueue::new();
+        let mut sharded: ShardedQueue<(usize, u64)> = ShardedQueue::new(&plan);
+        let mut rng = SplitMix64::new(seed);
+        let mut payload = 0u64;
+        // Seed both with one event per node at cycle 0 (the CpuStep@0
+        // shape of Machine::run).
+        for n in 0..nodes {
+            serial.schedule(0, (n, payload));
+            sharded.schedule_direct(0, plan.shard_of(n), (n, payload));
+            payload += 1;
+        }
+        for _ in 0..ops {
+            let s = serial.pop();
+            let p = sharded.pop();
+            assert_eq!(s, p, "seed {seed}: pop streams diverged");
+            let Some((at, (node, _))) = s else { break };
+            assert_eq!(sharded.now(), at);
+            // The committed handler emits 0–2 follow-up events.
+            for _ in 0..rng.next_below(3) {
+                let target = rng.next_below(nodes as u64) as usize;
+                let tshard = plan.shard_of(target);
+                payload += 1;
+                if tshard == plan.shard_of(node) {
+                    // Same-shard: any non-negative delay.
+                    let t = at + rng.next_below(40);
+                    serial.schedule(t, (target, payload));
+                    sharded.schedule_direct(t, tshard, (target, payload));
+                } else if rng.next_below(4) == 0 {
+                    // Magic-sync shape: cross-shard, may undercut the
+                    // lookahead, direct insertion.
+                    let t = at + rng.next_below(lookahead.max(2));
+                    serial.schedule(t, (target, payload));
+                    sharded.schedule_direct(t, tshard, (target, payload));
+                } else {
+                    // Network shape: cross-shard, latency ≥ lookahead.
+                    let t = at + lookahead + rng.next_below(60);
+                    serial.schedule(t, (target, payload));
+                    sharded.schedule_handoff(t, tshard, (target, payload));
+                }
+            }
+        }
+        loop {
+            let s = serial.pop();
+            let p = sharded.pop();
+            assert_eq!(s, p, "seed {seed}: drain diverged");
+            if s.is_none() {
+                break;
+            }
+        }
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn merged_pop_order_matches_a_single_queue() {
+        for seed in 0..30u64 {
+            differential_case(0xde5_0000 + seed, 8, 4, 6, 500);
+        }
+    }
+
+    #[test]
+    fn single_node_shards_and_unit_lookahead() {
+        // Lookahead of exactly one cycle: every cycle is its own epoch.
+        for seed in 0..10u64 {
+            differential_case(0x1001 + seed, 4, 4, 1, 300);
+        }
+    }
+
+    #[test]
+    fn one_shard_is_a_plain_queue() {
+        for seed in 0..10u64 {
+            differential_case(0x5e81a1 + seed, 6, 1, 4, 400);
+        }
+    }
+
+    #[test]
+    fn handoff_landing_exactly_on_the_epoch_boundary_is_legal() {
+        let plan = ShardPlan::contiguous(2, 2, 5);
+        let mut q: ShardedQueue<u32> = ShardedQueue::new(&plan);
+        q.schedule_direct(0, 0, 1);
+        assert_eq!(q.pop(), Some((0, 1))); // epoch [0, 5) opens
+                                           // From shard 0 at cycle 0, a message arriving exactly at the
+                                           // epoch end (0 + lookahead) is the tightest legal handoff.
+        q.schedule_handoff(5, 1, 2);
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.epochs(), 2);
+        assert_eq!(q.handoff_events(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead bound")]
+    fn handoff_inside_the_epoch_panics() {
+        let plan = ShardPlan::contiguous(2, 2, 5);
+        let mut q: ShardedQueue<u32> = ShardedQueue::new(&plan);
+        q.schedule_direct(0, 0, 1);
+        q.schedule_direct(10, 0, 3);
+        assert_eq!(q.pop(), Some((0, 1))); // epoch [0, 5)
+        q.schedule_handoff(4, 1, 2); // violates: 4 < epoch_end = 5
+        while q.pop().is_some() {}
+    }
+
+    #[test]
+    fn counters_and_aggregates_cover_handoffs() {
+        let plan = ShardPlan::contiguous(4, 2, 3);
+        let mut q: ShardedQueue<u32> = ShardedQueue::new(&plan);
+        q.schedule_direct(0, 0, 1);
+        q.pop();
+        q.schedule_handoff(7, 1, 2); // parked, not yet in any queue
+        assert_eq!(q.len(), 1, "handoff buffers count as pending");
+        assert!(!q.is_empty());
+        q.schedule_direct(1, 1, 3); // cross-shard direct (magic shape)
+        assert_eq!(q.direct_cross(), 1);
+        assert_eq!(q.pop(), Some((1, 3)));
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.handoff_events(), 1);
+        assert_eq!(q.stats().scheduled, 3);
+        assert_eq!(q.shard_counters().iter().map(|c| c.pops).sum::<u64>(), 3);
+        assert!(q.epochs() >= 2);
+    }
+}

@@ -36,6 +36,16 @@ pub struct MachineConfig {
     pub magic_lock_cycles: Cycle,
     /// Local cost of a zero-traffic magic barrier.
     pub magic_barrier_cycles: Cycle,
+    /// Shards for the conservative-PDES core: the nodes are partitioned
+    /// into this many contiguous blocks, each owning its own event queue,
+    /// advanced in lockstep epochs bounded by the mesh-derived lookahead.
+    /// 1 (the default) selects the serial core — bit-exact with the
+    /// pre-PDES code path. Any value is cycle-exact: the sharded core
+    /// commits events in the same global `(cycle, seq)` order, so results
+    /// are byte-identical across shard counts (enforced by
+    /// `tests/pdes_equivalence.rs`). Values above `num_procs` clamp to one
+    /// node per shard. Set via `PPC_SHARDS` for the harness binaries.
+    pub shards: usize,
     /// Seed for per-processor `RandDelay` streams.
     pub seed: u64,
     /// Abort the run if the clock passes this (deadlock/livelock guard).
@@ -66,6 +76,7 @@ impl MachineConfig {
             spin_parking: true,
             magic_lock_cycles: 10,
             magic_barrier_cycles: 10,
+            shards: 1,
             seed: 0x5eed,
             max_cycles: 2_000_000_000,
             obs: ObsConfig::default(),
@@ -83,6 +94,13 @@ impl MachineConfig {
     /// profiling, event-queue analytics, determinism fingerprints).
     pub fn paper_hostobs(num_procs: usize, protocol: Protocol) -> Self {
         MachineConfig { hostobs: HostObsConfig::enabled(), ..Self::paper(num_procs, protocol) }
+    }
+
+    /// The same configuration advanced by the sharded PDES core with
+    /// `shards` shards. Results are cycle-exact regardless of the value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Protocol-layer slice of this configuration.
@@ -112,6 +130,18 @@ mod tests {
         assert_eq!(c.cu_threshold, 4);
         assert!(!c.obs.enabled, "observability is opt-in");
         assert!(!c.hostobs.enabled && !c.hostobs.fingerprint, "host observability is opt-in");
+        assert_eq!(c.shards, 1, "the serial core is the default");
+    }
+
+    #[test]
+    fn with_shards_flips_only_shards() {
+        let c = MachineConfig::paper(32, Protocol::WriteInvalidate).with_shards(4);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.seed, MachineConfig::paper(32, Protocol::WriteInvalidate).seed);
+        assert!(!c.hostobs.enabled);
+        let h = MachineConfig::paper_hostobs(8, Protocol::PureUpdate).with_shards(8);
+        assert_eq!(h.shards, 8);
+        assert!(h.hostobs.enabled && h.hostobs.fingerprint);
     }
 
     #[test]

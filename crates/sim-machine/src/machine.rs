@@ -2,14 +2,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use sim_engine::{Cycle, EventQueue, FifoServer, NodeId};
+use sim_engine::{Cycle, EventQueue, FifoServer, NodeId, QueueStats, ShardPlan, ShardedQueue};
 use sim_isa::{Instr, Program};
 use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
 use sim_stats::{
     Classifier, CpuClass, CritCollector, EndpointPairFlits, FingerprintRecorder, HostCat, HostProfiler,
-    NetObsCollector, NodeGauges, NodeSample, ObsCollector, Sample, WaitKind,
+    NetObsCollector, NodeGauges, NodeSample, ObsCollector, PdesObs, Sample, ShardObs, WaitKind,
 };
 
 use crate::config::MachineConfig;
@@ -29,6 +29,161 @@ enum Ev {
     WbIssue(NodeId),
     /// Take a periodic observability sample (only when `obs` is enabled).
     Sample,
+}
+
+/// The event core driving the machine: the plain serial [`EventQueue`] or
+/// the conservative-PDES [`ShardedQueue`] (selected by
+/// `MachineConfig::shards`). Both commit events in the same global
+/// `(cycle, seq)` order, so the choice never changes simulated results —
+/// `tests/pdes_equivalence.rs` proves it end to end.
+// The serial queue stays unboxed: it is the default core's hot path, and
+// keeping it inline preserves the pre-PDES `Machine` layout exactly.
+#[allow(clippy::large_enum_variant)]
+enum Core {
+    Serial(EventQueue<Ev>),
+    Sharded(Box<ShardedCore>),
+}
+
+/// The sharded core: the node partition plus its merged event queues.
+struct ShardedCore {
+    plan: ShardPlan,
+    q: ShardedQueue<Ev>,
+}
+
+impl Core {
+    /// The node an event executes on — the routing key deciding which
+    /// shard queue owns it. `Sample` is bookkeeping with no node of its
+    /// own; it rides on node 0's shard.
+    fn target_node(ev: &Ev) -> NodeId {
+        match ev {
+            Ev::CpuStep(n) | Ev::WbIssue(n) => *n,
+            Ev::Deliver(m) | Ev::HomeHandle(m) => m.dst,
+            Ev::Sample => 0,
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Ev) {
+        match self {
+            Core::Serial(q) => q.schedule(at, ev),
+            Core::Sharded(c) => {
+                let shard = c.plan.shard_of(Self::target_node(&ev));
+                // Network deliveries are the events whose latency the
+                // mesh-derived lookahead bounds: cross-shard ones ride the
+                // handoff fabric. Everything else (CPU resumptions,
+                // home-side re-dispatches, write-buffer pokes, magic-sync
+                // wake-ups) stays on — or is directly inserted into — the
+                // target shard, which the merged commit order keeps safe.
+                if matches!(ev, Ev::Deliver(_)) {
+                    c.q.schedule_handoff(at, shard, ev);
+                } else {
+                    c.q.schedule_direct(at, shard, ev);
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycle, Ev)> {
+        match self {
+            Core::Serial(q) => q.pop(),
+            Core::Sharded(c) => c.q.pop(),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            Core::Serial(q) => q.now(),
+            Core::Sharded(c) => c.q.now(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Core::Serial(q) => q.len(),
+            Core::Sharded(c) => c.q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn occupied_slots(&self) -> usize {
+        match self {
+            Core::Serial(q) => q.occupied_slots(),
+            Core::Sharded(c) => c.q.occupied_slots(),
+        }
+    }
+
+    fn far_len(&self) -> usize {
+        match self {
+            Core::Serial(q) => q.far_len(),
+            Core::Sharded(c) => c.q.far_len(),
+        }
+    }
+
+    fn stats(&self) -> QueueStats {
+        match self {
+            Core::Serial(q) => q.stats(),
+            Core::Sharded(c) => c.q.stats(),
+        }
+    }
+
+    /// The shard of the most recently committed event (0 when serial).
+    fn current_shard(&self) -> usize {
+        match self {
+            Core::Serial(_) => 0,
+            Core::Sharded(c) => c.q.current_shard(),
+        }
+    }
+}
+
+/// Per-shard fingerprint sub-chains, hashed incrementally on dedicated
+/// host worker threads — the genuinely parallel half of the PDES core.
+/// Handlers themselves must commit sequentially (the classifier,
+/// receive-port servers, and magic-sync structures are globally shared
+/// synchronous state), but each shard's committed event stream can be
+/// digested off the simulation thread; the workers only ever see a
+/// per-shard slice of the same records the global [`FingerprintRecorder`]
+/// chain consumes.
+struct ShardChains {
+    senders: Vec<std::sync::mpsc::Sender<(Cycle, &'static str, u64, u64)>>,
+    workers: Vec<std::thread::JoinHandle<(u64, u64)>>,
+}
+
+impl ShardChains {
+    fn spawn(shards: usize) -> Self {
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = std::sync::mpsc::channel::<(Cycle, &'static str, u64, u64)>();
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || {
+                let mut h = sim_engine::StableHasher::new();
+                h.write_u64(shard as u64);
+                for (cycle, kind, a, b) in rx {
+                    h.write_u64(cycle);
+                    h.write_str(kind);
+                    h.write_u64(a);
+                    h.write_u64(b);
+                }
+                h.finish128()
+            }));
+        }
+        ShardChains { senders, workers }
+    }
+
+    fn record(&self, shard: usize, cycle: Cycle, kind: &'static str, a: u64, b: u64) {
+        // A worker can only be gone if it panicked; the join in `finish`
+        // surfaces that, so a send failure is ignorable here.
+        let _ = self.senders[shard].send((cycle, kind, a, b));
+    }
+
+    /// Closes the record streams and joins the workers, returning each
+    /// shard's 128-bit sub-chain digest in shard order.
+    fn finish(self) -> Vec<(u64, u64)> {
+        drop(self.senders);
+        self.workers.into_iter().map(|w| w.join().expect("shard-chain worker panicked")).collect()
+    }
 }
 
 /// The observability class a processor state's cycles are charged to.
@@ -70,7 +225,7 @@ struct MagicLock {
 pub struct Machine {
     cfg: MachineConfig,
     geom: Geometry,
-    queue: EventQueue<Ev>,
+    queue: Core,
     net: Network,
     mem_srv: Vec<FifoServer>,
     nodes: Vec<ProtoNode>,
@@ -101,15 +256,44 @@ pub struct Machine {
     /// Determinism-fingerprint recorder; `Some` only when
     /// `cfg.hostobs.fingerprint`.
     fp: Option<Box<FingerprintRecorder>>,
+    /// Per-shard fingerprint sub-chain workers; `Some` only when the core
+    /// is sharded *and* fingerprints are on.
+    shard_chains: Option<ShardChains>,
+    /// Host nanoseconds spent in event handlers, resliced by the shard of
+    /// the committed event; empty when serial or unprofiled.
+    shard_nanos: Vec<u64>,
 }
 
 impl Machine {
     /// Builds a machine; every processor starts with an empty (immediately
     /// halting) program.
     pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.shards >= 1, "MachineConfig::shards must be at least 1");
         let geom = Geometry::new(cfg.num_procs);
         let proto_cfg = cfg.proto_config();
         let mut net = Network::new(cfg.num_procs, cfg.net.clone());
+        let queue = if cfg.shards > 1 {
+            // Two-step plan build: the partition determines the minimum
+            // inter-shard hop distance, which (with the switch delay)
+            // determines the conservative lookahead the epochs run at.
+            let partition = ShardPlan::contiguous(cfg.num_procs, cfg.shards, 1);
+            let shard_map: Vec<usize> = (0..cfg.num_procs).map(|n| partition.shard_of(n)).collect();
+            let shape = net.shape();
+            let lookahead = cfg.net.conservative_lookahead(&shape, &shard_map);
+            let plan = ShardPlan::contiguous(cfg.num_procs, cfg.shards, lookahead);
+            let mut q = ShardedQueue::new(&plan);
+            if cfg.hostobs.enabled {
+                q.enable_barrier_timing();
+            }
+            Core::Sharded(Box::new(ShardedCore { plan, q }))
+        } else {
+            Core::Serial(EventQueue::new())
+        };
+        let sharded = matches!(queue, Core::Sharded(_));
+        let shard_count = match &queue {
+            Core::Sharded(c) => c.plan.shards(),
+            Core::Serial(_) => 1,
+        };
         let obs = cfg.obs.enabled.then(|| ObsCollector::new(cfg.num_procs, cfg.obs));
         let crit = cfg.obs.enabled.then(|| Box::new(CritCollector::new(cfg.num_procs)));
         let mut clf = Classifier::new(geom);
@@ -150,7 +334,10 @@ impl Machine {
                 .hostobs
                 .fingerprint
                 .then(|| Box::new(FingerprintRecorder::new(cfg.hostobs.fingerprint_epoch))),
-            queue: EventQueue::new(),
+            shard_chains: (sharded && cfg.hostobs.enabled && cfg.hostobs.fingerprint)
+                .then(|| ShardChains::spawn(shard_count)),
+            shard_nanos: if sharded && cfg.hostobs.enabled { vec![0; shard_count] } else { vec![] },
+            queue,
             cfg,
         }
     }
@@ -309,7 +496,33 @@ impl Machine {
         });
         let host = self.hostprof.take().map(|hp| {
             let wall = run_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
-            Box::new(hp.finish(self.last_halt, wall, self.queue.stats()))
+            let mut report = hp.finish(self.last_halt, wall, self.queue.stats());
+            let chains = self.shard_chains.take().map(ShardChains::finish);
+            if let Core::Sharded(c) = &self.queue {
+                report.pdes = Some(PdesObs {
+                    requested_shards: self.cfg.shards,
+                    shards: c.q.shards(),
+                    lookahead: c.q.lookahead(),
+                    epochs: c.q.epochs(),
+                    handoff_events: c.q.handoff_events(),
+                    direct_cross: c.q.direct_cross(),
+                    barrier_nanos: c.q.barrier_nanos(),
+                    per_shard: c
+                        .q
+                        .shard_counters()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, cnt)| ShardObs {
+                            shard: i,
+                            pops: cnt.pops,
+                            scheduled: cnt.scheduled,
+                            handler_nanos: self.shard_nanos.get(i).copied().unwrap_or(0),
+                            chain: chains.as_ref().map(|ch| ch[i]),
+                        })
+                        .collect(),
+                });
+            }
+            Box::new(report)
         });
         let fingerprint = self.fp.take().map(|fp| fp.finish(self.state_digest(&traffic)));
         RunResult {
@@ -350,19 +563,21 @@ impl Machine {
     /// charging the handler's wall time to its dispatch category (minus
     /// nested slices already charged elsewhere, e.g. network routing).
     fn dispatch(&mut self, now: Cycle, ev: Ev) {
-        if let Some(fp) = self.fp.as_mut() {
-            // Pop order is (cycle, seq) order, so feeding the recorder here
+        if self.fp.is_some() || self.shard_chains.is_some() {
+            // Pop order is (cycle, seq) order, so feeding the recorders here
             // covers the sequence number implicitly.
-            match &ev {
-                Ev::CpuStep(n) => fp.record(now, "cpu", *n as u64, 0),
-                Ev::Deliver(m) => {
-                    fp.record(now, m.kind.name(), ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr))
-                }
-                Ev::HomeHandle(m) => {
-                    fp.record(now, "home", ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr))
-                }
-                Ev::WbIssue(n) => fp.record(now, "wb", *n as u64, 0),
-                Ev::Sample => fp.record(now, "sample", 0, 0),
+            let (kind, a, b) = match &ev {
+                Ev::CpuStep(n) => ("cpu", *n as u64, 0),
+                Ev::Deliver(m) => (m.kind.name(), ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr)),
+                Ev::HomeHandle(m) => ("home", ((m.src as u64) << 32) | m.dst as u64, u64::from(m.addr)),
+                Ev::WbIssue(n) => ("wb", *n as u64, 0),
+                Ev::Sample => ("sample", 0, 0),
+            };
+            if let Some(fp) = self.fp.as_mut() {
+                fp.record(now, kind, a, b);
+            }
+            if let Some(sc) = self.shard_chains.as_ref() {
+                sc.record(self.queue.current_shard(), now, kind, a, b);
             }
         }
         if self.hostprof.is_none() {
@@ -375,12 +590,17 @@ impl Machine {
             Ev::WbIssue(_) => HostCat::WbIssue,
             Ev::Sample => HostCat::Sample,
         };
+        let shard = self.queue.current_shard();
         let t0 = std::time::Instant::now();
         self.handle_event(now, ev);
         let total = t0.elapsed().as_nanos() as u64;
         let hp = self.hostprof.as_mut().expect("checked above");
         let inner = hp.take_inner();
-        hp.add(cat, total.saturating_sub(inner));
+        let own = total.saturating_sub(inner);
+        hp.add(cat, own);
+        if let Some(s) = self.shard_nanos.get_mut(shard) {
+            *s += own;
+        }
     }
 
     /// Digest of the final machine state for the determinism fingerprint:
@@ -1249,6 +1469,82 @@ mod tests {
         assert!(r.cycles > 0);
         assert_eq!(r.traffic.shared_writes, 80);
         assert_eq!(m.read_word(ctr), 80, "lock provided mutual exclusion");
+    }
+
+    /// A contended mixed workload (atomic loop + random delays + a magic
+    /// barrier) run at a given shard count, with fingerprints on.
+    fn contended_run(shards: usize) -> crate::result::RunResult {
+        let mut m =
+            Machine::new(MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate).with_shards(shards));
+        let ctr = m.alloc().alloc_block_on(0, 1);
+        for n in 0..8 {
+            let mut b = ProgramBuilder::new();
+            b.imm(0, ctr).imm(1, 1).imm(2, 12);
+            b.label("loop");
+            b.fetch_add(3, 0, 1);
+            b.rand_delay(9);
+            b.alui(AluOp::Sub, 2, 2, 1);
+            b.bnz(2, "loop");
+            b.magic_barrier();
+            b.halt();
+            m.set_program(n, b.build());
+        }
+        m.run()
+    }
+
+    #[test]
+    fn sharded_core_is_cycle_exact_against_serial() {
+        let serial = contended_run(1);
+        for shards in [2usize, 3, 8] {
+            let sharded = contended_run(shards);
+            assert_eq!(serial.cycles, sharded.cycles, "{shards} shards");
+            assert_eq!(serial.net.messages, sharded.net.messages, "{shards} shards");
+            assert_eq!(serial.traffic.misses, sharded.traffic.misses, "{shards} shards");
+            assert_eq!(serial.traffic.updates, sharded.traffic.updates, "{shards} shards");
+            assert_eq!(serial.instructions, sharded.instructions, "{shards} shards");
+            // The strongest form: the committed event streams are
+            // identical, fingerprint epoch by fingerprint epoch.
+            assert_eq!(serial.fingerprint, sharded.fingerprint, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_run_reports_pdes_observability() {
+        let r = contended_run(4);
+        let host = r.host.expect("hostobs on");
+        let pdes = host.pdes.expect("sharded run surfaces a PDES section");
+        assert_eq!(pdes.requested_shards, 4);
+        assert_eq!(pdes.shards, 4);
+        // 8 nodes in 4 contiguous 2-node blocks: adjacent nodes straddle a
+        // shard seam, so the lookahead is one hop of switch delay.
+        assert_eq!(pdes.lookahead, 2);
+        assert!(pdes.epochs > 0, "epochs advanced");
+        assert!(pdes.handoff_events > 0, "cross-shard traffic rode the handoff fabric");
+        assert!(pdes.direct_cross > 0, "barrier wake-ups bypassed it");
+        assert_eq!(pdes.per_shard.len(), 4);
+        let pops: u64 = pdes.per_shard.iter().map(|s| s.pops).sum();
+        assert!(pops > 0);
+        assert!(pdes.per_shard.iter().all(|s| s.chain.is_some()), "sub-chains recorded");
+        // Sub-chains are deterministic at a fixed shard count.
+        let again = contended_run(4);
+        let pdes2 = again.host.unwrap().pdes.unwrap();
+        assert_eq!(pdes.folded_chain_hex(), pdes2.folded_chain_hex());
+        assert_eq!(
+            pdes.per_shard.iter().map(|s| s.chain).collect::<Vec<_>>(),
+            pdes2.per_shard.iter().map(|s| s.chain).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serial_run_has_no_pdes_section() {
+        let r = contended_run(1);
+        assert!(r.host.expect("hostobs on").pdes.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be at least 1")]
+    fn zero_shards_is_rejected() {
+        Machine::new(MachineConfig::paper(4, Protocol::WriteInvalidate).with_shards(0));
     }
 
     #[test]

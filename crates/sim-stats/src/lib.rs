@@ -53,7 +53,7 @@ pub use crit::{
 pub use hist::LatencyHist;
 pub use hostobs::{
     FingerprintChain, FingerprintDivergence, FingerprintRecorder, HostCat, HostCatReport, HostObsConfig,
-    HostObsReport, HostProfiler, QueueReport, HOST_CATS,
+    HostObsReport, HostProfiler, PdesObs, QueueReport, ShardObs, HOST_CATS,
 };
 pub use json::Json;
 pub use lineage::{

@@ -1,0 +1,171 @@
+//! Enforcement layer for the conservative-PDES sharded core.
+//!
+//! The core's one promise: **sharding is invisible to the simulation**.
+//! `MachineConfig::shards` picks how the event queue is laid out across
+//! shards and how time advances (lookahead-bounded epochs with handoff
+//! drains at barriers), but every run commits the same events in the same
+//! global `(cycle, seq)` order the serial core would — to the cycle, to
+//! the tie-break. These tests are the enforcement of that promise:
+//!
+//! * **Fingerprint-chain identity** — the strongest observable form: the
+//!   epoch-digest chain hashes every committed event (cycle, kind,
+//!   endpoints, address) in commit order, plus a digest of the final
+//!   machine state. Serial and sharded runs must produce *equal* chains
+//!   for every kernel family under every protocol.
+//! * **Figure-path identity** — the full `ExperimentOutcome` (the struct
+//!   every figure table renders from) must be identical field-for-field,
+//!   so the rendered figure bytes cannot depend on the shard count.
+//! * **Cache-key separation** — a sharded cell may never be served a
+//!   serial cell's memoized result (or vice versa): a core bug must show
+//!   up, not be masked by the cache.
+//!
+//! Workload sizes are unique to this file so its memo keys never collide
+//! with other test binaries; everything is small enough for a debug-mode
+//! tier-1 pass.
+
+use kernels::runner::{run_experiment_configured, ExperimentSpec, KernelSpec};
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
+};
+use ppc_bench::observed::run_kernel;
+use ppc_bench::sweep::RunSpec;
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+/// Shard counts under test: an even split, the maximum contiguous split
+/// of 8 nodes, and (at 8 procs) one node per shard.
+const SHARDS: [usize; 3] = [2, 4, 8];
+
+fn pdes_lock() -> KernelSpec {
+    KernelSpec::Lock(LockWorkload {
+        kind: LockKind::Mcs,
+        total_acquires: 160,
+        cs_cycles: 30,
+        post_release: PostRelease::None,
+    })
+}
+
+fn pdes_barrier() -> KernelSpec {
+    KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Centralized, episodes: 28 })
+}
+
+fn pdes_reduction() -> KernelSpec {
+    // Nonzero skew exercises the per-processor RandDelay streams under
+    // sharding, where a mis-merged queue would reorder their draws.
+    KernelSpec::Reduction(ReductionWorkload { kind: ReductionKind::Parallel, episodes: 6, skew: 16 })
+}
+
+fn kernels_under_test() -> [KernelSpec; 3] {
+    [pdes_lock(), pdes_barrier(), pdes_reduction()]
+}
+
+#[test]
+fn sharded_fingerprint_chains_equal_serial_for_every_kernel_and_protocol() {
+    for kernel in kernels_under_test() {
+        for protocol in PROTOCOLS {
+            let serial = run_kernel(&mut Machine::new(MachineConfig::paper_hostobs(8, protocol)), &kernel);
+            let chain = serial.fingerprint.as_ref().expect("serial hostobs run carries a fingerprint");
+            for shards in SHARDS {
+                let sharded = run_kernel(
+                    &mut Machine::new(MachineConfig::paper_hostobs(8, protocol).with_shards(shards)),
+                    &kernel,
+                );
+                let fp = sharded.fingerprint.as_ref().expect("sharded run carries a fingerprint");
+                assert_eq!(
+                    chain.first_divergence(fp),
+                    None,
+                    "{kernel:?} {protocol:?} {shards} shards: chain diverged from serial"
+                );
+                assert_eq!(serial.cycles, sharded.cycles, "{kernel:?} {protocol:?} {shards} shards");
+                assert_eq!(
+                    serial.instructions, sharded.instructions,
+                    "{kernel:?} {protocol:?} {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_outcomes_feed_figures_identically() {
+    // The figure tables render from `ExperimentOutcome`; Debug formatting
+    // enumerates every field (latencies, full traffic classification,
+    // network counters, stall histograms), so string equality here means
+    // the rendered figure bytes cannot differ either.
+    for (procs, kernel, protocol) in [
+        (1usize, pdes_lock(), Protocol::WriteInvalidate),
+        (2, pdes_lock(), Protocol::PureUpdate),
+        (4, pdes_barrier(), Protocol::CompetitiveUpdate),
+        (8, pdes_barrier(), Protocol::WriteInvalidate),
+        (8, pdes_reduction(), Protocol::PureUpdate),
+    ] {
+        let spec = ExperimentSpec { procs, protocol, kernel };
+        let serial = run_experiment_configured(&spec, MachineConfig::paper(procs, protocol));
+        for shards in SHARDS {
+            let cfg = MachineConfig::paper(procs, protocol).with_shards(shards);
+            let sharded = run_experiment_configured(&spec, cfg);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{sharded:?}"),
+                "{procs} procs {protocol:?} {shards} shards: outcome diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_shard_is_the_serial_core() {
+    // `shards: 1` must select the serial `EventQueue` code path, bit-exact
+    // with a default configuration — not a degenerate sharded core.
+    let kernel = pdes_lock();
+    for protocol in PROTOCOLS {
+        let spec = ExperimentSpec { procs: 4, protocol, kernel };
+        let default_cfg = run_experiment_configured(&spec, MachineConfig::paper(4, protocol));
+        let one_shard = run_experiment_configured(&spec, MachineConfig::paper(4, protocol).with_shards(1));
+        assert_eq!(format!("{default_cfg:?}"), format!("{one_shard:?}"), "{protocol:?}");
+        // And no PDES observability section appears.
+        let r = run_kernel(&mut Machine::new(MachineConfig::paper_hostobs(4, protocol)), &kernel);
+        assert!(r.host.expect("hostobs on").pdes.is_none(), "{protocol:?}");
+    }
+}
+
+#[test]
+fn shard_counts_never_share_a_cache_key() {
+    let kernel = pdes_lock();
+    let spec = ExperimentSpec { procs: 8, protocol: Protocol::WriteInvalidate, kernel };
+    let keys: Vec<String> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            RunSpec::with_config(spec, MachineConfig::paper(8, Protocol::WriteInvalidate).with_shards(shards))
+                .cache_key()
+        })
+        .collect();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(keys[i], keys[j], "shard counts {i} and {j} alias in the sweep cache");
+        }
+    }
+}
+
+#[test]
+fn sharded_pdes_report_is_consistent_with_the_chain() {
+    // Cross-check the observability numbers against queue ground truth:
+    // every committed event is some shard's pop, and the handoff/direct
+    // split covers all cross-shard scheduling.
+    let r = run_kernel(
+        &mut Machine::new(MachineConfig::paper_hostobs(8, Protocol::PureUpdate).with_shards(4)),
+        &pdes_barrier(),
+    );
+    let fp = r.fingerprint.as_ref().expect("fingerprint on");
+    let pdes = r.host.expect("hostobs on").pdes.expect("sharded run surfaces a PDES section");
+    let pops: u64 = pdes.per_shard.iter().map(|s| s.pops).sum();
+    // Every fingerprinted event is some shard's pop; the post-halt drain
+    // may pop (without dispatching) a few stale CPU resumptions on top.
+    assert!(pops >= fp.total_events, "pops {pops} < fingerprinted events {}", fp.total_events);
+    assert!(pdes.epochs > 0 && pdes.handoff_events > 0);
+    assert!(pdes.lookahead >= 1);
+    assert!(pdes.folded_chain_hex().is_some(), "all sub-chains present");
+}

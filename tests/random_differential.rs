@@ -136,6 +136,52 @@ fn run_case(per_cpu_ops: &[Vec<Op>], protocol: Protocol) {
     }
 }
 
+/// Runs one random case on the serial core and on the sharded PDES core
+/// at every shard count, asserting the full result — cycles, classified
+/// traffic, network counters, instruction count, and the final
+/// shared-memory words — is identical. The shard counts sweep the edge
+/// cases: an even split, one where shard blocks hold a single node, and
+/// one *above* the processor count (which must clamp, not break).
+fn run_case_shard_invariant(per_cpu_ops: &[Vec<Op>], protocol: Protocol) {
+    let cpus = per_cpu_ops.len();
+    let mut outcomes = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut m = Machine::new(MachineConfig::paper(cpus, protocol).with_shards(shards));
+        let counter_addrs: Vec<u32> = (0..COUNTERS).map(|i| m.alloc().alloc_block_on(i % cpus, 1)).collect();
+        let slot_addrs: Vec<Vec<u32>> =
+            (0..cpus).map(|c| (0..SLOTS).map(|_| m.alloc().alloc_block_on(c, 1)).collect()).collect();
+        for (cpu, ops) in per_cpu_ops.iter().enumerate() {
+            m.set_program(cpu, build_program(ops, &counter_addrs, &slot_addrs[cpu]));
+        }
+        let r = m.run();
+        m.assert_coherent();
+        let words: Vec<u32> =
+            counter_addrs.iter().chain(slot_addrs.iter().flatten()).map(|&a| m.read_word(a)).collect();
+        outcomes.push((
+            shards,
+            format!("{:?} {:?} {:?} {} {words:?}", r.cycles, r.traffic, r.net, r.instructions),
+        ));
+    }
+    let (_, reference) = &outcomes[0];
+    for (shards, got) in &outcomes[1..] {
+        assert_eq!(got, reference, "{protocol:?}: {shards} shards diverged from serial");
+    }
+}
+
+#[test]
+fn pdes_core_is_shard_count_invariant() {
+    // 2–3 CPUs under every shard count up to 8: every multi-shard run has
+    // single-node shards, and shards=8 exceeds the node count.
+    let mut rng = SplitMix64::new(0xd1ff_5a4d);
+    for i in 0..9 {
+        let case = random_case(&mut rng);
+        run_case_shard_invariant(&case, PROTOCOLS[i % 3]);
+    }
+}
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
 #[test]
 fn machine_matches_oracle_under_wi() {
     let mut rng = SplitMix64::new(0xd1ff_0001);
