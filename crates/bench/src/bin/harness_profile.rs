@@ -24,13 +24,15 @@
 //!
 //! Usage: `harness_profile [kernel] [procs] [out_dir] [--json]`
 //! (defaults: `mcs-lock 8 harness-out`). Workloads honor `PPC_SCALE`;
-//! the sweep honors `PPC_WORKERS`. The machine-readable document is
-//! always written to `<out>/BENCH_harness.json`; `--json` also prints it
-//! to stdout. The committed `BENCH_harness.json` records a measured run.
+//! the sweep honors `PPC_WORKERS`. The machine-readable document — a
+//! `BenchRecord` envelope on the unified registry schema — is always
+//! written to `<out>/BENCH_harness.json`; `--json` also prints it to
+//! stdout. The committed `BENCH_harness.json` records a measured run.
 
 use std::process::ExitCode;
 
 use ppc_bench::observed::{kernel_by_name, protocol_name, run_kernel, summary_line, DiagArgs, KERNEL_NAMES};
+use ppc_bench::registry::{self, BenchRecord, BENCH_SCHEMA};
 use ppc_bench::sweep::{self, RunSpec, SweepOptions};
 use ppc_bench::{env_cfg, PROTOCOLS};
 use sim_machine::{Machine, MachineConfig};
@@ -305,7 +307,7 @@ fn main() -> ExitCode {
     println!("sweep trace: {trace_path} ({} events)", trace.len());
 
     // ---- 5. Machine-readable document ---------------------------------
-    let doc = Json::obj([
+    let payload = Json::obj([
         ("kernel", Json::from(kernel_name)),
         ("procs", Json::from(procs)),
         ("runs", Json::Arr(runs)),
@@ -328,14 +330,36 @@ fn main() -> ExitCode {
             ]),
         ),
     ]);
+    let mut metrics = Vec::new();
+    for (protocol, cycles, instructions, _) in &chains {
+        let tag = protocol_name(*protocol).to_ascii_lowercase();
+        metrics.push((format!("cycles_{tag}"), Json::U64(*cycles)));
+        metrics.push((format!("instructions_{tag}"), Json::U64(*instructions)));
+    }
+    let record = BenchRecord {
+        schema: BENCH_SCHEMA.to_string(),
+        bench: "harness".to_string(),
+        title: format!("harness self-profile: {kernel_name} at {procs} procs across WI/PU/CU"),
+        command: format!("harness_profile {kernel_name} {procs}"),
+        git_rev: registry::git_rev(),
+        host: registry::host_json(),
+        spec_digest: registry::spec_digest(&[
+            "harness",
+            kernel_name,
+            &procs.to_string(),
+            &format!("{:.6}", ppc_bench::scale()),
+        ]),
+        metrics: Json::Obj(metrics),
+        payload,
+    };
     let bench_path = format!("{out_dir}/BENCH_harness.json");
-    if let Err(e) = std::fs::write(&bench_path, doc.render_pretty() + "\n") {
+    if let Err(e) = std::fs::write(&bench_path, record.render_file()) {
         eprintln!("cannot write {bench_path}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {bench_path}");
     if args.json {
-        println!("{}", doc.render_pretty());
+        println!("{}", record.render_file());
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,204 @@
+//! Differential observability: compare two runs, gate CI on a baseline,
+//! or sweep a kernel across the protocol axis.
+//!
+//! Modes (the first positional argument is always a kernel name):
+//!
+//! * **A-vs-B** — `obs_diff <kernel> <protoA> <protoB> [procs]` runs the
+//!   kernel under both protocols with every instrument on and prints the
+//!   section-by-section [`ReportDelta`]: stall-class and phase cycles,
+//!   crit-path composition, per-lock handoff splits, sharing patterns,
+//!   journey stages, host dispatch, fingerprint divergence, and the
+//!   ranked attribution. Exact closure of every section delta is
+//!   asserted in-process before anything prints.
+//! * **Comparative sweep** — `obs_diff <kernel> --sweep [procs]` runs
+//!   the whole WI/PU/CU axis: pairwise deltas against the WI baseline
+//!   plus a cycles-by-machine-size table from the memoized sweep
+//!   harness.
+//! * **Gate** — `obs_diff <kernel> --gate <baseline.json> [procs]`
+//!   re-measures and compares against a committed [`BenchRecord`]:
+//!   cycle/instruction metrics must match exactly, wall time must stay
+//!   within `--band` (default 3.0 = 4x the baseline). Non-zero exit on
+//!   any failed check — this is the CI performance gate.
+//! * **Baseline** — `obs_diff <kernel> --write-baseline <path> [procs]`
+//!   writes the record the gate compares against.
+//!
+//! `--json` prints the machine-readable document (canonical key order);
+//! `--record <registry.jsonl>` appends the run's record to a JSONL
+//! history registry. Workloads honor `PPC_SCALE`.
+
+use std::process::ExitCode;
+
+use ppc_bench::diff::{comparative, gate_record, parse_protocol, protocol_delta};
+use ppc_bench::observed::{kernel_by_name, protocol_name, summary_line, KERNEL_NAMES};
+use ppc_bench::registry::{append_record, gate_check, gate_passes, BenchRecord};
+use sim_stats::Json;
+
+const USAGE: &str = "usage: obs_diff <kernel> <protoA> <protoB> [procs] [--json] [--record <jsonl>]\n\
+       obs_diff <kernel> --sweep [procs] [--json]\n\
+       obs_diff <kernel> --gate <baseline.json> [procs] [--band <frac>] [--json]\n\
+       obs_diff <kernel> --write-baseline <path> [procs] [--record <jsonl>]";
+
+/// Parsed command line; value-taking flags need more than `DiagArgs`.
+struct Args {
+    json: bool,
+    sweep: bool,
+    gate: Option<String>,
+    write_baseline: Option<String>,
+    record: Option<String>,
+    band: f64,
+    positional: Vec<String>,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        sweep: false,
+        gate: None,
+        write_baseline: None,
+        record: None,
+        band: 3.0,
+        positional: Vec::new(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--sweep" => args.sweep = true,
+            "--gate" => args.gate = Some(value("--gate")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--record" => args.record = Some(value("--record")?),
+            "--band" => {
+                let v = value("--band")?;
+                args.band = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|b| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| format!("invalid --band {v:?}; expected a fraction >= 0"))?;
+            }
+            s if s.starts_with("--") => return Err(format!("unknown flag {s:?}")),
+            _ => args.positional.push(a),
+        }
+    }
+    Ok(args)
+}
+
+fn maybe_record(path: Option<&str>, record: &BenchRecord) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    append_record(std::path::Path::new(path), record).map_err(|e| format!("cannot append to {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let kernel_name = args.positional.first().ok_or("missing kernel name")?.clone();
+    let kernel = kernel_by_name(&kernel_name)
+        .ok_or_else(|| format!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", ")))?;
+    let count_at = |i: usize, default: usize| -> Result<usize, String> {
+        match args.positional.get(i) {
+            None => Ok(default),
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("invalid count {s:?}; expected an integer >= 1")),
+        }
+    };
+
+    if let Some(path) = &args.write_baseline {
+        let procs = count_at(1, 8)?;
+        let record = gate_record(&kernel_name, procs, &kernel);
+        std::fs::write(path, record.render_file()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        maybe_record(args.record.as_deref(), &record)?;
+        println!("wrote gate baseline for {kernel_name} at {procs} procs to {path}");
+        return Ok(());
+    }
+
+    if let Some(path) = &args.gate {
+        let procs = count_at(1, 8)?;
+        let baseline = BenchRecord::from_file(std::path::Path::new(path))?;
+        let current = gate_record(&kernel_name, procs, &kernel);
+        let checks = gate_check(&baseline, &current, args.band);
+        maybe_record(args.record.as_deref(), &current)?;
+        if args.json {
+            let doc = Json::obj([
+                ("baseline", baseline.to_json()),
+                ("current", current.to_json()),
+                ("band", Json::F64(args.band)),
+                ("pass", Json::Bool(gate_passes(&checks))),
+            ]);
+            println!("{}", doc.canonical().render_pretty());
+        } else {
+            println!("gate: {kernel_name} at {procs} procs vs {path} (band {:.0}%)", args.band * 100.0);
+            for c in &checks {
+                println!("{}", c.render(args.band));
+            }
+        }
+        if baseline.spec_digest != current.spec_digest {
+            return Err(format!(
+                "baseline spec digest {} does not match current {} (kernel/procs/scale differ)",
+                baseline.spec_digest, current.spec_digest
+            ));
+        }
+        if !gate_passes(&checks) {
+            return Err("performance gate failed".to_string());
+        }
+        println!("GATE PASS: all {} checks", checks.len());
+        return Ok(());
+    }
+
+    if args.sweep {
+        let procs = count_at(1, 8)?;
+        let (text, doc) = comparative(&kernel_name, procs, &kernel);
+        if args.json {
+            println!("{}", doc.canonical().render_pretty());
+        } else {
+            print!("{text}");
+        }
+        return Ok(());
+    }
+
+    let proto_a = args
+        .positional
+        .get(1)
+        .and_then(|s| parse_protocol(s))
+        .ok_or_else(|| format!("expected protocols (wi/pu/cu) after the kernel\n{USAGE}"))?;
+    let proto_b = args
+        .positional
+        .get(2)
+        .and_then(|s| parse_protocol(s))
+        .ok_or_else(|| format!("expected protocols (wi/pu/cu) after the kernel\n{USAGE}"))?;
+    let procs = count_at(3, 8)?;
+    let (a, b, delta) = protocol_delta(procs, proto_a, proto_b, &kernel);
+    if let Some(path) = &args.record {
+        let mut record = gate_record(&kernel_name, procs, &kernel);
+        record.bench = "diff".to_string();
+        record.title = format!("{kernel_name} {} vs {}", protocol_name(proto_a), protocol_name(proto_b));
+        record.payload = delta.to_json();
+        maybe_record(Some(path), &record)?;
+    }
+    if args.json {
+        let doc = Json::obj([
+            ("kernel", Json::from(kernel_name.as_str())),
+            ("procs", Json::from(procs)),
+            ("delta", delta.to_json()),
+        ]);
+        println!("{}", doc.canonical().render_pretty());
+    } else {
+        println!("differential profile: {kernel_name}, {procs} procs");
+        println!("{}", summary_line(protocol_name(proto_a), a.cycles, std::iter::empty::<&str>()));
+        println!("{}", summary_line(protocol_name(proto_b), b.cycles, std::iter::empty::<&str>()));
+        println!();
+        print!("{}", delta.render_text());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

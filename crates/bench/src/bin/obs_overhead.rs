@@ -122,7 +122,7 @@ fn main() -> ExitCode {
         ("max_ratio", max_ratio.map(Json::from).unwrap_or(Json::Null)),
         ("runs", Json::Arr(rows)),
     ]);
-    println!("{}", doc.render_pretty());
+    println!("{}", doc.canonical().render_pretty());
     if let Some(max) = max_ratio {
         if ratio > max {
             eprintln!("obs-on overhead {ratio:.2}x exceeds the {max:.2}x threshold");

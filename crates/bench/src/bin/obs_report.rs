@@ -88,11 +88,14 @@ fn main() -> ExitCode {
         ]));
     }
 
+    // Canonical key order: repeated runs of the same spec emit
+    // byte-identical report documents.
     let report = Json::obj([
         ("kernel", Json::from(kernel_name)),
         ("procs", Json::from(procs)),
         ("runs", Json::Arr(runs)),
-    ]);
+    ])
+    .canonical();
     let report_path = format!("{out_dir}/report.json");
     let trace_path = format!("{out_dir}/trace.json");
     if let Err(e) = std::fs::write(&report_path, report.render_pretty()) {

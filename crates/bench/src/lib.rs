@@ -25,8 +25,10 @@
 //! pass; the default is the paper's full workload (32000 lock acquisitions,
 //! 5000 barrier/reduction episodes).
 
+pub mod diff;
 pub mod env_cfg;
 pub mod observed;
+pub mod registry;
 pub mod sweep;
 
 use kernels::runner::{ExperimentOutcome, KernelSpec};

@@ -61,7 +61,9 @@ impl DiagArgs {
 /// Runs `kernel` under every protocol and assembles the full
 /// machine-readable document the diagnostic binaries share for `--json`:
 /// per-protocol cycles, instructions, classified traffic, and the complete
-/// observability report (stall accounts, lineage, critical path).
+/// observability report (stall accounts, lineage, critical path). The
+/// document is canonical (recursively sorted keys), so two runs of the
+/// same spec emit byte-identical output.
 pub fn observed_json(kernel_name: &str, procs: usize, kernel: &KernelSpec) -> Json {
     let runs = PROTOCOLS
         .into_iter()
@@ -78,6 +80,7 @@ pub fn observed_json(kernel_name: &str, procs: usize, kernel: &KernelSpec) -> Js
         })
         .collect();
     Json::obj([("kernel", Json::from(kernel_name)), ("procs", Json::from(procs)), ("runs", Json::Arr(runs))])
+        .canonical()
 }
 
 /// The kernels the diagnostic binaries accept by name, at the current

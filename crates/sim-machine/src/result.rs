@@ -71,6 +71,22 @@ impl RunResult {
     pub fn avg_latency(&self, episodes: u64, work: Cycle) -> f64 {
         self.cycles as f64 / episodes as f64 - work as f64
     }
+
+    /// This run as one side of a differential comparison
+    /// ([`sim_stats::ReportDelta::between`]). `None` when the run was not
+    /// observed (`MachineConfig::obs` off) — there is nothing to diff
+    /// without a report. The host profile and fingerprint chain ride
+    /// along when the run carried them.
+    pub fn delta_side<'a>(&'a self, label: &'a str) -> Option<sim_stats::RunSide<'a>> {
+        self.obs.as_ref().map(|obs| sim_stats::RunSide {
+            label,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            obs,
+            host: self.host.as_deref(),
+            fingerprint: self.fingerprint.as_ref(),
+        })
+    }
 }
 
 #[cfg(test)]

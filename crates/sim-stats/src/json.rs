@@ -115,6 +115,24 @@ impl Json {
         }
     }
 
+    /// Recursively sorts every object's keys, returning the canonical
+    /// form. Two semantically equal values render byte-identically after
+    /// canonicalization regardless of insertion order; the profiler
+    /// binaries canonicalize their `--json` output so repeated runs are
+    /// byte-comparable.
+    pub fn canonical(self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.into_iter().map(Json::canonical).collect()),
+            Json::Obj(pairs) => {
+                let mut pairs: Vec<(String, Json)> =
+                    pairs.into_iter().map(|(k, v)| (k, v.canonical())).collect();
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(pairs)
+            }
+            other => other,
+        }
+    }
+
     /// Renders compactly (no whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -477,6 +495,21 @@ mod tests {
     fn integral_floats_render_with_decimal_point() {
         assert_eq!(Json::F64(2.0).render(), "2.0");
         assert_eq!(Json::U64(2).render(), "2");
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively() {
+        let scrambled = Json::obj([
+            ("z", Json::obj([("b", Json::U64(2)), ("a", Json::U64(1))])),
+            ("a", Json::Arr(vec![Json::obj([("y", Json::Null), ("x", Json::Bool(true))])])),
+        ]);
+        let reordered = Json::obj([
+            ("a", Json::Arr(vec![Json::obj([("x", Json::Bool(true)), ("y", Json::Null)])])),
+            ("z", Json::obj([("a", Json::U64(1)), ("b", Json::U64(2))])),
+        ]);
+        assert_eq!(scrambled.clone().canonical().render(), reordered.clone().canonical().render());
+        assert_eq!(scrambled.canonical().render(), r#"{"a":[{"x":true,"y":null}],"z":{"a":1,"b":2}}"#);
+        assert_eq!(Json::U64(3).canonical(), Json::U64(3));
     }
 
     #[test]

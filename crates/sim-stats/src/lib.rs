@@ -35,6 +35,7 @@
 pub mod chrome;
 pub mod classify;
 pub mod crit;
+pub mod diffobs;
 pub mod hist;
 pub mod hostobs;
 pub mod json;
@@ -49,6 +50,10 @@ pub use classify::{Classifier, HomeUpdates, LossCause};
 pub use crit::{
     check_reconciliation, BarrierReport, ChainReport, ChainSegment, CritCollector, CritReport, Episode,
     Handoff, LockReport, WaitKind,
+};
+pub use diffobs::{
+    Attribution, Counter, CritDelta, FingerprintCompare, HostDelta, LineageDelta, LockDelta, NetDelta,
+    ReportDelta, RunSide, StageDelta,
 };
 pub use hist::LatencyHist;
 pub use hostobs::{
@@ -65,8 +70,8 @@ pub use netobs::{
     NetObsReport, PhysLinkFlits, JOURNEY_RECORD_CAP, LINK_SAMPLE_CAP, UNATTRIBUTED,
 };
 pub use obs::{
-    CpuClass, CycleAccount, EndpointPairFlits, LinkFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig,
-    ObsReport, StateSlice, CPU_CLASSES,
+    CpuClass, CycleAccount, EndpointPairFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig, ObsReport,
+    StateSlice, CPU_CLASSES,
 };
 pub use report::{MissClass, MissStats, StructureTraffic, TrafficReport, UpdateClass, UpdateStats};
 pub use sampler::{NodeSample, Sample, TimeSeries};

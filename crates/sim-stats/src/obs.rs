@@ -368,9 +368,6 @@ pub struct EndpointPairFlits {
     pub flits: u64,
 }
 
-/// Compatibility alias for the pre-rename name of [`EndpointPairFlits`].
-pub type LinkFlits = EndpointPairFlits;
-
 /// Everything observability measured for one node.
 #[derive(Debug, Clone)]
 pub struct NodeObs {
@@ -607,7 +604,7 @@ mod tests {
         let mut r = c.finish(
             7,
             vec![NodeGauges::default(), NodeGauges { wb_high_water: 3, ..Default::default() }],
-            vec![LinkFlits { src: 0, dst: 1, flits: 12 }],
+            vec![EndpointPairFlits { src: 0, dst: 1, flits: 12 }],
         );
         r.set_phase_names([(0u16, "setup".to_string())]);
         let rendered = r.to_json().render_pretty();
