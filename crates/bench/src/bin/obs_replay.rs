@@ -1,0 +1,237 @@
+//! Time-travel replay: explain a divergence, or zoom into a window.
+//!
+//! Modes (the first positional argument is always a kernel name):
+//!
+//! * **Divergence** — `obs_replay <kernel> <protoA> <protoB> [procs]`
+//!   runs both sides cheaply (fingerprint chains + periodic checkpoints,
+//!   deep obs off), localizes the first divergent epoch from the chains,
+//!   restores the last common checkpoint, and lock-step replays the
+//!   window with the event recorder on. Prints the exact first divergent
+//!   event with decoded payload, the shared event context before it, each
+//!   side's continuation, and each side's window obs summary.
+//! * **Window zoom** — `obs_replay <kernel> <proto> [procs] --window
+//!   <c1>:<c2>` replays the cycle window of an obs-off run with full
+//!   observability on, from the nearest checkpoint, and proves the
+//!   restored run still reaches the original cycle count.
+//!
+//! `--json` prints the machine-readable document. Workloads honor
+//! `PPC_SCALE`; `PPC_FP_EPOCH` sets the epoch grid and
+//! `PPC_CHECKPOINT_EVERY` the checkpoint cadence.
+
+use std::process::ExitCode;
+
+use ppc_bench::diff::parse_protocol;
+use ppc_bench::observed::{kernel_by_name, summary_line, KERNEL_NAMES};
+use ppc_bench::replay::{divergence_replay, window_replay, DivergenceReplay, WindowReplay};
+use sim_machine::RecordedEvent;
+use sim_stats::Json;
+
+const USAGE: &str = "usage: obs_replay <kernel> <protoA> <protoB> [procs] [--json]\n\
+       obs_replay <kernel> <proto> [procs] --window <c1>:<c2> [--json]";
+
+struct Args {
+    json: bool,
+    window: Option<(u64, u64)>,
+    positional: Vec<String>,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args { json: false, window: None, positional: Vec::new() };
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value like 1000:2000")?;
+                let (lo, hi) =
+                    v.split_once(':').ok_or_else(|| format!("invalid --window {v:?}; expected <c1>:<c2>"))?;
+                let parse = |s: &str| s.parse::<u64>().map_err(|_| format!("invalid --window cycle {s:?}"));
+                args.window = Some((parse(lo)?, parse(hi)?));
+            }
+            s if s.starts_with("--") => return Err(format!("unknown flag {s:?}\n{USAGE}")),
+            _ => args.positional.push(a),
+        }
+    }
+    Ok(args)
+}
+
+fn event_line(e: &RecordedEvent) -> String {
+    format!("event {:>8} @ cycle {:>10}: {}", e.index, e.cycle, e.label)
+}
+
+fn event_json(e: &RecordedEvent) -> Json {
+    Json::obj([
+        ("index", Json::U64(e.index)),
+        ("cycle", Json::U64(e.cycle)),
+        ("label", Json::from(e.label.as_str())),
+    ])
+}
+
+fn print_divergence(kernel: &str, procs: usize, d: &DivergenceReplay, json: bool) {
+    if json {
+        let doc = Json::obj([
+            ("kernel", Json::from(kernel)),
+            ("procs", Json::from(procs)),
+            ("side_a", Json::from(d.label_a.as_str())),
+            ("side_b", Json::from(d.label_b.as_str())),
+            ("cycles_a", Json::U64(d.cycles.0)),
+            ("cycles_b", Json::U64(d.cycles.1)),
+            ("fingerprint", Json::from(d.sentence.as_str())),
+            ("replayed_from", Json::U64(d.replayed_from)),
+            (
+                "first_divergent_event",
+                match &d.first {
+                    None => Json::Null,
+                    Some(f) => Json::obj([
+                        ("index", Json::U64(f.index)),
+                        ("a", f.a.as_ref().map(event_json).unwrap_or(Json::Null)),
+                        ("b", f.b.as_ref().map(event_json).unwrap_or(Json::Null)),
+                    ]),
+                },
+            ),
+            ("context", Json::Arr(d.prefix.iter().map(event_json).collect())),
+            ("after_a", Json::Arr(d.after_a.iter().map(event_json).collect())),
+            ("after_b", Json::Arr(d.after_b.iter().map(event_json).collect())),
+            ("window_obs_a", Json::from(d.obs_a.as_str())),
+            ("window_obs_b", Json::from(d.obs_b.as_str())),
+        ]);
+        println!("{}", doc.canonical().render_pretty());
+        return;
+    }
+    println!("divergence replay: {kernel}, {procs} procs, {} vs {}", d.label_a, d.label_b);
+    println!("{}", summary_line(&d.label_a, d.cycles.0, std::iter::empty::<&str>()));
+    println!("{}", summary_line(&d.label_b, d.cycles.1, std::iter::empty::<&str>()));
+    println!("fingerprint: {}", d.sentence);
+    let Some(first) = &d.first else {
+        if d.detail.is_some() {
+            println!("lock-step replay found no visible difference inside the divergent epoch");
+        }
+        return;
+    };
+    println!("replayed both sides from checkpoint at event {}", d.replayed_from);
+    if !d.prefix.is_empty() {
+        println!("shared context (identical on both sides):");
+        for e in &d.prefix {
+            println!("  {}", event_line(e));
+        }
+    }
+    println!("first divergent event: index {}", first.index);
+    match &first.a {
+        Some(e) => println!("  {}: {}", d.label_a, event_line(e)),
+        None => println!("  {}: (stream ended — no more events)", d.label_a),
+    }
+    match &first.b {
+        Some(e) => println!("  {}: {}", d.label_b, event_line(e)),
+        None => println!("  {}: (stream ended — no more events)", d.label_b),
+    }
+    if d.after_a.len() > 1 || d.after_b.len() > 1 {
+        println!("{} continues:", d.label_a);
+        for e in &d.after_a {
+            println!("  {}", event_line(e));
+        }
+        println!("{} continues:", d.label_b);
+        for e in &d.after_b {
+            println!("  {}", event_line(e));
+        }
+    }
+    println!("window obs {}: {}", d.label_a, d.obs_a);
+    println!("window obs {}: {}", d.label_b, d.obs_b);
+}
+
+fn print_window(kernel: &str, procs: usize, proto: &str, w: &WindowReplay, json: bool) {
+    let obs = w.window_result.obs.as_ref();
+    if json {
+        let doc = Json::obj([
+            ("kernel", Json::from(kernel)),
+            ("procs", Json::from(procs)),
+            ("protocol", Json::from(proto)),
+            ("original_cycles", Json::U64(w.original_cycles)),
+            ("revalidated_cycles", Json::U64(w.revalidated_cycles)),
+            ("replayed_from_cycle", Json::U64(w.replayed_from_cycle)),
+            ("replayed_from_events", Json::U64(w.replayed_from_events)),
+            ("window_lo", Json::U64(w.window.0)),
+            ("window_hi", Json::U64(w.window.1)),
+            ("window_cycles", Json::U64(w.window_result.cycles)),
+            ("obs", obs.map(|o| o.to_json()).unwrap_or(Json::Null)),
+        ]);
+        println!("{}", doc.canonical().render_pretty());
+        return;
+    }
+    println!("window replay: {kernel} under {proto}, {procs} procs");
+    println!(
+        "{}",
+        summary_line(
+            "original",
+            w.original_cycles,
+            [format!("restored at cycle {} (event {})", w.replayed_from_cycle, w.replayed_from_events)]
+        )
+    );
+    let check = if w.revalidated_cycles == w.original_cycles {
+        "matches the original run".to_string()
+    } else {
+        format!("MISMATCH vs original {}", w.original_cycles)
+    };
+    println!("{}", summary_line("replayed-to-end", w.revalidated_cycles, [check]));
+    println!("window [{}, {}] observed:", w.window.0, w.window.1);
+    match obs {
+        Some(o) => print!("{}", o.summary()),
+        None => println!("(no obs report)"),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let kernel_name = args.positional.first().ok_or_else(|| format!("missing kernel name\n{USAGE}"))?.clone();
+    let kernel = kernel_by_name(&kernel_name)
+        .ok_or_else(|| format!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", ")))?;
+    let count_at = |i: usize, default: usize| -> Result<usize, String> {
+        match args.positional.get(i) {
+            None => Ok(default),
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("invalid count {s:?}; expected an integer >= 1")),
+        }
+    };
+
+    if let Some((c1, c2)) = args.window {
+        let proto = args
+            .positional
+            .get(1)
+            .and_then(|s| parse_protocol(s))
+            .ok_or_else(|| format!("expected a protocol (wi/pu/cu) after the kernel\n{USAGE}"))?;
+        let procs = count_at(2, 8)?;
+        let w = window_replay(procs, proto, &kernel, c1, c2)?;
+        print_window(&kernel_name, procs, ppc_bench::observed::protocol_name(proto), &w, args.json);
+        if w.revalidated_cycles != w.original_cycles {
+            return Err("restored run did not reproduce the original cycle count".to_string());
+        }
+        return Ok(());
+    }
+
+    let proto_a = args
+        .positional
+        .get(1)
+        .and_then(|s| parse_protocol(s))
+        .ok_or_else(|| format!("expected protocols (wi/pu/cu) after the kernel\n{USAGE}"))?;
+    let proto_b = args
+        .positional
+        .get(2)
+        .and_then(|s| parse_protocol(s))
+        .ok_or_else(|| format!("expected protocols (wi/pu/cu) after the kernel\n{USAGE}"))?;
+    let procs = count_at(3, 8)?;
+    let d = divergence_replay(procs, proto_a, proto_b, &kernel)?;
+    print_divergence(&kernel_name, procs, &d, args.json);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -41,13 +41,15 @@ pub fn parse_protocol(s: &str) -> Option<Protocol> {
 /// Runs `kernel` with every instrument on — cycle accounting, lineage,
 /// crit path, netobs (via `ObsConfig::enabled`), host self-profile, and
 /// the determinism fingerprint chain — so the resulting [`ReportDelta`]
-/// has every section to compare.
+/// has every section to compare. `PPC_FP_EPOCH=n` overrides the
+/// fingerprint-epoch length, which sets how tightly a divergence is
+/// localized before replay zooms to the exact event.
 pub fn run_diff(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> RunResult {
-    let cfg = MachineConfig {
-        obs: ObsConfig::enabled(),
-        hostobs: HostObsConfig::enabled(),
-        ..MachineConfig::paper(procs, protocol)
-    };
+    let mut hostobs = HostObsConfig::enabled();
+    if let Some(epoch) = crate::env_cfg::env_fp_epoch() {
+        hostobs.fingerprint_epoch = epoch;
+    }
+    let cfg = MachineConfig { obs: ObsConfig::enabled(), hostobs, ..MachineConfig::paper(procs, protocol) };
     let mut m = Machine::new(cfg);
     let mut r = run_kernel(&mut m, kernel);
     if let Some(obs) = r.obs.as_mut() {

@@ -102,6 +102,34 @@ pub fn env_shards() -> usize {
     }
 }
 
+/// Reads `PPC_FP_EPOCH` — events per determinism-fingerprint epoch
+/// (default [`sim_stats::HostObsConfig::default`]'s 8192). Checkpoint
+/// cadence and divergence localization both quantize to this. `0` and
+/// garbage are configuration errors.
+pub fn env_fp_epoch() -> Option<u64> {
+    match parse_count("PPC_FP_EPOCH", std::env::var("PPC_FP_EPOCH").ok().as_deref()) {
+        Ok(v) => v.map(|n| n as u64),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reads `PPC_CHECKPOINT_EVERY` — deterministic-checkpoint cadence in
+/// dispatched events (rounded up to the fingerprint-epoch grid by the
+/// machine). Unset means no checkpoints; `0` and garbage are
+/// configuration errors.
+pub fn env_checkpoint_every() -> Option<u64> {
+    match parse_count("PPC_CHECKPOINT_EVERY", std::env::var("PPC_CHECKPOINT_EVERY").ok().as_deref()) {
+        Ok(v) => v.map(|n| n as u64),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// [`parse`] for a boolean switch: `1`/`on`/`true`/`yes` and
 /// `0`/`off`/`false`/`no` (case-insensitive); anything else is garbage.
 pub fn parse_flag(name: &str, raw: Option<&str>) -> Result<Option<bool>, String> {
@@ -182,6 +210,25 @@ mod tests {
         assert!(err.contains("positive count"), "{err}");
         let err = parse_count("PPC_SHARDS", Some("two")).unwrap_err();
         assert!(err.contains("PPC_SHARDS"), "{err}");
+    }
+
+    #[test]
+    fn fp_epoch_and_checkpoint_knobs_reject_zero_and_garbage() {
+        // Both time-travel knobs route through `parse_count`; the pure
+        // layer is what's testable without racing on process-global env.
+        assert_eq!(parse_count("PPC_FP_EPOCH", None), Ok(None), "unset keeps the 8192 default");
+        assert_eq!(parse_count("PPC_FP_EPOCH", Some("512")), Ok(Some(512)));
+        let err = parse_count("PPC_FP_EPOCH", Some("0")).unwrap_err();
+        assert!(err.contains("PPC_FP_EPOCH"), "{err}");
+        assert!(err.contains("positive count"), "{err}");
+        assert!(parse_count("PPC_FP_EPOCH", Some("8k")).is_err());
+
+        assert_eq!(parse_count("PPC_CHECKPOINT_EVERY", None), Ok(None), "unset means no checkpoints");
+        assert_eq!(parse_count("PPC_CHECKPOINT_EVERY", Some("65536")), Ok(Some(65536)));
+        let err = parse_count("PPC_CHECKPOINT_EVERY", Some("0")).unwrap_err();
+        assert!(err.contains("PPC_CHECKPOINT_EVERY"), "{err}");
+        let err = parse_count("PPC_CHECKPOINT_EVERY", Some("often")).unwrap_err();
+        assert!(err.contains("often"), "{err}");
     }
 
     #[test]

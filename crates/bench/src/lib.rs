@@ -29,6 +29,7 @@ pub mod diff;
 pub mod env_cfg;
 pub mod observed;
 pub mod registry;
+pub mod replay;
 pub mod sweep;
 
 use kernels::runner::{ExperimentOutcome, KernelSpec};

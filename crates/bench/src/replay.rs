@@ -1,0 +1,355 @@
+//! Time-travel replay driver behind the `obs_replay` binary.
+//!
+//! Two entry points, both testable in-process:
+//!
+//! * [`divergence_replay`] — given a kernel and two protocols, runs both
+//!   sides cheaply (fingerprint chains + periodic checkpoints, full obs
+//!   *off*), localizes the first divergent epoch from the chains, restores
+//!   the last checkpoint common to both event streams, and lock-step
+//!   replays the divergent window with the event recorder on — naming the
+//!   exact first divergent event with its decoded payload, surrounding
+//!   event context, and each side's window-scoped obs summary.
+//! * [`window_replay`] — single-run zoom: re-executes a cycle window of an
+//!   obs-off run with every instrument enabled, from the nearest
+//!   checkpoint, and proves the restored run still reaches the original
+//!   cycle count.
+//!
+//! Both lean on the determinism contract: a restored machine re-executes
+//! the exact event stream of the original run (see
+//! `tests/replay_equivalence.rs`), so anything measured inside the window
+//! is a faithful measurement of the original run.
+
+use kernels::runner::KernelSpec;
+use sim_engine::Cycle;
+use sim_machine::{Checkpoint, Machine, MachineConfig, RecordedEvent, RunResult};
+use sim_proto::Protocol;
+use sim_stats::{DivergenceDetail, FingerprintCompare, HostObsConfig, ObsConfig, CPU_CLASSES};
+
+/// Events of shared context recorded before the divergent epoch.
+const CONTEXT_BEFORE: u64 = 8;
+/// Events shown from each side after the divergence point.
+const CONTEXT_AFTER: usize = 4;
+
+/// The fingerprint-epoch length in effect (`PPC_FP_EPOCH` or the 8192
+/// default) — also the checkpoint alignment grid.
+pub fn fp_epoch() -> u64 {
+    crate::env_cfg::env_fp_epoch().unwrap_or_else(|| HostObsConfig::default().fingerprint_epoch)
+}
+
+/// The checkpoint cadence replay runs use: `PPC_CHECKPOINT_EVERY`, or one
+/// checkpoint per fingerprint epoch by default (replay wants checkpoints
+/// dense enough that the divergent epoch is never far from one).
+pub fn checkpoint_cadence() -> u64 {
+    crate::env_cfg::env_checkpoint_every().unwrap_or_else(fp_epoch)
+}
+
+/// The cheap first-pass configuration: fingerprint chain and periodic
+/// checkpoints on, deep observability *off* (the run costs ~1x).
+fn recording_cfg(procs: usize, protocol: Protocol) -> MachineConfig {
+    let mut cfg = MachineConfig::paper(procs, protocol);
+    cfg.hostobs.fingerprint = true;
+    cfg.hostobs.fingerprint_epoch = fp_epoch();
+    cfg.checkpoint_every = Some(checkpoint_cadence());
+    cfg.shards = crate::env_cfg::env_shards();
+    cfg
+}
+
+/// The replay configuration: same machine identity as [`recording_cfg`]
+/// (so checkpoints restore into it), full obs on for window context, no
+/// further checkpointing.
+fn replay_cfg(procs: usize, protocol: Protocol) -> MachineConfig {
+    let mut cfg = recording_cfg(procs, protocol);
+    cfg.obs = ObsConfig::enabled();
+    cfg.checkpoint_every = None;
+    cfg
+}
+
+/// Installs `kernel` without running it (the replay path restores state
+/// and runs under its own control, so `run_kernel`'s run+verify shape
+/// does not fit).
+pub fn install_kernel(m: &mut Machine, kernel: &KernelSpec) {
+    use kernels::{barriers, locks, reductions};
+    match kernel {
+        KernelSpec::Lock(w) => {
+            locks::install(m, w);
+        }
+        KernelSpec::Barrier(w) => {
+            barriers::install(m, w);
+        }
+        KernelSpec::Reduction(w) => {
+            reductions::install(m, w);
+        }
+    }
+}
+
+/// One side's cheap recording pass: full run plus its checkpoints.
+fn record_side(procs: usize, protocol: Protocol, kernel: &KernelSpec) -> (RunResult, Vec<Checkpoint>) {
+    let mut m = Machine::new(recording_cfg(procs, protocol));
+    let r = crate::observed::run_kernel(&mut m, kernel);
+    let cks = m.take_checkpoints();
+    (r, cks)
+}
+
+/// Sums a window-scoped obs report into one `class=cycles ...` line.
+fn obs_class_line(r: &RunResult) -> String {
+    let Some(obs) = &r.obs else { return "(no obs)".to_string() };
+    let mut s = String::new();
+    for c in CPU_CLASSES {
+        let v: u64 = obs.per_node.iter().map(|n| n.cycles.get(c)).sum();
+        if v > 0 {
+            s.push_str(&format!("{}={v} ", c.name()));
+        }
+    }
+    let msgs: u64 = obs.msg_counts.values().sum();
+    s.push_str(&format!("msgs={msgs}"));
+    s
+}
+
+/// The first event at which the two replayed streams differ.
+#[derive(Debug, Clone)]
+pub struct FirstDivergentEvent {
+    /// Global dispatch index of the event.
+    pub index: u64,
+    /// Side A's event at that index (`None` when A's stream ended first).
+    pub a: Option<RecordedEvent>,
+    /// Side B's event at that index (`None` when B's stream ended first).
+    pub b: Option<RecordedEvent>,
+}
+
+/// Everything [`divergence_replay`] found.
+#[derive(Debug, Clone)]
+pub struct DivergenceReplay {
+    /// Side labels ("WI"/"PU"/"CU").
+    pub label_a: String,
+    /// Side B's label.
+    pub label_b: String,
+    /// Wall cycles of the two original (cheap) runs.
+    pub cycles: (Cycle, Cycle),
+    /// The chain-level comparison sentence ([`FingerprintCompare::describe`]).
+    pub sentence: String,
+    /// Event-level chain localization, when the divergence is epoch-shaped.
+    pub detail: Option<DivergenceDetail>,
+    /// Dispatch index of the checkpoint both replays restored from
+    /// (0 = replayed from the initial state).
+    pub replayed_from: u64,
+    /// The exact first divergent event, from lock-step replay.
+    pub first: Option<FirstDivergentEvent>,
+    /// Shared event context preceding the divergence (identical on both
+    /// sides, so recorded once).
+    pub prefix: Vec<RecordedEvent>,
+    /// Side A's events from the divergence point.
+    pub after_a: Vec<RecordedEvent>,
+    /// Side B's events from the divergence point.
+    pub after_b: Vec<RecordedEvent>,
+    /// Side A's window obs summary (stall classes + message count over the
+    /// replayed tail).
+    pub obs_a: String,
+    /// Side B's window obs summary.
+    pub obs_b: String,
+}
+
+/// Locates the first divergence between `proto_a` and `proto_b` running
+/// `kernel`, then replays both sides from the last common checkpoint with
+/// the event recorder on to pin the exact divergent event.
+pub fn divergence_replay(
+    procs: usize,
+    proto_a: Protocol,
+    proto_b: Protocol,
+    kernel: &KernelSpec,
+) -> Result<DivergenceReplay, String> {
+    let label_a = crate::observed::protocol_name(proto_a).to_string();
+    let label_b = crate::observed::protocol_name(proto_b).to_string();
+    let (ra, cks_a) = record_side(procs, proto_a, kernel);
+    let (rb, cks_b) = record_side(procs, proto_b, kernel);
+    let fa = ra.fingerprint.as_ref().ok_or("side A produced no fingerprint chain")?;
+    let fb = rb.fingerprint.as_ref().ok_or("side B produced no fingerprint chain")?;
+
+    let mut out = DivergenceReplay {
+        label_a,
+        label_b,
+        cycles: (ra.cycles, rb.cycles),
+        sentence: String::new(),
+        detail: None,
+        replayed_from: 0,
+        first: None,
+        prefix: Vec::new(),
+        after_a: Vec::new(),
+        after_b: Vec::new(),
+        obs_a: String::new(),
+        obs_b: String::new(),
+    };
+    let compare = match fa.first_divergence(fb) {
+        None => FingerprintCompare::Identical,
+        Some(at) => FingerprintCompare::Diverged { at, detail: fa.divergence_detail(fb) },
+    };
+    out.sentence = compare.describe();
+    let FingerprintCompare::Diverged { detail: Some(d), .. } = compare else {
+        // Identical chains, or a divergence with no event window
+        // (state-only / parameters): nothing to replay into.
+        return Ok(out);
+    };
+    out.detail = Some(d);
+
+    // The last checkpoint at or before the divergent epoch's first event,
+    // present in BOTH runs (the streams are identical up to `event_lo`,
+    // so equal dispatch counts mean equivalent machine states).
+    let common = |cks: &[Checkpoint]| -> Vec<u64> {
+        cks.iter().map(|c| c.events).filter(|&e| e <= d.event_lo).collect()
+    };
+    let (ea, eb) = (common(&cks_a), common(&cks_b));
+    let start = ea.iter().rev().find(|e| eb.contains(e)).copied().unwrap_or(0);
+    out.replayed_from = start;
+
+    let window_lo = d.event_lo.saturating_sub(CONTEXT_BEFORE).max(start);
+    let window_hi = d.event_hi.max(window_lo + 1);
+    let replay_side =
+        |protocol: Protocol, cks: &[Checkpoint]| -> Result<(RunResult, Vec<RecordedEvent>), String> {
+            let mut m = Machine::new(replay_cfg(procs, protocol));
+            install_kernel(&mut m, kernel);
+            if start > 0 {
+                let ck = cks.iter().find(|c| c.events == start).expect("common checkpoint exists");
+                m.restore(&ck.blob).map_err(|e| format!("checkpoint restore failed: {e:?}"))?;
+            }
+            m.record_events(window_lo, window_hi, (window_hi - window_lo) as usize);
+            let r = m.run();
+            let (events, _dropped) = m.take_recorded();
+            Ok((r, events))
+        };
+    let (wa, ev_a) = replay_side(proto_a, &cks_a)?;
+    let (wb, ev_b) = replay_side(proto_b, &cks_b)?;
+    out.obs_a = obs_class_line(&wa);
+    out.obs_b = obs_class_line(&wb);
+
+    // Lock-step comparison of the recorded streams: the first index where
+    // cycle or decoded payload differ (or where one stream ends).
+    let n = ev_a.len().min(ev_b.len());
+    let mut split = (0..n).find(|&i| ev_a[i].cycle != ev_b[i].cycle || ev_a[i].label != ev_b[i].label);
+    if split.is_none() && ev_a.len() != ev_b.len() {
+        split = Some(n);
+    }
+    if let Some(i) = split {
+        out.first = Some(FirstDivergentEvent {
+            index: window_lo + i as u64,
+            a: ev_a.get(i).cloned(),
+            b: ev_b.get(i).cloned(),
+        });
+        out.prefix = ev_a[i.saturating_sub(CONTEXT_BEFORE as usize)..i].to_vec();
+        out.after_a = ev_a[i..(i + CONTEXT_AFTER).min(ev_a.len())].to_vec();
+        out.after_b = ev_b[i..(i + CONTEXT_AFTER).min(ev_b.len())].to_vec();
+    }
+    Ok(out)
+}
+
+/// Everything [`window_replay`] produced.
+#[derive(Debug)]
+pub struct WindowReplay {
+    /// Wall cycles of the original obs-off run.
+    pub original_cycles: Cycle,
+    /// Cycle of the checkpoint the replay restored from (0 = initial state).
+    pub replayed_from_cycle: Cycle,
+    /// Dispatch index of that checkpoint.
+    pub replayed_from_events: u64,
+    /// The requested window.
+    pub window: (Cycle, Cycle),
+    /// The windowed replay run (obs on, stopped at the window end); its
+    /// `obs` report covers `[replayed_from_cycle, window.1]`.
+    pub window_result: RunResult,
+    /// Cycles of a second restored run driven to completion — must equal
+    /// `original_cycles` (the determinism proof, printed by the binary).
+    pub revalidated_cycles: Cycle,
+}
+
+/// Replays the cycle window `[c1, c2]` of an obs-off run of `kernel`
+/// with full observability on, restoring from the last checkpoint at or
+/// before `c1`.
+pub fn window_replay(
+    procs: usize,
+    protocol: Protocol,
+    kernel: &KernelSpec,
+    c1: Cycle,
+    c2: Cycle,
+) -> Result<WindowReplay, String> {
+    if c2 <= c1 {
+        return Err(format!("empty window [{c1}, {c2}]"));
+    }
+    let mut m = Machine::new(recording_cfg(procs, protocol));
+    let original = crate::observed::run_kernel(&mut m, kernel);
+    let cks = m.take_checkpoints();
+    let ck = cks.iter().rev().find(|c| c.cycle <= c1);
+    let (from_cycle, from_events) = ck.map(|c| (c.cycle, c.events)).unwrap_or((0, 0));
+
+    let replay = |to_end: bool| -> Result<RunResult, String> {
+        let mut m = Machine::new(replay_cfg(procs, protocol));
+        install_kernel(&mut m, kernel);
+        if let Some(ck) = ck {
+            m.restore(&ck.blob).map_err(|e| format!("checkpoint restore failed: {e:?}"))?;
+        }
+        Ok(if to_end { m.run() } else { m.run_to_cycle(c2) })
+    };
+    let window_result = replay(false)?;
+    let revalidated = replay(true)?;
+    Ok(WindowReplay {
+        original_cycles: original.cycles,
+        replayed_from_cycle: from_cycle,
+        replayed_from_events: from_events,
+        window: (c1, c2),
+        window_result,
+        revalidated_cycles: revalidated.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::workloads::{LockKind, LockWorkload, PostRelease};
+
+    fn tiny_lock() -> KernelSpec {
+        KernelSpec::Lock(LockWorkload {
+            kind: LockKind::Ticket,
+            total_acquires: 64,
+            cs_cycles: 5,
+            post_release: PostRelease::None,
+        })
+    }
+
+    #[test]
+    fn cross_protocol_divergence_names_a_concrete_event() {
+        let kernel = tiny_lock();
+        let d = divergence_replay(4, Protocol::WriteInvalidate, Protocol::PureUpdate, &kernel)
+            .expect("replay runs");
+        assert!(d.sentence.contains("diverged"), "{}", d.sentence);
+        let first = d.first.expect("lock-step replay pins the first divergent event");
+        let (a, b) = (first.a.expect("side A event"), first.b.expect("side B event"));
+        assert_eq!(a.index, first.index);
+        assert_eq!(b.index, first.index);
+        assert!(a.cycle != b.cycle || a.label != b.label, "events actually differ");
+        // The decoded labels carry payloads (kind, endpoints, address).
+        assert!(!a.label.is_empty() && !b.label.is_empty());
+        assert!(d.obs_a.contains("msgs="), "{}", d.obs_a);
+    }
+
+    #[test]
+    fn same_protocol_runs_are_identical() {
+        let kernel = tiny_lock();
+        let d = divergence_replay(2, Protocol::WriteInvalidate, Protocol::WriteInvalidate, &kernel)
+            .expect("replay runs");
+        assert!(d.sentence.contains("identical"), "{}", d.sentence);
+        assert!(d.first.is_none());
+        assert_eq!(d.cycles.0, d.cycles.1);
+    }
+
+    #[test]
+    fn window_replay_reproduces_the_original_cycle_count() {
+        let kernel = tiny_lock();
+        let mut m = Machine::new(MachineConfig::paper(2, Protocol::WriteInvalidate));
+        let probe = crate::observed::run_kernel(&mut m, &kernel);
+        let (c1, c2) = (probe.cycles / 4, probe.cycles / 2);
+        let w = window_replay(2, Protocol::WriteInvalidate, &kernel, c1, c2).expect("window replays");
+        assert_eq!(w.original_cycles, probe.cycles, "recording pass matches a plain run");
+        assert_eq!(w.revalidated_cycles, w.original_cycles, "restored run reaches the same end");
+        assert_eq!(w.window_result.cycles, c2, "window run stops at the window end");
+        let obs = w.window_result.obs.as_ref().expect("window ran observed");
+        assert!(obs.per_node.iter().any(|n| n.cycles.total() > 0), "window report is non-empty");
+        assert!(window_replay(2, Protocol::WriteInvalidate, &kernel, 10, 10).is_err(), "empty window");
+    }
+}

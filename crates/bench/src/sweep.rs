@@ -64,11 +64,18 @@ impl RunSpec {
     /// cell runs on the conservative-PDES sharded core — cycle-exact, so
     /// the same golden diff holds, but the key still changes (fail-safe:
     /// a core bug can never be masked by a stale serial cache entry).
+    /// `PPC_FP_EPOCH=n` overrides the fingerprint-epoch length and
+    /// `PPC_CHECKPOINT_EVERY=n` arms periodic deterministic checkpoints;
+    /// both feed the cache key the same way.
     pub fn paper(procs: usize, protocol: sim_proto::Protocol, kernel: kernels::runner::KernelSpec) -> Self {
         let mut cfg = MachineConfig::paper(procs, protocol);
         if crate::env_cfg::env_flag("PPC_HOSTOBS") {
             cfg.hostobs = sim_stats::HostObsConfig::enabled();
         }
+        if let Some(epoch) = crate::env_cfg::env_fp_epoch() {
+            cfg.hostobs.fingerprint_epoch = epoch;
+        }
+        cfg.checkpoint_every = crate::env_cfg::env_checkpoint_every();
         cfg.shards = crate::env_cfg::env_shards();
         RunSpec { spec: ExperimentSpec { procs, protocol, kernel }, cfg }
     }

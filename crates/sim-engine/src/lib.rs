@@ -18,12 +18,14 @@ pub mod pdes;
 pub mod queue;
 pub mod rng;
 pub mod server;
+pub mod snapshot;
 pub mod stable_hash;
 
-pub use pdes::{ShardCounters, ShardPlan, ShardedQueue};
-pub use queue::{EventQueue, QueueStats};
+pub use pdes::{ShardCounters, ShardPlan, ShardedQueue, ShardedSnapshot};
+pub use queue::{EventQueue, QueueSnapshot, QueueStats};
 pub use rng::SplitMix64;
 pub use server::FifoServer;
+pub use snapshot::{SnapError, SnapReader, SnapWriter, SNAP_MAGIC};
 pub use stable_hash::{stable_hash64, StableHasher};
 
 /// A point in simulated time, measured in processor cycles.

@@ -36,8 +36,41 @@
 
 use std::time::Instant;
 
-use crate::queue::{EventQueue, QueueStats};
+use crate::queue::{EventQueue, QueueSnapshot, QueueStats};
 use crate::{Cycle, NodeId};
+
+/// A complete capture of a [`ShardedQueue`]: every shard queue's
+/// [`QueueSnapshot`], every parked handoff, the global sequence counter,
+/// the epoch window, and the lifetime counters. Produced by
+/// [`ShardedQueue::snapshot`]; consumed by [`ShardedQueue::restore`].
+///
+/// `barrier_nanos` is deliberately absent: it measures *host* time for
+/// this process and restarts at zero in a restored run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedSnapshot<E> {
+    /// The clock at capture time.
+    pub now: Cycle,
+    /// The global tie-breaking counter spanning all shards.
+    pub next_seq: u64,
+    /// Shard of the most recently committed event.
+    pub current_shard: usize,
+    /// Exclusive end of the current epoch window.
+    pub epoch_end: Cycle,
+    /// Epoch barriers taken so far.
+    pub epochs: u64,
+    /// Cross-shard events routed through handoff buffers so far.
+    pub handoff_events: u64,
+    /// Cross-shard direct insertions so far.
+    pub direct_cross: u64,
+    /// Global pending-event high-water mark.
+    pub peak_len: u64,
+    /// Per-shard committed-pop counters, in shard order.
+    pub pops: Vec<u64>,
+    /// One queue snapshot per shard, in shard order.
+    pub queues: Vec<QueueSnapshot<E>>,
+    /// Parked handoffs as `(src, dst, at, seq, payload)` in buffer order.
+    pub handoffs: Vec<(usize, usize, Cycle, u64, E)>,
+}
 
 /// A static partition of `nodes` simulated nodes into `shards` contiguous
 /// blocks, plus the conservative lookahead (in cycles) any cross-shard
@@ -352,6 +385,64 @@ impl<E> ShardedQueue<E> {
             .map(|i| ShardCounters { pops: self.pops[i], scheduled: self.queues[i].stats().scheduled })
             .collect()
     }
+
+    /// Captures the complete sharded state — every shard queue, every
+    /// parked handoff, the epoch window, and all counters — without
+    /// disturbing it.
+    pub fn snapshot(&self) -> ShardedSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut handoffs = Vec::with_capacity(self.pending_handoffs);
+        for src in 0..self.shards {
+            for dst in 0..self.shards {
+                for h in &self.handoff[src * self.shards + dst] {
+                    handoffs.push((src, dst, h.at, h.seq, h.payload.clone()));
+                }
+            }
+        }
+        ShardedSnapshot {
+            now: self.now,
+            next_seq: self.next_seq,
+            current_shard: self.current_shard,
+            epoch_end: self.epoch_end,
+            epochs: self.epochs,
+            handoff_events: self.handoff_events,
+            direct_cross: self.direct_cross,
+            peak_len: self.peak_len,
+            pops: self.pops.clone(),
+            queues: self.queues.iter().map(|q| q.snapshot()).collect(),
+            handoffs,
+        }
+    }
+
+    /// Rebuilds a sharded queue from a [`ShardedSnapshot`] under the same
+    /// [`ShardPlan`]. The restored queue commits the byte-identical
+    /// `(cycle, seq, payload)` stream the snapshotted one would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shard count disagrees with the plan.
+    pub fn restore(plan: &ShardPlan, snap: ShardedSnapshot<E>) -> Self {
+        assert_eq!(snap.queues.len(), plan.shards(), "snapshot shard count disagrees with the plan");
+        let mut q = ShardedQueue::new(plan);
+        q.now = snap.now;
+        q.next_seq = snap.next_seq;
+        q.current_shard = snap.current_shard;
+        q.epoch_end = snap.epoch_end;
+        q.epochs = snap.epochs;
+        q.handoff_events = snap.handoff_events;
+        q.direct_cross = snap.direct_cross;
+        q.peak_len = snap.peak_len;
+        q.pops = snap.pops;
+        q.queues = snap.queues.into_iter().map(EventQueue::restore).collect();
+        q.pending_handoffs = snap.handoffs.len();
+        for (src, dst, at, seq, payload) in snap.handoffs {
+            assert!(src < q.shards && dst < q.shards, "snapshot handoff names an unknown shard");
+            q.handoff[src * q.shards + dst].push(Handoff { at, seq, payload });
+        }
+        q
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +582,82 @@ mod tests {
         assert_eq!(q.pop(), Some((0, 1))); // epoch [0, 5)
         q.schedule_handoff(4, 1, 2); // violates: 4 < epoch_end = 5
         while q.pop().is_some() {}
+    }
+
+    /// Runs the same random traffic on a live sharded queue and on a
+    /// copy restored from a mid-run snapshot; both must commit identical
+    /// streams to the end.
+    #[test]
+    fn snapshot_restore_commits_identically() {
+        for seed in 0..20u64 {
+            let nodes = 8;
+            let shards = 4;
+            let lookahead = 6;
+            let plan = ShardPlan::contiguous(nodes, shards, lookahead);
+            let mut q: ShardedQueue<(usize, u64)> = ShardedQueue::new(&plan);
+            let mut rng = SplitMix64::new(0xabcd + seed);
+            let mut payload = 0u64;
+            for n in 0..nodes {
+                q.schedule_direct(0, plan.shard_of(n), (n, payload));
+                payload += 1;
+            }
+            // Advance partway; leave queues, handoffs, and the epoch
+            // window in a non-trivial state.
+            let schedule_followups = |q: &mut ShardedQueue<(usize, u64)>,
+                                      rng: &mut SplitMix64,
+                                      at: Cycle,
+                                      node: usize,
+                                      payload: &mut u64| {
+                for _ in 0..rng.next_below(3) {
+                    let target = rng.next_below(nodes as u64) as usize;
+                    let tshard = plan.shard_of(target);
+                    *payload += 1;
+                    if tshard == plan.shard_of(node) {
+                        q.schedule_direct(at + rng.next_below(40), tshard, (target, *payload));
+                    } else if rng.next_below(4) == 0 {
+                        q.schedule_direct(at + rng.next_below(lookahead.max(2)), tshard, (target, *payload));
+                    } else {
+                        q.schedule_handoff(at + lookahead + rng.next_below(60), tshard, (target, *payload));
+                    }
+                }
+            };
+            for _ in 0..150 {
+                let Some((at, (node, _))) = q.pop() else { break };
+                schedule_followups(&mut q, &mut rng, at, node, &mut payload);
+            }
+            let snap = q.snapshot();
+            let mut r = ShardedQueue::restore(&plan, snap.clone());
+            assert_eq!(r.now(), q.now(), "seed {seed}");
+            assert_eq!(r.len(), q.len(), "seed {seed}");
+            assert_eq!(r.snapshot(), snap, "seed {seed}: re-snapshot differs");
+            // Drive both with the same follow-up traffic via a forked rng.
+            let mut rng_r = SplitMix64::from_state(rng.state());
+            loop {
+                let a = q.pop();
+                let b = r.pop();
+                assert_eq!(a, b, "seed {seed}: post-restore streams diverged");
+                let Some((at, (node, _))) = a else { break };
+                let mut p2 = payload;
+                schedule_followups(&mut q, &mut rng, at, node, &mut payload);
+                schedule_followups(&mut r, &mut rng_r, at, node, &mut p2);
+                assert_eq!(payload, p2);
+            }
+            assert!(q.is_empty() && r.is_empty());
+            assert_eq!(q.epochs(), r.epochs(), "seed {seed}");
+            assert_eq!(q.handoff_events(), r.handoff_events(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shard_count() {
+        let plan2 = ShardPlan::contiguous(4, 2, 3);
+        let plan4 = ShardPlan::contiguous(4, 4, 3);
+        let q: ShardedQueue<u32> = ShardedQueue::new(&plan2);
+        let snap = q.snapshot();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ShardedQueue::restore(&plan4, snap);
+        }));
+        assert!(r.is_err(), "mismatched shard count must be rejected");
     }
 
     #[test]

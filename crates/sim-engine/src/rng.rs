@@ -35,6 +35,17 @@ impl SplitMix64 {
         base
     }
 
+    /// The raw internal state, for checkpointing. A generator rebuilt
+    /// with [`SplitMix64::from_state`] continues the exact stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state captured by [`SplitMix64::state`].
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);

@@ -67,6 +67,17 @@ impl FifoServer {
     pub fn requests(&self) -> u64 {
         self.requests
     }
+
+    /// The complete internal state `(free_at, busy_cycles, wait_cycles,
+    /// requests)`, for checkpointing.
+    pub fn to_raw_parts(&self) -> [u64; 4] {
+        [self.free_at, self.busy_cycles, self.wait_cycles, self.requests]
+    }
+
+    /// Rebuilds a server from [`FifoServer::to_raw_parts`] output.
+    pub fn from_raw_parts(parts: [u64; 4]) -> Self {
+        FifoServer { free_at: parts[0], busy_cycles: parts[1], wait_cycles: parts[2], requests: parts[3] }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,407 @@
+//! Versioned, digest-sealed binary snapshot encoding.
+//!
+//! Snapshots serialize the complete simulation state into a flat byte
+//! blob so a run can be checkpointed, restored, and replayed. The
+//! encoding is deliberately primitive — little-endian fixed-width
+//! integers with length-prefixed byte strings, written and read in
+//! matching order by hand — because the workspace has no serialization
+//! dependency and the format must stay bit-stable across builds.
+//!
+//! Framing (see [`seal`] / [`open`]):
+//!
+//! ```text
+//! +----------+---------+-----------------+-------------------+
+//! | magic 8B | version | payload (N)     | digest 16B        |
+//! | PPCSNAP1 | u32 LE  | writer-defined  | FNV-style 128     |
+//! +----------+---------+-----------------+-------------------+
+//! ```
+//!
+//! The trailing digest is a 128-bit word-at-a-time FNV-style hash of
+//! everything before it (magic, version, payload), so truncation and
+//! bit-flips are detected before any payload decoding runs, and the
+//! version check rejects blobs from older format revisions outright.
+
+/// Leading magic for every sealed snapshot blob.
+pub const SNAP_MAGIC: &[u8; 8] = b"PPCSNAP1";
+
+/// Decode failure; every variant names what the reader refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapError {
+    /// The blob does not start with [`SNAP_MAGIC`].
+    BadMagic,
+    /// The format version does not match what this build writes.
+    Version { found: u32, expected: u32 },
+    /// The blob ends before a declared field does.
+    Truncated,
+    /// A decoded value is structurally impossible (bad tag, bad flag).
+    Corrupt(&'static str),
+    /// The trailing digest does not match the blob contents.
+    DigestMismatch,
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "snapshot blob lacks the PPCSNAP1 magic"),
+            SnapError::Version { found, expected } => {
+                write!(f, "snapshot format version {found} (this build expects {expected})")
+            }
+            SnapError::Truncated => write!(f, "snapshot blob is truncated"),
+            SnapError::Corrupt(what) => write!(f, "snapshot blob is corrupt: {what}"),
+            SnapError::DigestMismatch => {
+                write!(f, "snapshot digest mismatch (blob corrupted after sealing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Little-endian append-only encoder. Field order is the schema: the
+/// matching [`SnapReader`] must read fields back in the exact order
+/// they were written.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// A writer with `n` bytes preallocated — checkpoint blobs run to
+    /// ~100KB, so growing from empty costs several reallocation copies.
+    pub fn with_capacity(n: usize) -> Self {
+        SnapWriter { buf: Vec::with_capacity(n) }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `u32` slice as consecutive little-endian words (no length
+    /// prefix; the caller writes the count). One reservation up front
+    /// keeps the hot checkpoint path out of incremental growth.
+    pub fn u32_slice(&mut self, ws: &[u32]) {
+        self.buf.reserve(ws.len() * 4);
+        for &w in ws {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// `usize` is always encoded as `u64` so blobs are portable across
+    /// pointer widths.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// `Option<u64>` as a flag byte plus the value when present.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.bool(false),
+            Some(v) => {
+                self.bool(true);
+                self.u64(v);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Wraps the accumulated payload in the sealed frame: magic,
+    /// version, payload, trailing digest.
+    pub fn seal(self, version: u32) -> Vec<u8> {
+        seal(version, &self.buf)
+    }
+}
+
+/// Checked little-endian decoder over a sealed payload. Every read
+/// returns [`SnapError::Truncated`] rather than panicking when the
+/// blob ends early.
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(n).ok_or(SnapError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool flag outside {0,1}")),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt("length overflows usize"))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| SnapError::Corrupt("string is not UTF-8"))
+    }
+
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly; trailing garbage means
+    /// the writer and reader disagree about the schema.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt("trailing bytes after the last field"))
+        }
+    }
+}
+
+fn digest_of(bytes: &[u8]) -> [u8; 16] {
+    // Word-at-a-time variant of the [`StableHasher`] mixing. Checkpoint
+    // blobs run to ~100KB and are digested on every periodic snapshot, so
+    // the byte-wise hasher would dominate the checkpoint cost; the frame
+    // digest only ever has to agree between `seal` and `open` within one
+    // build, not with any other hash in the workspace.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lo = 0xcbf2_9ce4_8422_2325_u64 ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut hi = lo ^ 0x9e37_79b9_7f4a_7c15;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        lo = (lo ^ v).wrapping_mul(PRIME);
+        hi = (hi ^ v.rotate_left(32)).wrapping_mul(PRIME);
+        hi = hi.rotate_left(23) ^ lo;
+    }
+    let mut last = [0u8; 8];
+    last[..chunks.remainder().len()].copy_from_slice(chunks.remainder());
+    let v = u64::from_le_bytes(last);
+    lo = (lo ^ v).wrapping_mul(PRIME);
+    hi = (hi ^ v.rotate_left(32)).wrapping_mul(PRIME);
+    hi = hi.rotate_left(23) ^ lo;
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hi.to_le_bytes());
+    out
+}
+
+/// Seals a payload into the framed blob: magic, version, payload,
+/// trailing 128-bit digest over everything before it.
+pub fn seal(version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(SNAP_MAGIC.len() + 4 + payload.len() + 16);
+    blob.extend_from_slice(SNAP_MAGIC);
+    blob.extend_from_slice(&version.to_le_bytes());
+    blob.extend_from_slice(payload);
+    let digest = digest_of(&blob);
+    blob.extend_from_slice(&digest);
+    blob
+}
+
+/// Opens a sealed blob: verifies magic, version, and the trailing
+/// digest, then returns the payload slice for a [`SnapReader`].
+pub fn open(blob: &[u8], expected_version: u32) -> Result<&[u8], SnapError> {
+    let header = SNAP_MAGIC.len() + 4;
+    if blob.len() < header + 16 {
+        return Err(SnapError::Truncated);
+    }
+    if &blob[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let found = u32::from_le_bytes(blob[SNAP_MAGIC.len()..header].try_into().unwrap());
+    if found != expected_version {
+        return Err(SnapError::Version { found, expected: expected_version });
+    }
+    let (body, digest) = blob.split_at(blob.len() - 16);
+    if digest_of(body) != *digest {
+        return Err(SnapError::DigestMismatch);
+    }
+    Ok(&body[header..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_primitive() {
+        let mut w = SnapWriter::new();
+        w.u8(0xab);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 7);
+        w.usize(12345);
+        w.bytes(&[1, 2, 3]);
+        w.str("wormhole");
+        w.opt_u64(None);
+        w.opt_u64(Some(99));
+        let blob = w.seal(3);
+
+        let payload = open(&blob, 3).unwrap();
+        let mut r = SnapReader::new(payload);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "wormhole");
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(99));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_payload_seals_and_opens() {
+        let blob = SnapWriter::new().seal(1);
+        let payload = open(&blob, 1).unwrap();
+        assert!(payload.is_empty());
+        SnapReader::new(payload).finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut blob = SnapWriter::new().seal(1);
+        blob[0] ^= 0xff;
+        assert_eq!(open(&blob, 1), Err(SnapError::BadMagic));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_both_versions() {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        let blob = w.seal(2);
+        assert_eq!(open(&blob, 5), Err(SnapError::Version { found: 2, expected: 5 }));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.bytes(&[0u8; 64]);
+        let blob = w.seal(1);
+        // Cuts inside the frame header are reported as truncation; cuts
+        // that leave a parseable frame lose payload or digest bytes and
+        // fail the digest check instead. Either way: refused.
+        for cut in [0, 7, 11, 27] {
+            assert_eq!(open(&blob[..cut], 1), Err(SnapError::Truncated), "cut at {cut}");
+        }
+        for cut in [28, blob.len() - 17, blob.len() - 1] {
+            assert_eq!(open(&blob[..cut], 1), Err(SnapError::DigestMismatch), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let mut w = SnapWriter::new();
+        w.u64(0x0123_4567_89ab_cdef);
+        w.str("digest me");
+        let blob = w.seal(1);
+        // Flip one bit per byte across the entire blob (including the
+        // digest itself): open() must refuse every mutant.
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(open(&bad, 1).is_err(), "bit flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn reader_catches_truncated_fields_inside_payload() {
+        let mut w = SnapWriter::new();
+        w.u32(7);
+        let payload = w.into_vec();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn reader_rejects_trailing_garbage() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let payload = w.into_vec();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn declared_length_beyond_blob_is_truncation_not_panic() {
+        let mut w = SnapWriter::new();
+        w.usize(1 << 40); // a length prefix with no bytes behind it
+        let payload = w.into_vec();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.bytes(), Err(SnapError::Truncated));
+    }
+}

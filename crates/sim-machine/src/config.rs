@@ -58,6 +58,14 @@ pub struct MachineConfig {
     /// process and determinism fingerprints). Disabled by default; like
     /// `obs`, enabling it never changes simulated results.
     pub hostobs: HostObsConfig,
+    /// Periodic deterministic checkpoints: snapshot the complete machine
+    /// state roughly every this many dispatched events (rounded up to the
+    /// next `hostobs.fingerprint_epoch` boundary so fingerprint chains can
+    /// resume at an exact epoch seam). `None` — the default — takes no
+    /// checkpoints and pays nothing on the event path. Set via
+    /// `PPC_CHECKPOINT_EVERY` for the harness binaries; collect with
+    /// [`crate::Machine::take_checkpoints`].
+    pub checkpoint_every: Option<u64>,
 }
 
 impl MachineConfig {
@@ -81,7 +89,16 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             obs: ObsConfig::default(),
             hostobs: HostObsConfig::default(),
+            checkpoint_every: None,
         }
+    }
+
+    /// The same configuration taking a checkpoint roughly every `events`
+    /// dispatched events (epoch-aligned; see
+    /// [`MachineConfig::checkpoint_every`]).
+    pub fn with_checkpoints(mut self, events: u64) -> Self {
+        self.checkpoint_every = Some(events);
+        self
     }
 
     /// The paper machine with observability enabled (cycle accounting,
@@ -131,6 +148,15 @@ mod tests {
         assert!(!c.obs.enabled, "observability is opt-in");
         assert!(!c.hostobs.enabled && !c.hostobs.fingerprint, "host observability is opt-in");
         assert_eq!(c.shards, 1, "the serial core is the default");
+        assert_eq!(c.checkpoint_every, None, "checkpoints are opt-in");
+    }
+
+    #[test]
+    fn with_checkpoints_flips_only_the_cadence() {
+        let c = MachineConfig::paper(8, Protocol::PureUpdate).with_checkpoints(10_000);
+        assert_eq!(c.checkpoint_every, Some(10_000));
+        assert_eq!(c.seed, MachineConfig::paper(8, Protocol::PureUpdate).seed);
+        assert!(!c.obs.enabled && !c.hostobs.enabled);
     }
 
     #[test]

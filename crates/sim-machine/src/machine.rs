@@ -17,7 +17,9 @@ use crate::cpu::{Cpu, CpuState, PendingAtomicIssue};
 use crate::result::RunResult;
 
 /// Events driving the machine.
-#[derive(Debug)]
+// `Clone` serves exactly one purpose: non-destructive event-queue capture
+// in [`Machine::snapshot`].
+#[derive(Debug, Clone)]
 enum Ev {
     /// Resume interpreting processor `n`.
     CpuStep(NodeId),
@@ -262,6 +264,74 @@ pub struct Machine {
     /// Host nanoseconds spent in event handlers, resliced by the shard of
     /// the committed event; empty when serial or unprofiled.
     shard_nanos: Vec<u64>,
+    /// Guards against a second `run` call.
+    ran: bool,
+    /// Set by [`Machine::restore`]: the machine resumes mid-run, so `run`
+    /// must not re-create write buffers or schedule the initial events.
+    restored: bool,
+    /// Events dispatched so far — the global `(cycle, seq)` pop index that
+    /// checkpoints and the event recorder are keyed by. Restored from
+    /// snapshots so indices line up with the original run.
+    popped: u64,
+    /// Next `popped` value at (or after) which a checkpoint is due; `u64::MAX`
+    /// when checkpointing is off.
+    next_checkpoint: u64,
+    /// Checkpoints taken so far (collect with [`Machine::take_checkpoints`]).
+    checkpoints: Vec<Checkpoint>,
+    /// Bounded recorder of decoded popped events within a window; `Some`
+    /// only after [`Machine::record_events`].
+    recorder: Option<EventRecorder>,
+}
+
+/// Bounded window recorder of decoded popped events (see
+/// [`Machine::record_events`]).
+struct EventRecorder {
+    /// Window over the global pop index, `from..to`.
+    from: u64,
+    to: u64,
+    cap: usize,
+    dropped: u64,
+    events: Vec<RecordedEvent>,
+}
+
+/// One decoded event captured by [`Machine::record_events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Global pop index of the event (0-based, counts every dispatch).
+    pub index: u64,
+    /// Cycle the event committed at.
+    pub cycle: Cycle,
+    /// Human-readable decoded payload, e.g. `"Deliver Data 3->5 addr=0x1040"`.
+    pub label: String,
+}
+
+/// One periodic checkpoint: the complete machine state as a sealed snapshot
+/// blob (see [`Machine::snapshot`]) plus the pop index and cycle it was
+/// taken at.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Events dispatched before the snapshot was taken (the global pop
+    /// index the resumed run continues from).
+    pub events: u64,
+    /// Simulated cycle of the snapshot.
+    pub cycle: Cycle,
+    /// Sealed snapshot blob; feed to [`Machine::restore`].
+    pub blob: Vec<u8>,
+}
+
+/// Decoded label for a popped event (the event recorder's payload).
+fn ev_label(ev: &Ev) -> String {
+    match ev {
+        Ev::CpuStep(n) => format!("CpuStep cpu={n}"),
+        Ev::Deliver(m) => {
+            format!("Deliver {} {}->{} addr=0x{:x}", m.kind.name(), m.src, m.dst, m.addr)
+        }
+        Ev::HomeHandle(m) => {
+            format!("HomeHandle {} {}->{} addr=0x{:x}", m.kind.name(), m.src, m.dst, m.addr)
+        }
+        Ev::WbIssue(n) => format!("WbIssue cpu={n}"),
+        Ev::Sample => "Sample".into(),
+    }
 }
 
 impl Machine {
@@ -337,6 +407,12 @@ impl Machine {
             shard_chains: (sharded && cfg.hostobs.enabled && cfg.hostobs.fingerprint)
                 .then(|| ShardChains::spawn(shard_count)),
             shard_nanos: if sharded && cfg.hostobs.enabled { vec![0; shard_count] } else { vec![] },
+            ran: false,
+            restored: false,
+            popped: 0,
+            next_checkpoint: cfg.checkpoint_every.unwrap_or(u64::MAX),
+            checkpoints: Vec::new(),
+            recorder: None,
             queue,
             cfg,
         }
@@ -426,15 +502,36 @@ impl Machine {
     /// when the clock exceeds [`MachineConfig::max_cycles`], or on a second
     /// `run` call.
     pub fn run(&mut self) -> RunResult {
-        assert!(self.wbs.is_empty(), "Machine::run called twice");
+        self.run_bounded(None)
+    }
+
+    /// Runs the machine like [`Machine::run`] but stops as soon as the
+    /// clock passes `limit`, sealing a window-scoped result. Intended for
+    /// zoom-in replay from a restored checkpoint: the window's measurements
+    /// (cycle accounting, samples, lineage, network telemetry) cover only
+    /// the executed range. If every processor halts before `limit`, this is
+    /// exactly `run`.
+    pub fn run_to_cycle(&mut self, limit: Cycle) -> RunResult {
+        self.run_bounded(Some(limit))
+    }
+
+    fn run_bounded(&mut self, limit: Option<Cycle>) -> RunResult {
+        assert!(!self.ran, "Machine::run called twice");
+        self.ran = true;
         let run_start = self.hostprof.as_ref().map(|_| std::time::Instant::now());
-        self.wbs = (0..self.cfg.num_procs).map(|_| WriteBuffer::new(self.cfg.wb_entries)).collect();
-        for n in 0..self.cfg.num_procs {
-            self.queue.schedule(0, Ev::CpuStep(n));
+        if !self.restored {
+            self.wbs = (0..self.cfg.num_procs).map(|_| WriteBuffer::new(self.cfg.wb_entries)).collect();
+            for n in 0..self.cfg.num_procs {
+                self.queue.schedule(0, Ev::CpuStep(n));
+            }
         }
         if self.obs.is_some() {
-            self.queue.schedule(self.cfg.obs.sample_interval.max(1), Ev::Sample);
+            // Relative to `now` so restored runs sample on the same cadence;
+            // for a fresh machine `now` is 0 and this is the original timing.
+            let interval = self.cfg.obs.sample_interval.max(1);
+            self.queue.schedule(self.queue.now() + interval, Ev::Sample);
         }
+        let mut reached_limit = false;
         while self.halted < self.cfg.num_procs {
             let Some((now, ev)) = self.pop_timed() else {
                 panic!(
@@ -445,21 +542,36 @@ impl Machine {
                     self.cpus.iter().map(|c| (c.pc, format!("{:?}", c.state))).collect::<Vec<_>>()
                 );
             };
+            if limit.is_some_and(|l| now > l) {
+                reached_limit = true;
+                break;
+            }
             assert!(
                 now <= self.cfg.max_cycles,
                 "exceeded max_cycles ({}): possible livelock",
                 self.cfg.max_cycles
             );
             self.dispatch(now, ev);
-        }
-        // Drain in-flight protocol traffic so memory, directories, and the
-        // update classification settle (execution time is already fixed at
-        // the last halt; these events cost no measured cycles).
-        while let Some((now, ev)) = self.pop_timed() {
-            if !matches!(ev, Ev::CpuStep(_)) {
-                self.dispatch(now, ev);
+            if self.popped >= self.next_checkpoint
+                && self.popped % self.cfg.hostobs.fingerprint_epoch.max(1) == 0
+                && self.halted < self.cfg.num_procs
+            {
+                self.take_checkpoint(now);
             }
         }
+        if !reached_limit {
+            // Drain in-flight protocol traffic so memory, directories, and
+            // the update classification settle (execution time is already
+            // fixed at the last halt; these events cost no measured cycles).
+            while let Some((now, ev)) = self.pop_timed() {
+                if !matches!(ev, Ev::CpuStep(_)) {
+                    self.dispatch(now, ev);
+                }
+            }
+        }
+        // Measurements run to the last halt, or to the window end when a
+        // cycle limit cut the run short.
+        let end = if reached_limit { limit.expect("limit set") } else { self.last_halt };
         let instructions = self.cpus.iter().map(|c| c.instructions).sum();
         let traffic = self.clf.finish().clone();
         let per_node = (0..self.cfg.num_procs)
@@ -486,17 +598,18 @@ impl Machine {
                 .into_iter()
                 .map(|(src, dst, flits)| EndpointPairFlits { src, dst, flits })
                 .collect();
-            let mut o = collector.finish(self.last_halt, gauges.clone(), links);
+            let mut o = collector.finish(end, gauges.clone(), links);
             o.lineage = self.clf.take_lineage();
-            o.crit = self.crit.take().map(|c| c.finish(self.last_halt));
-            o.netobs = self.netobs.take().map(|c| {
-                c.finish(self.last_halt, self.net.phys_link_flits(), &gauges, self.clf.take_home_stats())
-            });
+            o.crit = self.crit.take().map(|c| c.finish(end));
+            o.netobs = self
+                .netobs
+                .take()
+                .map(|c| c.finish(end, self.net.phys_link_flits(), &gauges, self.clf.take_home_stats()));
             o
         });
         let host = self.hostprof.take().map(|hp| {
             let wall = run_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
-            let mut report = hp.finish(self.last_halt, wall, self.queue.stats());
+            let mut report = hp.finish(end, wall, self.queue.stats());
             let chains = self.shard_chains.take().map(ShardChains::finish);
             if let Core::Sharded(c) = &self.queue {
                 report.pdes = Some(PdesObs {
@@ -526,7 +639,7 @@ impl Machine {
         });
         let fingerprint = self.fp.take().map(|fp| fp.finish(self.state_digest(&traffic)));
         RunResult {
-            cycles: self.last_halt,
+            cycles: end,
             traffic,
             net: self.net.counters().clone(),
             instructions,
@@ -563,6 +676,17 @@ impl Machine {
     /// charging the handler's wall time to its dispatch category (minus
     /// nested slices already charged elsewhere, e.g. network routing).
     fn dispatch(&mut self, now: Cycle, ev: Ev) {
+        let index = self.popped;
+        self.popped += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            if index >= rec.from && index < rec.to {
+                if rec.events.len() < rec.cap {
+                    rec.events.push(RecordedEvent { index, cycle: now, label: ev_label(&ev) });
+                } else {
+                    rec.dropped += 1;
+                }
+            }
+        }
         if self.fp.is_some() || self.shard_chains.is_some() {
             // Pop order is (cycle, seq) order, so feeding the recorders here
             // covers the sequence number implicitly.
@@ -600,6 +724,44 @@ impl Machine {
         hp.add(cat, own);
         if let Some(s) = self.shard_nanos.get_mut(shard) {
             *s += own;
+        }
+    }
+
+    /// Takes a checkpoint: seals the complete machine state into a blob and
+    /// stores it with its pop index and cycle. Called on epoch-aligned
+    /// event counts from the main loop when `cfg.checkpoint_every` is set.
+    fn take_checkpoint(&mut self, now: Cycle) {
+        let blob = self.snapshot();
+        self.checkpoints.push(Checkpoint { events: self.popped, cycle: now, blob });
+        self.next_checkpoint = self.popped + self.cfg.checkpoint_every.expect("checkpointing enabled");
+    }
+
+    /// Takes the checkpoints accumulated so far (typically after `run`).
+    pub fn take_checkpoints(&mut self) -> Vec<Checkpoint> {
+        std::mem::take(&mut self.checkpoints)
+    }
+
+    /// Events dispatched so far — the global pop index. After a restore this
+    /// continues from the checkpoint's `events`, so indices from different
+    /// runs of the same program line up.
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Arms the bounded event recorder: decoded labels of every popped
+    /// event with global pop index in `from..to` are captured, up to `cap`
+    /// entries (the rest are counted as dropped). Call before `run`;
+    /// collect with [`Machine::take_recorded`].
+    pub fn record_events(&mut self, from: u64, to: u64, cap: usize) {
+        self.recorder = Some(EventRecorder { from, to, cap, dropped: 0, events: Vec::new() });
+    }
+
+    /// Takes the recorded window, returning the captured events and how
+    /// many in-window events were dropped once `cap` was reached.
+    pub fn take_recorded(&mut self) -> (Vec<RecordedEvent>, u64) {
+        match self.recorder.take() {
+            Some(rec) => (rec.events, rec.dropped),
+            None => (Vec::new(), 0),
         }
     }
 
@@ -1289,6 +1451,12 @@ impl Machine {
         }
     }
 }
+
+// The snapshot/restore half of the machine lives in a sibling file to keep
+// this one readable; it is a child module so it can reach private fields.
+#[path = "machine_snapshot.rs"]
+mod machine_snapshot;
+pub use machine_snapshot::SNAPSHOT_VERSION;
 
 #[cfg(test)]
 mod tests {

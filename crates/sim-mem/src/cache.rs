@@ -228,6 +228,66 @@ impl Cache {
     pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
         self.lines.iter().filter(|l| l.valid).map(|l| (BlockAddr(l.tag), l.state))
     }
+
+    /// Exports every valid line — tag, state, competitive-update counter,
+    /// and data — ordered by block address, for checkpointing.
+    /// Valid lines in cache-index order, borrowed — the allocation-free
+    /// counterpart of [`Cache::export_lines`] for the periodic-checkpoint
+    /// hot path. Index order is deterministic for a given cache state
+    /// (direct-mapped: one slot per block), which is all the snapshot
+    /// encoding needs.
+    pub fn iter_valid_lines(&self) -> impl Iterator<Item = (BlockAddr, LineState, u32, &[Word])> {
+        self.lines.iter().filter(|l| l.valid).map(|l| (BlockAddr(l.tag), l.state, l.update_ctr, &l.data[..]))
+    }
+
+    pub fn export_lines(&self) -> Vec<LineSnapshot> {
+        let mut lines: Vec<LineSnapshot> = self
+            .lines
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| LineSnapshot {
+                block: BlockAddr(l.tag),
+                state: l.state,
+                update_ctr: l.update_ctr,
+                data: l.data.clone(),
+            })
+            .collect();
+        lines.sort_by_key(|l| l.block);
+        lines
+    }
+
+    /// Restores the cache to exactly the exported line set: every other
+    /// line is invalidated, and — unlike [`Cache::fill`] — the
+    /// competitive-update counters are reinstated rather than reset.
+    pub fn import_lines(&mut self, lines: Vec<LineSnapshot>) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+        for snap in lines {
+            assert_eq!(snap.data.len(), self.words_per_block, "line snapshot has the wrong block size");
+            let idx = self.index_of(snap.block);
+            let l = &mut self.lines[idx];
+            assert!(!l.valid, "two line snapshots map to cache index {idx}");
+            l.tag = snap.block.0;
+            l.valid = true;
+            l.state = snap.state;
+            l.data = snap.data;
+            l.update_ctr = snap.update_ctr;
+        }
+    }
+}
+
+/// One exported cache line, as produced by [`Cache::export_lines`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineSnapshot {
+    /// Block address (full tag).
+    pub block: BlockAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// Competitive-update counter at capture time.
+    pub update_ctr: u32,
+    /// Block contents.
+    pub data: Box<[Word]>,
 }
 
 #[cfg(test)]

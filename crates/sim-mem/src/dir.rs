@@ -53,6 +53,16 @@ impl SharerSet {
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..64).filter(|&n| self.contains(n))
     }
+
+    /// The raw bitmap, for checkpointing.
+    pub fn to_bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from [`SharerSet::to_bits`] output.
+    pub fn from_bits(bits: u64) -> Self {
+        SharerSet(bits)
+    }
 }
 
 /// Directory state for one block.
@@ -142,6 +152,19 @@ impl<M> Directory<M> {
     /// Iterates all materialized entries (diagnostics / invariant checks).
     pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &DirEntry<M>)> {
         self.entries.iter()
+    }
+
+    /// Materialized entries in ascending block order, for checkpointing
+    /// (the internal map iterates in arbitrary order).
+    pub fn sorted_entries(&self) -> Vec<(BlockAddr, &DirEntry<M>)> {
+        let mut entries: Vec<(BlockAddr, &DirEntry<M>)> = self.entries.iter().map(|(b, e)| (*b, e)).collect();
+        entries.sort_by_key(|&(b, _)| b);
+        entries
+    }
+
+    /// Removes every entry (checkpoint restore starts from a clean map).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 

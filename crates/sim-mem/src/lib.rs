@@ -19,7 +19,7 @@ pub mod store;
 pub mod wbuf;
 
 pub use alloc::SharedAlloc;
-pub use cache::{Cache, CacheConfig, LineState};
+pub use cache::{Cache, CacheConfig, LineSnapshot, LineState};
 pub use dir::{DirEntry, DirState, Directory, SharerSet};
 pub use dram::MemTiming;
 pub use geometry::{Addr, BlockAddr, Geometry, Word};

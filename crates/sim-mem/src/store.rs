@@ -54,6 +54,14 @@ impl MemStore {
     pub fn resident_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// Every materialized block in ascending address order, for
+    /// checkpointing (the internal map iterates in arbitrary order).
+    pub fn sorted_blocks(&self) -> Vec<(BlockAddr, &[Word])> {
+        let mut blocks: Vec<(BlockAddr, &[Word])> = self.blocks.iter().map(|(b, d)| (*b, &d[..])).collect();
+        blocks.sort_by_key(|&(b, _)| b);
+        blocks
+    }
 }
 
 #[cfg(test)]

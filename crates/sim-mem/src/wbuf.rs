@@ -117,6 +117,23 @@ impl WriteBuffer {
     pub fn has_write_in_block(&self, block_base: Addr, block_bytes: u32) -> bool {
         self.entries.iter().any(|w| w.addr & !(block_bytes - 1) == block_base)
     }
+
+    /// Exports the complete state — queued writes in FIFO order, the
+    /// head-issued flag, and the high-water mark — for checkpointing.
+    pub fn export_state(&self) -> (Vec<PendingWrite>, bool, usize) {
+        (self.entries.iter().copied().collect(), self.head_issued, self.high_water)
+    }
+
+    /// Restores state exported by [`WriteBuffer::export_state`], bypassing
+    /// [`WriteBuffer::push`] so the high-water mark is reinstated, not
+    /// recomputed.
+    pub fn import_state(&mut self, entries: Vec<PendingWrite>, head_issued: bool, high_water: usize) {
+        assert!(entries.len() <= self.capacity, "snapshot overflows the write buffer");
+        assert!(!head_issued || !entries.is_empty(), "head_issued without a head entry");
+        self.entries = entries.into();
+        self.head_issued = head_issued;
+        self.high_water = high_water;
+    }
 }
 
 #[cfg(test)]

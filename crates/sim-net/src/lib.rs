@@ -337,6 +337,45 @@ impl Network {
     pub fn rx_busy(&self, n: NodeId) -> Cycle {
         self.rx[n].busy_cycles()
     }
+
+    /// Exports the simulation-visible network state — every port server's
+    /// raw parts plus the traffic counters — for checkpointing. The
+    /// observability opt-ins (link stats, journeys, physical-link stats)
+    /// are run-scoped instruments, not simulated state, and are excluded.
+    pub fn snapshot_core(&self) -> NetSnapshot {
+        NetSnapshot {
+            tx: self.tx.iter().map(FifoServer::to_raw_parts).collect(),
+            rx: self.rx.iter().map(FifoServer::to_raw_parts).collect(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Restores state exported by [`Network::snapshot_core`]. The mesh
+    /// shape and config must match the network this snapshot came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count disagrees with this network.
+    pub fn restore_core(&mut self, snap: NetSnapshot) {
+        assert_eq!(snap.tx.len(), self.tx.len(), "snapshot node count disagrees with the network");
+        assert_eq!(snap.rx.len(), self.rx.len(), "snapshot node count disagrees with the network");
+        self.tx = snap.tx.into_iter().map(FifoServer::from_raw_parts).collect();
+        self.rx = snap.rx.into_iter().map(FifoServer::from_raw_parts).collect();
+        self.counters = snap.counters;
+    }
+}
+
+/// The simulation-visible state of a [`Network`], as exported by
+/// [`Network::snapshot_core`]: per-node transmit/receive port servers
+/// (raw parts, in node order) and the aggregate traffic counters.
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    /// Transmit-port server states, in node order.
+    pub tx: Vec<[u64; 4]>,
+    /// Receive-port server states, in node order.
+    pub rx: Vec<[u64; 4]>,
+    /// Aggregate traffic counters.
+    pub counters: NetCounters,
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Protocol messages.
 
+use sim_engine::snapshot::{SnapError, SnapReader, SnapWriter};
 use sim_engine::NodeId;
 use sim_mem::{Addr, Word};
 
@@ -210,6 +211,219 @@ impl Msg {
     }
 }
 
+impl AtomicOp {
+    /// Stable codec tag (declaration order); see [`AtomicOp::from_tag`].
+    pub fn tag(self) -> u8 {
+        match self {
+            AtomicOp::FetchAdd => 0,
+            AtomicOp::FetchStore => 1,
+            AtomicOp::CompareAndSwap => 2,
+        }
+    }
+
+    /// Inverts [`AtomicOp::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self, SnapError> {
+        match tag {
+            0 => Ok(AtomicOp::FetchAdd),
+            1 => Ok(AtomicOp::FetchStore),
+            2 => Ok(AtomicOp::CompareAndSwap),
+            _ => Err(SnapError::Corrupt("unknown AtomicOp tag")),
+        }
+    }
+}
+
+fn encode_block(w: &mut SnapWriter, data: &[Word]) {
+    w.usize(data.len());
+    for &word in data {
+        w.u32(word);
+    }
+}
+
+fn decode_block(r: &mut SnapReader<'_>) -> Result<Box<[Word]>, SnapError> {
+    let len = r.usize()?;
+    if len > 1 << 16 {
+        return Err(SnapError::Corrupt("block length is implausible"));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(r.u32()?);
+    }
+    Ok(data.into_boxed_slice())
+}
+
+fn encode_opt_block(w: &mut SnapWriter, data: &Option<Box<[Word]>>) {
+    match data {
+        None => w.bool(false),
+        Some(d) => {
+            w.bool(true);
+            encode_block(w, d);
+        }
+    }
+}
+
+impl Msg {
+    /// Appends the message to a snapshot payload. Variant tags follow the
+    /// [`MsgKind`] declaration order; [`Msg::decode`] inverts exactly.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        use MsgKind::*;
+        w.usize(self.src);
+        w.usize(self.dst);
+        w.u32(self.addr);
+        match &self.kind {
+            ReadShared => w.u8(0),
+            GetX => w.u8(1),
+            Upgrade => w.u8(2),
+            UpdateWrite { val } => {
+                w.u8(3);
+                w.u32(*val);
+            }
+            UpdateWriteAlloc { val } => {
+                w.u8(4);
+                w.u32(*val);
+            }
+            AtomicReq { op, operand, operand2 } => {
+                w.u8(5);
+                w.u8(op.tag());
+                w.u32(*operand);
+                w.u32(*operand2);
+            }
+            WriteBack { data } => {
+                w.u8(6);
+                encode_block(w, data);
+            }
+            SharerDrop => w.u8(7),
+            StopUpdate => w.u8(8),
+            Data { data } => {
+                w.u8(9);
+                encode_block(w, data);
+            }
+            DataX { data, acks } => {
+                w.u8(10);
+                encode_block(w, data);
+                w.u32(*acks);
+            }
+            UpgradeAck { acks } => {
+                w.u8(11);
+                w.u32(*acks);
+            }
+            UpdateInfo { acks, go_private } => {
+                w.u8(12);
+                w.u32(*acks);
+                w.bool(*go_private);
+            }
+            DataUpd { data, acks } => {
+                w.u8(13);
+                encode_block(w, data);
+                w.u32(*acks);
+            }
+            UpdateMsg { val, writer, acks_to } => {
+                w.u8(14);
+                w.u32(*val);
+                w.usize(*writer);
+                w.usize(*acks_to);
+            }
+            AtomicReply { old, data, acks } => {
+                w.u8(15);
+                w.u32(*old);
+                encode_opt_block(w, data);
+                w.u32(*acks);
+            }
+            Inval { requester, writer } => {
+                w.u8(16);
+                w.usize(*requester);
+                w.usize(*writer);
+            }
+            Fetch { requester } => {
+                w.u8(17);
+                w.usize(*requester);
+            }
+            FetchInv { requester, writer } => {
+                w.u8(18);
+                w.usize(*requester);
+                w.usize(*writer);
+            }
+            RecallUpd { requester, for_atomic } => {
+                w.u8(19);
+                w.usize(*requester);
+                w.bool(*for_atomic);
+            }
+            InvAck => w.u8(20),
+            UpdateAck => w.u8(21),
+            DataFwd { data } => {
+                w.u8(22);
+                encode_block(w, data);
+            }
+            DataXFwd { data } => {
+                w.u8(23);
+                encode_block(w, data);
+            }
+            SharingWB { data, requester } => {
+                w.u8(24);
+                encode_block(w, data);
+                w.usize(*requester);
+            }
+            OwnershipXfer { to } => {
+                w.u8(25);
+                w.usize(*to);
+            }
+            RecallReply { data, requester, for_atomic } => {
+                w.u8(26);
+                encode_block(w, data);
+                w.usize(*requester);
+                w.bool(*for_atomic);
+            }
+            FetchMiss { original } => {
+                w.u8(27);
+                original.encode(w);
+            }
+        }
+    }
+
+    /// Decodes a message written by [`Msg::encode`].
+    pub fn decode(r: &mut SnapReader<'_>) -> Result<Msg, SnapError> {
+        use MsgKind::*;
+        let src = r.usize()?;
+        let dst = r.usize()?;
+        let addr = r.u32()?;
+        let kind = match r.u8()? {
+            0 => ReadShared,
+            1 => GetX,
+            2 => Upgrade,
+            3 => UpdateWrite { val: r.u32()? },
+            4 => UpdateWriteAlloc { val: r.u32()? },
+            5 => AtomicReq { op: AtomicOp::from_tag(r.u8()?)?, operand: r.u32()?, operand2: r.u32()? },
+            6 => WriteBack { data: decode_block(r)? },
+            7 => SharerDrop,
+            8 => StopUpdate,
+            9 => Data { data: decode_block(r)? },
+            10 => DataX { data: decode_block(r)?, acks: r.u32()? },
+            11 => UpgradeAck { acks: r.u32()? },
+            12 => UpdateInfo { acks: r.u32()?, go_private: r.bool()? },
+            13 => DataUpd { data: decode_block(r)?, acks: r.u32()? },
+            14 => UpdateMsg { val: r.u32()?, writer: r.usize()?, acks_to: r.usize()? },
+            15 => AtomicReply {
+                old: r.u32()?,
+                data: if r.bool()? { Some(decode_block(r)?) } else { None },
+                acks: r.u32()?,
+            },
+            16 => Inval { requester: r.usize()?, writer: r.usize()? },
+            17 => Fetch { requester: r.usize()? },
+            18 => FetchInv { requester: r.usize()?, writer: r.usize()? },
+            19 => RecallUpd { requester: r.usize()?, for_atomic: r.bool()? },
+            20 => InvAck,
+            21 => UpdateAck,
+            22 => DataFwd { data: decode_block(r)? },
+            23 => DataXFwd { data: decode_block(r)? },
+            24 => SharingWB { data: decode_block(r)?, requester: r.usize()? },
+            25 => OwnershipXfer { to: r.usize()? },
+            26 => RecallReply { data: decode_block(r)?, requester: r.usize()?, for_atomic: r.bool()? },
+            27 => FetchMiss { original: Box::new(Msg::decode(r)?) },
+            _ => return Err(SnapError::Corrupt("unknown MsgKind tag")),
+        };
+        Ok(Msg { src, dst, addr, kind })
+    }
+}
+
 impl MsgKind {
     /// Short variant name (tracing / diagnostics).
     pub fn name(&self) -> &'static str {
@@ -282,6 +496,70 @@ mod tests {
         // FetchMiss wraps the original request's size.
         let orig = msg(MsgKind::GetX);
         assert_eq!(msg(MsgKind::FetchMiss { original: Box::new(orig) }).payload_bytes(), 0);
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant() {
+        let block = || vec![3u32; 16].into_boxed_slice();
+        let originals: Vec<Msg> = vec![
+            msg(MsgKind::ReadShared),
+            msg(MsgKind::GetX),
+            msg(MsgKind::Upgrade),
+            msg(MsgKind::UpdateWrite { val: 7 }),
+            msg(MsgKind::UpdateWriteAlloc { val: 8 }),
+            msg(MsgKind::AtomicReq { op: AtomicOp::CompareAndSwap, operand: 1, operand2: 2 }),
+            msg(MsgKind::WriteBack { data: block() }),
+            msg(MsgKind::SharerDrop),
+            msg(MsgKind::StopUpdate),
+            msg(MsgKind::Data { data: block() }),
+            msg(MsgKind::DataX { data: block(), acks: 3 }),
+            msg(MsgKind::UpgradeAck { acks: 4 }),
+            msg(MsgKind::UpdateInfo { acks: 5, go_private: true }),
+            msg(MsgKind::DataUpd { data: block(), acks: 6 }),
+            msg(MsgKind::UpdateMsg { val: 9, writer: 2, acks_to: 3 }),
+            msg(MsgKind::AtomicReply { old: 10, data: Some(block()), acks: 7 }),
+            msg(MsgKind::AtomicReply { old: 11, data: None, acks: 0 }),
+            msg(MsgKind::Inval { requester: 4, writer: 5 }),
+            msg(MsgKind::Fetch { requester: 6 }),
+            msg(MsgKind::FetchInv { requester: 7, writer: 8 }),
+            msg(MsgKind::RecallUpd { requester: 9, for_atomic: true }),
+            msg(MsgKind::InvAck),
+            msg(MsgKind::UpdateAck),
+            msg(MsgKind::DataFwd { data: block() }),
+            msg(MsgKind::DataXFwd { data: block() }),
+            msg(MsgKind::SharingWB { data: block(), requester: 10 }),
+            msg(MsgKind::OwnershipXfer { to: 11 }),
+            msg(MsgKind::RecallReply { data: block(), requester: 12, for_atomic: false }),
+            msg(MsgKind::FetchMiss { original: Box::new(msg(MsgKind::GetX)) }),
+            // Nested FetchMiss (eviction race during a forwarded miss).
+            msg(MsgKind::FetchMiss {
+                original: Box::new(msg(MsgKind::FetchMiss {
+                    original: Box::new(msg(MsgKind::DataX { data: block(), acks: 1 })),
+                })),
+            }),
+        ];
+        let mut w = sim_engine::SnapWriter::new();
+        for m in &originals {
+            m.encode(&mut w);
+        }
+        let payload = w.into_vec();
+        let mut r = sim_engine::SnapReader::new(&payload);
+        for m in &originals {
+            assert_eq!(&Msg::decode(&mut r).unwrap(), m);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn codec_rejects_unknown_tags() {
+        let mut w = sim_engine::SnapWriter::new();
+        w.usize(0); // src
+        w.usize(1); // dst
+        w.u32(0x40); // addr
+        w.u8(200); // no such MsgKind
+        let payload = w.into_vec();
+        let mut r = sim_engine::SnapReader::new(&payload);
+        assert!(Msg::decode(&mut r).is_err());
     }
 
     #[test]

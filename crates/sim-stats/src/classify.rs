@@ -2,11 +2,12 @@
 
 use std::collections::HashMap;
 
+use sim_engine::snapshot::{SnapError, SnapReader, SnapWriter};
 use sim_engine::{Cycle, NodeId};
 use sim_mem::{Addr, BlockAddr, Geometry};
 
 use crate::lineage::{Lineage, LineageReport};
-use crate::report::{MissClass, TrafficReport, UpdateClass, UpdateStats};
+use crate::report::{MissClass, MissStats, TrafficReport, UpdateClass, UpdateStats};
 
 /// Per-home-node update accounting for the network telemetry layer: which
 /// home directory's traffic turned out useful vs useless, and how many
@@ -466,6 +467,189 @@ impl Classifier {
     pub fn report(&self) -> &TrafficReport {
         &self.report
     }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes the mutable classification state — writer history, copy
+    /// histories, live update records, and every report counter — in a
+    /// deterministic (sorted) order. Structure *registrations* and the
+    /// passive instruments (lineage, home stats) are not serialized: the
+    /// restore target is built by the same install path, which re-registers
+    /// structures identically, and instruments restart fresh (checkpoints
+    /// are taken on obs-off runs; windowed replay turns instruments on
+    /// after restore).
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.bool(self.finished);
+        let mut lw: Vec<(Addr, NodeId, Cycle)> =
+            self.last_writer.iter().map(|(&a, &(n, c))| (a, n, c)).collect();
+        lw.sort_by_key(|&(a, _, _)| a);
+        w.usize(lw.len());
+        for (a, n, c) in lw {
+            w.u32(a);
+            w.usize(n);
+            w.u64(c);
+        }
+        let mut cp: Vec<((NodeId, BlockAddr), CopyHistory)> =
+            self.copies.iter().map(|(&k, &v)| (k, v)).collect();
+        cp.sort_by_key(|&(k, _)| k);
+        w.usize(cp.len());
+        for ((n, b), h) in cp {
+            w.usize(n);
+            w.u32(b.0);
+            w.bool(h.ever_cached);
+            match h.lost {
+                None => w.bool(false),
+                Some((cycle, cause)) => {
+                    w.bool(true);
+                    w.u64(cycle);
+                    match cause {
+                        LossCause::External { word_addr, writer } => {
+                            w.u8(0);
+                            w.u32(word_addr);
+                            w.usize(writer);
+                        }
+                        LossCause::Eviction => w.u8(1),
+                        LossCause::SelfInvalidate => w.u8(2),
+                    }
+                }
+            }
+        }
+        type LiveUpdateRow = ((NodeId, BlockAddr), Vec<(usize, UpdateRec)>);
+        let mut lu: Vec<LiveUpdateRow> = self
+            .live_updates
+            .iter()
+            .map(|(&k, recs)| {
+                let mut recs: Vec<(usize, UpdateRec)> = recs.iter().map(|(&widx, &r)| (widx, r)).collect();
+                recs.sort_by_key(|&(widx, _)| widx);
+                (k, recs)
+            })
+            .collect();
+        lu.sort_by_key(|&(k, _)| k);
+        w.usize(lu.len());
+        for ((n, b), recs) in lu {
+            w.usize(n);
+            w.u32(b.0);
+            w.usize(recs.len());
+            for (widx, rec) in recs {
+                w.usize(widx);
+                w.bool(rec.block_referenced);
+            }
+        }
+        encode_report(w, &self.report);
+    }
+
+    /// Restores state captured by [`Classifier::encode_state`] into a
+    /// classifier built by the same install path (same geometry, same
+    /// structure registrations — enforced by a `by_structure` length check).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.finished = r.bool()?;
+        self.last_writer.clear();
+        for _ in 0..r.usize()? {
+            let a = r.u32()?;
+            let n = r.usize()?;
+            let c = r.u64()?;
+            self.last_writer.insert(a, (n, c));
+        }
+        self.copies.clear();
+        for _ in 0..r.usize()? {
+            let n = r.usize()?;
+            let b = BlockAddr(r.u32()?);
+            let ever_cached = r.bool()?;
+            let lost = if r.bool()? {
+                let cycle = r.u64()?;
+                let cause = match r.u8()? {
+                    0 => LossCause::External { word_addr: r.u32()?, writer: r.usize()? },
+                    1 => LossCause::Eviction,
+                    2 => LossCause::SelfInvalidate,
+                    _ => return Err(SnapError::Corrupt("loss-cause tag")),
+                };
+                Some((cycle, cause))
+            } else {
+                None
+            };
+            self.copies.insert((n, b), CopyHistory { ever_cached, lost });
+        }
+        self.live_updates.clear();
+        for _ in 0..r.usize()? {
+            let n = r.usize()?;
+            let b = BlockAddr(r.u32()?);
+            let mut recs = HashMap::new();
+            for _ in 0..r.usize()? {
+                let widx = r.usize()?;
+                recs.insert(widx, UpdateRec { block_referenced: r.bool()? });
+            }
+            self.live_updates.insert((n, b), recs);
+        }
+        decode_report(r, &mut self.report)
+    }
+}
+
+fn encode_miss_stats(w: &mut SnapWriter, m: &MissStats) {
+    for v in [m.cold, m.true_sharing, m.false_sharing, m.eviction, m.drop, m.exclusive_requests] {
+        w.u64(v);
+    }
+}
+
+fn decode_miss_stats(r: &mut SnapReader<'_>) -> Result<MissStats, SnapError> {
+    Ok(MissStats {
+        cold: r.u64()?,
+        true_sharing: r.u64()?,
+        false_sharing: r.u64()?,
+        eviction: r.u64()?,
+        drop: r.u64()?,
+        exclusive_requests: r.u64()?,
+    })
+}
+
+fn encode_update_stats(w: &mut SnapWriter, u: &UpdateStats) {
+    for v in [u.true_sharing, u.false_sharing, u.proliferation, u.replacement, u.termination, u.drop] {
+        w.u64(v);
+    }
+}
+
+fn decode_update_stats(r: &mut SnapReader<'_>) -> Result<UpdateStats, SnapError> {
+    Ok(UpdateStats {
+        true_sharing: r.u64()?,
+        false_sharing: r.u64()?,
+        proliferation: r.u64()?,
+        replacement: r.u64()?,
+        termination: r.u64()?,
+        drop: r.u64()?,
+    })
+}
+
+/// Report counters travel by registration index; names come from the
+/// restore target's own registrations.
+fn encode_report(w: &mut SnapWriter, rep: &TrafficReport) {
+    encode_miss_stats(w, &rep.misses);
+    encode_update_stats(w, &rep.updates);
+    w.u64(rep.shared_reads);
+    w.u64(rep.shared_writes);
+    w.u64(rep.shared_atomics);
+    w.usize(rep.by_structure.len());
+    for s in &rep.by_structure {
+        encode_miss_stats(w, &s.misses);
+        encode_update_stats(w, &s.updates);
+    }
+}
+
+fn decode_report(r: &mut SnapReader<'_>, rep: &mut TrafficReport) -> Result<(), SnapError> {
+    rep.misses = decode_miss_stats(r)?;
+    rep.updates = decode_update_stats(r)?;
+    rep.shared_reads = r.u64()?;
+    rep.shared_writes = r.u64()?;
+    rep.shared_atomics = r.u64()?;
+    let n = r.usize()?;
+    if n != rep.by_structure.len() {
+        return Err(SnapError::Corrupt("structure registration count mismatch"));
+    }
+    for s in rep.by_structure.iter_mut() {
+        s.misses = decode_miss_stats(r)?;
+        s.updates = decode_update_stats(r)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -641,6 +825,65 @@ mod tests {
         let mut c = classifier();
         c.finish();
         c.finish();
+    }
+
+    #[test]
+    fn state_round_trips_and_resumes_identically() {
+        // Build two classifiers through the same registration path, drive
+        // one partway, checkpoint it into the other, then drive both through
+        // identical further events: final reports must match exactly.
+        let build = || {
+            let mut c = Classifier::new(Geometry::new(4));
+            c.register_structure("lock", B, 2);
+            c
+        };
+        let mut a = build();
+        let mut b = build();
+        a.classify_miss(0, W0, 0);
+        a.copy_acquired(0, BlockAddr(B));
+        a.word_written(1, W0, 100);
+        a.copy_lost(0, BlockAddr(B), LossCause::External { word_addr: W0, writer: 1 }, 101);
+        a.copy_lost(2, BlockAddr(B), LossCause::Eviction, 102);
+        a.update_delivered(0, W1);
+        a.update_delivered(3, W0);
+        a.count_read();
+        a.count_write();
+        a.count_atomic();
+
+        let mut w = sim_engine::SnapWriter::new();
+        a.encode_state(&mut w);
+        let bytes = w.into_vec();
+        let mut r = sim_engine::SnapReader::new(&bytes);
+        b.restore_state(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+
+        // The re-encoded state is byte-identical (deterministic order).
+        let mut w2 = sim_engine::SnapWriter::new();
+        b.encode_state(&mut w2);
+        assert_eq!(bytes, w2.into_vec(), "re-encode is byte-identical");
+
+        for c in [&mut a, &mut b] {
+            assert_eq!(c.classify_miss(0, W0, 200), MissClass::TrueSharing);
+            c.word_referenced(0, W1); // consumes the live update
+            c.classify_miss(2, W0, 210);
+            c.finish();
+        }
+        assert_eq!(a.report().misses, b.report().misses);
+        assert_eq!(a.report().updates, b.report().updates);
+        assert_eq!(a.report().shared_reads, b.report().shared_reads);
+        assert_eq!(a.report().by_structure[0].misses, b.report().by_structure[0].misses);
+    }
+
+    #[test]
+    fn restore_rejects_structure_count_mismatch() {
+        let mut a = Classifier::new(Geometry::new(4));
+        a.register_structure("lock", B, 1);
+        let mut w = sim_engine::SnapWriter::new();
+        a.encode_state(&mut w);
+        let bytes = w.into_vec();
+        let mut plain = Classifier::new(Geometry::new(4)); // no registrations
+        let mut r = sim_engine::SnapReader::new(&bytes);
+        assert!(plain.restore_state(&mut r).is_err(), "registration paths differ");
     }
 
     #[test]

@@ -470,6 +470,19 @@ impl CritCollector {
         }
     }
 
+    /// Starts node `n`'s account at `class` as of `at` without charging
+    /// the elapsed interval — cursor alignment for windowed replay from a
+    /// restored checkpoint (mirrors [`ObsCollector::align`]).
+    ///
+    /// [`ObsCollector::align`]: crate::obs::ObsCollector::align
+    pub fn align(&mut self, n: NodeId, class: CpuClass, at: Cycle) {
+        let nc = &mut self.nodes[n];
+        nc.class = class;
+        nc.prev_class = class;
+        nc.since = at;
+        nc.chain.head = at;
+    }
+
     /// Processor `n` enters `class` at cycle `at` (mirrors the
     /// `ObsCollector::transition` choke point).
     pub fn transition(&mut self, n: NodeId, class: CpuClass, at: Cycle) {

@@ -28,7 +28,7 @@
 use std::collections::BTreeMap;
 
 use crate::crit::CritReport;
-use crate::hostobs::{FingerprintChain, FingerprintDivergence, HostObsReport};
+use crate::hostobs::{DivergenceDetail, FingerprintChain, FingerprintDivergence, HostObsReport};
 use crate::json::Json;
 use crate::lineage::{LineageReport, SharingPattern};
 use crate::netobs::{JourneyTotals, NetObsReport};
@@ -322,7 +322,48 @@ pub enum FingerprintCompare {
     Identical,
     /// The chains diverged; says where (parameters, first epoch, or
     /// final state only).
-    Diverged(FingerprintDivergence),
+    Diverged {
+        /// The coarse divergence kind.
+        at: FingerprintDivergence,
+        /// Event-level localization of an epoch divergence: the divergent
+        /// epoch's event-index range, plus the exact first divergent event
+        /// when one stream ends inside that epoch. `None` for
+        /// `Parameters`/`StateOnly` divergences.
+        detail: Option<DivergenceDetail>,
+    },
+}
+
+impl FingerprintCompare {
+    /// One human-readable sentence: `absent`, `identical`, or a
+    /// `diverged ...` description naming the epoch, its event-index
+    /// range, and — when the chains pin it — the exact first divergent
+    /// event. `obs_diff`'s text output and `obs_replay`'s header both
+    /// print this.
+    pub fn describe(&self) -> String {
+        match self {
+            FingerprintCompare::Absent => "absent".to_string(),
+            FingerprintCompare::Identical => "identical (runs committed the same event stream)".to_string(),
+            FingerprintCompare::Diverged { at, detail } => match (at, detail) {
+                (FingerprintDivergence::Parameters, _) => {
+                    "diverged: chains recorded with different epoch sizes".to_string()
+                }
+                (FingerprintDivergence::StateOnly, _) => {
+                    "diverged: same event stream, final machine state differs".to_string()
+                }
+                (FingerprintDivergence::Epoch(i), None) => format!("diverged: first at epoch {i}"),
+                (FingerprintDivergence::Epoch(_), Some(d)) => {
+                    let mut s = format!(
+                        "diverged: first at epoch {} (events [{}, {}))",
+                        d.epoch, d.event_lo, d.event_hi
+                    );
+                    if let (Some(first), Some(in_epoch)) = (d.first_event, d.in_epoch) {
+                        s.push_str(&format!(", first divergent event {first} ({in_epoch} into the epoch)"));
+                    }
+                    s
+                }
+            },
+        }
+    }
 }
 
 /// One ranked row of the attribution: a section/key pair and how many
@@ -652,7 +693,7 @@ impl ReportDelta {
         let fingerprint = match (a.fingerprint, b.fingerprint) {
             (Some(fa), Some(fb)) => match fa.first_divergence(fb) {
                 None => FingerprintCompare::Identical,
-                Some(d) => FingerprintCompare::Diverged(d),
+                Some(at) => FingerprintCompare::Diverged { at, detail: fa.divergence_detail(fb) },
             },
             _ => FingerprintCompare::Absent,
         };
@@ -851,7 +892,7 @@ impl ReportDelta {
                 && n.links.iter().all(|l| l.flits.is_zero())
                 && n.local_messages.is_zero()
         });
-        let fp = !matches!(self.fingerprint, FingerprintCompare::Diverged(_));
+        let fp = !matches!(self.fingerprint, FingerprintCompare::Diverged { .. });
         base && lineage && crit && net && fp
     }
 
@@ -1049,7 +1090,25 @@ impl ReportDelta {
             match &self.fingerprint {
                 FingerprintCompare::Absent => Json::from("absent"),
                 FingerprintCompare::Identical => Json::from("identical"),
-                FingerprintCompare::Diverged(d) => Json::from(format!("diverged: {d:?}")),
+                FingerprintCompare::Diverged { at, detail } => {
+                    let mut fields = vec![
+                        ("status".to_string(), Json::from("diverged")),
+                        ("at".to_string(), Json::from(format!("{at:?}"))),
+                        ("describe".to_string(), Json::from(self.fingerprint.describe())),
+                    ];
+                    if let Some(d) = detail {
+                        fields.push(("epoch".to_string(), Json::U64(d.epoch as u64)));
+                        fields.push(("event_lo".to_string(), Json::U64(d.event_lo)));
+                        fields.push(("event_hi".to_string(), Json::U64(d.event_hi)));
+                        if let Some(e) = d.first_event {
+                            fields.push(("first_event".to_string(), Json::U64(e)));
+                        }
+                        if let Some(e) = d.in_epoch {
+                            fields.push(("in_epoch".to_string(), Json::U64(e)));
+                        }
+                    }
+                    Json::Obj(fields)
+                }
             },
         ));
         pairs.push((
@@ -1153,16 +1212,7 @@ impl ReportDelta {
                 );
             }
         }
-        let _ = writeln!(
-            out,
-            "  fingerprint: {}",
-            match &self.fingerprint {
-                FingerprintCompare::Absent => "absent".to_string(),
-                FingerprintCompare::Identical =>
-                    "identical (runs committed the same event stream)".to_string(),
-                FingerprintCompare::Diverged(d) => format!("diverged: {d:?}"),
-            }
-        );
+        let _ = writeln!(out, "  fingerprint: {}", self.fingerprint.describe());
         let ranked = self.attribution(8);
         if !ranked.is_empty() {
             let _ = writeln!(out, "  attribution (largest cycle movements):");
@@ -1223,6 +1273,41 @@ mod tests {
         assert!(!d.attribution(8).is_empty());
         let json = d.to_json().render_pretty();
         assert!(Json::parse(&json).is_ok(), "delta JSON parses");
+    }
+
+    #[test]
+    fn fingerprint_compare_describes_event_level_divergence() {
+        let mk = |epochs: Vec<(u64, u64)>, total: u64| FingerprintChain {
+            epoch_events: 512,
+            epochs,
+            total_events: total,
+            state_digest: (1, 2),
+        };
+        // Shorter stream ends inside the divergent epoch: the detail pins
+        // the exact first divergent event, and the sentence names it.
+        let full = mk(vec![(1, 1), (2, 2), (3, 3)], 1400);
+        let short = mk(vec![(1, 1), (2, 2), (9, 9)], 1100);
+        let at = full.first_divergence(&short).expect("diverged");
+        let detail = full.divergence_detail(&short);
+        let cmp = FingerprintCompare::Diverged { at, detail };
+        let s = cmp.describe();
+        assert!(s.contains("epoch 2"), "{s}");
+        assert!(s.contains("[1024, 1400)"), "{s}");
+        assert!(s.contains("first divergent event 1100"), "{s}");
+        assert!(s.contains("76 into the epoch"), "{s}");
+
+        // Same-length divergence: only the epoch range is known.
+        let b = mk(vec![(1, 1), (7, 7), (3, 3)], 1400);
+        let at = full.first_divergence(&b).expect("diverged");
+        let detail = full.divergence_detail(&b);
+        let d = detail.expect("epoch-shaped divergence has a detail");
+        assert_eq!((d.epoch, d.event_lo, d.event_hi), (1, 512, 1024));
+        assert_eq!(d.first_event, None);
+        let s = FingerprintCompare::Diverged { at, detail }.describe();
+        assert!(s.contains("epoch 1") && !s.contains("first divergent event"), "{s}");
+
+        assert_eq!(FingerprintCompare::Absent.describe(), "absent");
+        assert!(FingerprintCompare::Identical.describe().contains("identical"));
     }
 
     #[test]

@@ -468,18 +468,41 @@ pub struct FingerprintRecorder {
     in_epoch: u64,
     total: u64,
     epochs: Vec<(u64, u64)>,
+    /// Epochs that ran before this recorder took over (checkpoint resume).
+    /// Epoch hashers are seeded with the *global* epoch index, so a resumed
+    /// recorder's sealed digests line up with the uninterrupted run's
+    /// `epochs[epoch_offset..]`.
+    epoch_offset: u64,
 }
 
 impl FingerprintRecorder {
     /// A recorder sealing a digest every `epoch_events` events (min 1).
     pub fn new(epoch_events: u64) -> Self {
+        Self::resume(epoch_events, 0)
+    }
+
+    /// A recorder resuming at global epoch `epoch_offset` — used when a run
+    /// restarts from a checkpoint taken at an epoch boundary. The recorder
+    /// only seals the tail epochs, but seeds each with its global index, so
+    /// a full run's chain and a resumed run's chain satisfy
+    /// `full.epochs[epoch_offset..] == resumed.epochs` when the replayed
+    /// event stream is identical. `total_events` counts the skipped events
+    /// as recorded, keeping end-of-run totals comparable.
+    pub fn resume(epoch_events: u64, epoch_offset: u64) -> Self {
+        let epoch_events = epoch_events.max(1);
         FingerprintRecorder {
-            epoch_events: epoch_events.max(1),
-            hasher: epoch_hasher(0),
+            epoch_events,
+            hasher: epoch_hasher(epoch_offset),
             in_epoch: 0,
-            total: 0,
+            total: epoch_offset * epoch_events,
             epochs: Vec::new(),
+            epoch_offset,
         }
+    }
+
+    /// The global epoch index this recorder started at (0 for a fresh run).
+    pub fn epoch_offset(&self) -> u64 {
+        self.epoch_offset
     }
 
     /// Absorbs one popped event: its cycle, a kind tag, and two
@@ -499,7 +522,7 @@ impl FingerprintRecorder {
 
     fn seal_epoch(&mut self) {
         self.epochs.push(self.hasher.finish128());
-        self.hasher = epoch_hasher(self.epochs.len() as u64);
+        self.hasher = epoch_hasher(self.epoch_offset + self.epochs.len() as u64);
         self.in_epoch = 0;
     }
 
@@ -544,6 +567,32 @@ pub enum FingerprintDivergence {
     /// The event streams match but the end-of-run machine-state digests
     /// differ (state outside the event stream diverged).
     StateOnly,
+}
+
+/// Fine-grained localization of an [`FingerprintDivergence::Epoch`]
+/// divergence: the divergent epoch's global event-index range, plus the
+/// exact first divergent event when the chain metadata pins it.
+///
+/// Epoch digests are opaque, so a content mismatch inside a common epoch
+/// only bounds the divergence to the epoch's event range — replay
+/// (`obs_replay`) resolves the exact event. But when one stream is shorter
+/// and ends *inside* the divergent epoch, the earliest possible divergence
+/// is the first event the shorter stream lacks, and that index (global and
+/// in-epoch) is reported here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceDetail {
+    /// Index of the first divergent epoch.
+    pub epoch: usize,
+    /// Global index of the epoch's first event.
+    pub event_lo: u64,
+    /// One past the epoch's last event index covered by either run.
+    pub event_hi: u64,
+    /// Exact global index of the first event the chains can pin the
+    /// divergence to (`None` when only replay can resolve it).
+    pub first_event: Option<u64>,
+    /// `first_event` relative to the epoch start (the recorder's `in_epoch`
+    /// counter at that event).
+    pub in_epoch: Option<u64>,
 }
 
 /// The sealed fingerprint of one run: per-epoch event-stream digests plus
@@ -602,6 +651,34 @@ impl FingerprintChain {
             return Some(FingerprintDivergence::StateOnly);
         }
         None
+    }
+
+    /// Localizes an epoch divergence against `other` to its event-index
+    /// range, pinning the exact first divergent event when one stream is a
+    /// prefix ending inside the divergent epoch. `None` when the chains are
+    /// identical or the divergence is not epoch-shaped
+    /// ([`FingerprintDivergence::Parameters`] / `StateOnly`).
+    pub fn divergence_detail(&self, other: &FingerprintChain) -> Option<DivergenceDetail> {
+        match self.first_divergence(other)? {
+            FingerprintDivergence::Epoch(i) => {
+                let event_lo = i as u64 * self.epoch_events;
+                let event_hi = (event_lo + self.epoch_events).min(self.total_events.max(other.total_events));
+                let min_total = self.total_events.min(other.total_events);
+                // The shorter stream ends inside the divergent epoch: the
+                // first event it lacks is the earliest the chains can pin.
+                let first_event = (self.total_events != other.total_events
+                    && (event_lo..event_hi).contains(&min_total))
+                .then_some(min_total);
+                Some(DivergenceDetail {
+                    epoch: i,
+                    event_lo,
+                    event_hi,
+                    first_event,
+                    in_epoch: first_event.map(|e| e - event_lo),
+                })
+            }
+            _ => None,
+        }
     }
 
     /// The chain as a JSON value (epoch digests as 32-hex strings).
@@ -706,6 +783,62 @@ mod tests {
         feed(&mut b, 128, None);
         let (a, b) = (a.finish((1, 2)), b.finish((1, 2)));
         assert_eq!(a.first_divergence(&b), Some(FingerprintDivergence::Parameters));
+    }
+
+    #[test]
+    fn resumed_recorder_matches_full_chain_tail() {
+        let mut full = FingerprintRecorder::new(64);
+        feed(&mut full, 640, None);
+        // Resume at epoch 4 (event 256) and feed the identical tail.
+        let mut tail = FingerprintRecorder::resume(64, 4);
+        assert_eq!(tail.epoch_offset(), 4);
+        for i in 256..640 {
+            tail.record(i / 3, "ev", i % 7, i % 5);
+        }
+        let (full, tail) = (full.finish((1, 2)), tail.finish((1, 2)));
+        assert_eq!(full.epochs[4..], tail.epochs, "tail epochs line up globally");
+        assert_eq!(full.total_events, tail.total_events, "skipped events counted as recorded");
+    }
+
+    #[test]
+    fn divergence_detail_bounds_common_epoch_mismatch() {
+        let mut a = FingerprintRecorder::new(64);
+        let mut b = FingerprintRecorder::new(64);
+        feed(&mut a, 640, None);
+        feed(&mut b, 640, Some(7 * 64 + 13));
+        let (a, b) = (a.finish((1, 2)), b.finish((1, 2)));
+        let d = a.divergence_detail(&b).expect("diverged");
+        assert_eq!(d.epoch, 7);
+        assert_eq!(d.event_lo, 7 * 64);
+        assert_eq!(d.event_hi, 8 * 64);
+        assert_eq!(d.first_event, None, "content mismatch needs replay to pin");
+        assert_eq!(d.in_epoch, None);
+    }
+
+    #[test]
+    fn divergence_detail_pins_prefix_end() {
+        let mut a = FingerprintRecorder::new(64);
+        let mut b = FingerprintRecorder::new(64);
+        feed(&mut a, 100, None);
+        feed(&mut b, 101, None);
+        let (a, b) = (a.finish((1, 2)), b.finish((1, 2)));
+        let d = a.divergence_detail(&b).expect("diverged");
+        assert_eq!(d.epoch, 1);
+        assert_eq!(d.first_event, Some(100), "shorter stream ends mid-epoch");
+        assert_eq!(d.in_epoch, Some(100 - 64));
+        assert_eq!(b.divergence_detail(&a), Some(d), "symmetric");
+    }
+
+    #[test]
+    fn divergence_detail_absent_for_non_epoch_shapes() {
+        let mut a = FingerprintRecorder::new(64);
+        let mut b = FingerprintRecorder::new(64);
+        feed(&mut a, 640, None);
+        feed(&mut b, 640, None);
+        let (a, b2) = (a.finish((1, 2)), b.finish((9, 9)));
+        assert_eq!(a.first_divergence(&b2), Some(FingerprintDivergence::StateOnly));
+        assert_eq!(a.divergence_detail(&b2), None, "state-only has no epoch range");
+        assert_eq!(a.divergence_detail(&a.clone()), None, "identical chains");
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub use diffobs::{
 };
 pub use hist::LatencyHist;
 pub use hostobs::{
-    FingerprintChain, FingerprintDivergence, FingerprintRecorder, HostCat, HostCatReport, HostObsConfig,
-    HostObsReport, HostProfiler, PdesObs, QueueReport, ShardObs, HOST_CATS,
+    DivergenceDetail, FingerprintChain, FingerprintDivergence, FingerprintRecorder, HostCat, HostCatReport,
+    HostObsConfig, HostObsReport, HostProfiler, PdesObs, QueueReport, ShardObs, HOST_CATS,
 };
 pub use json::Json;
 pub use lineage::{

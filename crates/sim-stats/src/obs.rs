@@ -255,6 +255,16 @@ impl ObsCollector {
         node.class = class;
     }
 
+    /// Starts processor `n`'s account at `class` as of `at` without
+    /// charging the elapsed interval — cursor alignment for windowed
+    /// replay from a restored checkpoint, where cycles before `at` belong
+    /// to the original run's account.
+    pub fn align(&mut self, n: usize, class: CpuClass, at: Cycle) {
+        let node = &mut self.nodes[n];
+        node.class = class;
+        node.since = at;
+    }
+
     /// Processor `n`'s current class (for sampling).
     pub fn class_of(&self, n: usize) -> CpuClass {
         self.nodes[n].class

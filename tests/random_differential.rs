@@ -182,6 +182,108 @@ fn pdes_core_is_shard_count_invariant() {
 const PROTOCOLS: [Protocol; 3] =
     [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
 
+/// Builds the machine for `per_cpu_ops` (same allocation order and
+/// programs every call, so snapshots restore across instances), returning
+/// it with the list of observable shared addresses.
+fn build_case_machine(
+    per_cpu_ops: &[Vec<Op>],
+    protocol: Protocol,
+    shards: usize,
+    checkpoint_every: Option<u64>,
+) -> (Machine, Vec<u32>) {
+    let cpus = per_cpu_ops.len();
+    let mut cfg = MachineConfig::paper(cpus, protocol).with_shards(shards);
+    // A tiny epoch keeps the epoch-aligned checkpoint grid fine enough
+    // for these short random programs.
+    cfg.hostobs.fingerprint_epoch = 32;
+    cfg.checkpoint_every = checkpoint_every;
+    let mut m = Machine::new(cfg);
+    let counter_addrs: Vec<u32> = (0..COUNTERS).map(|i| m.alloc().alloc_block_on(i % cpus, 1)).collect();
+    let slot_addrs: Vec<Vec<u32>> =
+        (0..cpus).map(|c| (0..SLOTS).map(|_| m.alloc().alloc_block_on(c, 1)).collect()).collect();
+    for (cpu, ops) in per_cpu_ops.iter().enumerate() {
+        m.set_program(cpu, build_program(ops, &counter_addrs, &slot_addrs[cpu]));
+    }
+    let addrs = counter_addrs.into_iter().chain(slot_addrs.into_iter().flatten()).collect();
+    (m, addrs)
+}
+
+/// Full observable outcome of a finished machine: figures + final memory.
+fn outcome(r: &sim_machine::RunResult, m: &mut Machine, addrs: &[u32]) -> String {
+    let words: Vec<u32> = addrs.iter().map(|&a| m.read_word(a)).collect();
+    format!("{:?} {:?} {:?} {} {words:?}", r.cycles, r.traffic, r.net, r.instructions)
+}
+
+/// Snapshot→restore round trip on a random program: when the run is long
+/// enough to cross a checkpoint boundary, restoring the deepest mid-run
+/// checkpoint must replay to the exact figures and final memory of an
+/// uninterrupted run. Returns whether a checkpoint fired (restores are
+/// only possible from mid-run snapshots — a machine restored before any
+/// event was queued would have nothing to dispatch).
+fn run_case_round_trip(per_cpu_ops: &[Vec<Op>], protocol: Protocol, shards: usize) -> bool {
+    let (mut full_m, addrs) = build_case_machine(per_cpu_ops, protocol, shards, None);
+    let full_r = full_m.run();
+    full_m.assert_coherent();
+    let full = outcome(&full_r, &mut full_m, &addrs);
+
+    let (mut ck_m, _) = build_case_machine(per_cpu_ops, protocol, shards, Some(32));
+    let ck_r = ck_m.run();
+    assert_eq!(outcome(&ck_r, &mut ck_m, &addrs), full, "{protocol:?}/{shards}: checkpointing perturbed");
+    let Some(ck) = ck_m.take_checkpoints().pop() else { return false };
+    let (mut m, _) = build_case_machine(per_cpu_ops, protocol, shards, None);
+    m.restore(&ck.blob).expect("checkpoint restores");
+    let r = m.run();
+    assert_eq!(
+        outcome(&r, &mut m, &addrs),
+        full,
+        "{protocol:?}/{shards}: restore at event {} diverged",
+        ck.events
+    );
+    true
+}
+
+#[test]
+fn snapshot_round_trip_is_exact_for_random_programs() {
+    let mut rng = SplitMix64::new(0xd1ff_0004);
+    let mut restored = 0;
+    for i in 0..12 {
+        let case = random_case(&mut rng);
+        if run_case_round_trip(&case, PROTOCOLS[i % 3], if i % 2 == 0 { 1 } else { 4 }) {
+            restored += 1;
+        }
+    }
+    assert!(restored >= 6, "only {restored}/12 random cases crossed a checkpoint boundary");
+}
+
+#[test]
+fn snapshot_restore_rejects_corruption_and_wrong_identity() {
+    let mut rng = SplitMix64::new(0xd1ff_0005);
+    let case = random_case(&mut rng);
+    let (m, _) = build_case_machine(&case, Protocol::WriteInvalidate, 1, None);
+    let blob = m.snapshot();
+
+    // Bit flip anywhere in the sealed frame.
+    let mut bad = blob.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x08;
+    let (mut r, _) = build_case_machine(&case, Protocol::WriteInvalidate, 1, None);
+    assert!(r.restore(&bad).is_err(), "corrupted snapshot must not restore");
+
+    // Truncation.
+    let (mut r, _) = build_case_machine(&case, Protocol::WriteInvalidate, 1, None);
+    assert!(r.restore(&blob[..blob.len() - 7]).is_err(), "truncated snapshot must not restore");
+
+    // Wrong machine identity: different protocol, different shard count.
+    let (mut r, _) = build_case_machine(&case, Protocol::PureUpdate, 1, None);
+    assert!(r.restore(&blob).is_err(), "protocol mismatch must not restore");
+    let (mut r, _) = build_case_machine(&case, Protocol::WriteInvalidate, 2, None);
+    assert!(r.restore(&blob).is_err(), "shard-count mismatch must not restore");
+
+    // The original blob still restores fine afterwards.
+    let (mut r, _) = build_case_machine(&case, Protocol::WriteInvalidate, 1, None);
+    assert!(r.restore(&blob).is_ok(), "pristine snapshot restores");
+}
+
 #[test]
 fn machine_matches_oracle_under_wi() {
     let mut rng = SplitMix64::new(0xd1ff_0001);

@@ -1,0 +1,175 @@
+//! Time-travel acceptance: restore-and-run-to-end is byte-identical to an
+//! uninterrupted run for **every** diagnostic kernel under every protocol,
+//! on the serial core and the sharded PDES core.
+//!
+//! Each cell runs a small-but-real workload twice — once plain, once with
+//! epoch-aligned checkpoints — then restores the *last* checkpoint into a
+//! fresh machine and drives it to completion. The resumed run must
+//! reproduce the full run's figures exactly (cycles, classified traffic,
+//! network counters, instructions, latency histograms), pass the kernel's
+//! own correctness verifier, and extend the fingerprint chain with the
+//! identical epoch digests and final state digest.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::{
+    BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease, ReductionKind, ReductionWorkload,
+};
+use kernels::{barriers, locks, reductions};
+use ppc_bench::observed::{protocol_name, KERNEL_NAMES};
+use ppc_bench::PROTOCOLS;
+use sim_machine::{Machine, MachineConfig, RunResult};
+
+const PROCS: usize = 4;
+/// Small fingerprint epoch = checkpoint cadence, so even these short
+/// workloads cross several checkpoint boundaries.
+const EPOCH: u64 = 128;
+
+/// A scaled-down (but still contended) workload for each kernel the
+/// diagnostic binaries accept — independent of `PPC_SCALE` so the test is
+/// deterministic under any environment.
+fn tiny_spec(name: &str) -> KernelSpec {
+    let lock = |kind| {
+        KernelSpec::Lock(LockWorkload {
+            kind,
+            total_acquires: 96,
+            cs_cycles: 5,
+            post_release: PostRelease::None,
+        })
+    };
+    let barrier = |kind| KernelSpec::Barrier(BarrierWorkload { kind, episodes: 24 });
+    let reduction = |kind| KernelSpec::Reduction(ReductionWorkload { kind, episodes: 24, skew: 0 });
+    match name {
+        "ticket-lock" => lock(LockKind::Ticket),
+        "mcs-lock" => lock(LockKind::Mcs),
+        "uc-mcs-lock" => lock(LockKind::McsUpdateConscious),
+        "tas-lock" => lock(LockKind::TestAndSet),
+        "ttas-lock" => lock(LockKind::TestAndTestAndSet),
+        "anderson-lock" => lock(LockKind::AndersonQueue),
+        "central-barrier" => barrier(BarrierKind::Centralized),
+        "dissemination-barrier" => barrier(BarrierKind::Dissemination),
+        "tree-barrier" => barrier(BarrierKind::Tree),
+        "par-reduction" => reduction(ReductionKind::Parallel),
+        "seq-reduction" => reduction(ReductionKind::Sequential),
+        _ => panic!("unknown kernel {name}"),
+    }
+}
+
+/// Installs `kernel`, runs the machine with `run`, and verifies the
+/// kernel's own postcondition on the final memory image — so a resumed
+/// machine is held to the same correctness bar as a fresh one.
+fn install_run_verify(
+    m: &mut Machine,
+    kernel: &KernelSpec,
+    run: impl FnOnce(&mut Machine) -> RunResult,
+) -> RunResult {
+    match kernel {
+        KernelSpec::Lock(w) => {
+            let layout = locks::install(m, w);
+            let r = run(m);
+            locks::verify(m, w, &layout);
+            r
+        }
+        KernelSpec::Barrier(w) => {
+            let layout = barriers::install(m, w);
+            let r = run(m);
+            barriers::verify(m, w, &layout);
+            r
+        }
+        KernelSpec::Reduction(w) => {
+            let layout = reductions::install(m, w);
+            let r = run(m);
+            reductions::verify(m, w, &layout);
+            r
+        }
+    }
+}
+
+/// Every figure a run produces, as one comparable string.
+fn digest(r: &RunResult) -> String {
+    format!(
+        "{} {:?} {:?} {} {:?} {:?}",
+        r.cycles,
+        r.traffic,
+        r.net,
+        r.instructions,
+        r.read_latency.to_raw_parts(),
+        r.atomic_latency.to_raw_parts()
+    )
+}
+
+fn round_trip_cell(name: &str, shards: usize) {
+    let kernel = tiny_spec(name);
+    for protocol in PROTOCOLS {
+        let mut cfg = MachineConfig::paper(PROCS, protocol).with_shards(shards);
+        cfg.hostobs.fingerprint = true;
+        cfg.hostobs.fingerprint_epoch = EPOCH;
+
+        // Uninterrupted reference run (fingerprints on, checkpoints off).
+        let mut full_m = Machine::new(cfg.clone());
+        let full = install_run_verify(&mut full_m, &kernel, Machine::run);
+        let full_chain = full.fingerprint.as_ref().expect("fingerprints on");
+
+        // Checkpointed run: identical figures, plus snapshots mid-flight.
+        let mut ck_m = Machine::new(cfg.clone().with_checkpoints(EPOCH));
+        let ck_run = install_run_verify(&mut ck_m, &kernel, Machine::run);
+        let tag = format!("{name}/{}/{shards} shards", protocol_name(protocol));
+        assert_eq!(digest(&ck_run), digest(&full), "{tag}: checkpointing perturbed the run");
+        let checkpoints = ck_m.take_checkpoints();
+        assert!(!checkpoints.is_empty(), "{tag}: workload too short — no checkpoint fired");
+
+        // Restore the deepest checkpoint and run to the end: byte-identical
+        // figures and a fingerprint tail that matches the full chain.
+        let ck = checkpoints.last().unwrap();
+        let mut resumed_m = Machine::new(cfg.clone());
+        let resumed = install_run_verify(&mut resumed_m, &kernel, |m| {
+            m.restore(&ck.blob).expect("restore failed");
+            assert_eq!(m.events_dispatched(), ck.events);
+            m.run()
+        });
+        assert_eq!(
+            digest(&resumed),
+            digest(&full),
+            "{tag}: resumed run diverged from checkpoint at event {} (cycle {})",
+            ck.events,
+            ck.cycle
+        );
+        let tail = resumed.fingerprint.as_ref().expect("fingerprints on");
+        assert_eq!(tail.total_events, full_chain.total_events, "{tag}");
+        assert!(tail.epochs.len() < full_chain.epochs.len(), "{tag}: checkpoint was at event 0");
+        let offset = full_chain.epochs.len() - tail.epochs.len();
+        assert_eq!(&full_chain.epochs[offset..], &tail.epochs[..], "{tag}: fingerprint tail diverged");
+        assert_eq!(tail.state_digest, full_chain.state_digest, "{tag}: final state digest diverged");
+    }
+}
+
+#[test]
+fn every_kernel_resumes_byte_identically_serial() {
+    for name in KERNEL_NAMES {
+        round_trip_cell(name, 1);
+    }
+}
+
+#[test]
+fn every_kernel_resumes_byte_identically_sharded() {
+    for name in KERNEL_NAMES {
+        round_trip_cell(name, 4);
+    }
+}
+
+#[test]
+fn windowed_replay_reproduces_the_original_run() {
+    // The driver-level zoom: replay a cycle window of an obs-off ticket
+    // lock run with full observability, and prove the restored run still
+    // reaches the original cycle count with a non-empty window report.
+    let kernel = tiny_spec("ticket-lock");
+    let mut probe_m = Machine::new(MachineConfig::paper(PROCS, sim_proto::Protocol::WriteInvalidate));
+    let probe = install_run_verify(&mut probe_m, &kernel, Machine::run);
+    let (c1, c2) = (probe.cycles / 3, 2 * probe.cycles / 3);
+    let w = ppc_bench::replay::window_replay(PROCS, sim_proto::Protocol::WriteInvalidate, &kernel, c1, c2)
+        .expect("window replays");
+    assert_eq!(w.original_cycles, probe.cycles, "recording pass matches a plain run");
+    assert_eq!(w.revalidated_cycles, w.original_cycles, "restored run reaches the original end");
+    assert_eq!(w.window_result.cycles, c2, "window run stops at the requested end");
+    let obs = w.window_result.obs.as_ref().expect("window ran observed");
+    assert!(obs.per_node.iter().any(|n| n.cycles.total() > 0), "window obs report is empty");
+}
