@@ -14,88 +14,33 @@
 //!   observability on, from the nearest checkpoint, and proves the
 //!   restored run still reaches the original cycle count.
 //!
-//! `--json` prints the machine-readable document. Workloads honor
-//! `PPC_SCALE`; `PPC_FP_EPOCH` sets the epoch grid and
-//! `PPC_CHECKPOINT_EVERY` the checkpoint cadence.
+//! `--json` prints the machine-readable document (canonical keys —
+//! byte-identical across identical replays; pinned by the replay module's
+//! tests). Workloads honor `PPC_SCALE`; `PPC_FP_EPOCH` sets the epoch
+//! grid and `PPC_CHECKPOINT_EVERY` the checkpoint cadence.
 
 use std::process::ExitCode;
 
 use ppc_bench::diff::parse_protocol;
-use ppc_bench::observed::{kernel_by_name, summary_line, KERNEL_NAMES};
-use ppc_bench::replay::{divergence_replay, window_replay, DivergenceReplay, WindowReplay};
-use sim_machine::RecordedEvent;
-use sim_stats::Json;
+use ppc_bench::observed::{kernel_by_name, summary_line, DiagArgs, KERNEL_NAMES};
+use ppc_bench::replay::{
+    divergence_json, divergence_replay, event_line, window_json, window_replay, DivergenceReplay,
+    WindowReplay,
+};
 
 const USAGE: &str = "usage: obs_replay <kernel> <protoA> <protoB> [procs] [--json]\n\
        obs_replay <kernel> <proto> [procs] --window <c1>:<c2> [--json]";
 
-struct Args {
-    json: bool,
-    window: Option<(u64, u64)>,
-    positional: Vec<String>,
-}
-
-fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
-    let mut args = Args { json: false, window: None, positional: Vec::new() };
-    let mut it = argv.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => args.json = true,
-            "--window" => {
-                let v = it.next().ok_or("--window needs a value like 1000:2000")?;
-                let (lo, hi) =
-                    v.split_once(':').ok_or_else(|| format!("invalid --window {v:?}; expected <c1>:<c2>"))?;
-                let parse = |s: &str| s.parse::<u64>().map_err(|_| format!("invalid --window cycle {s:?}"));
-                args.window = Some((parse(lo)?, parse(hi)?));
-            }
-            s if s.starts_with("--") => return Err(format!("unknown flag {s:?}\n{USAGE}")),
-            _ => args.positional.push(a),
-        }
-    }
-    Ok(args)
-}
-
-fn event_line(e: &RecordedEvent) -> String {
-    format!("event {:>8} @ cycle {:>10}: {}", e.index, e.cycle, e.label)
-}
-
-fn event_json(e: &RecordedEvent) -> Json {
-    Json::obj([
-        ("index", Json::U64(e.index)),
-        ("cycle", Json::U64(e.cycle)),
-        ("label", Json::from(e.label.as_str())),
-    ])
+/// Parses the `--window` value (`<c1>:<c2>`, both cycle numbers).
+fn parse_window(v: &str) -> Result<(u64, u64), String> {
+    let (lo, hi) = v.split_once(':').ok_or_else(|| format!("invalid --window {v:?}; expected <c1>:<c2>"))?;
+    let parse = |s: &str| s.parse::<u64>().map_err(|_| format!("invalid --window cycle {s:?}"));
+    Ok((parse(lo)?, parse(hi)?))
 }
 
 fn print_divergence(kernel: &str, procs: usize, d: &DivergenceReplay, json: bool) {
     if json {
-        let doc = Json::obj([
-            ("kernel", Json::from(kernel)),
-            ("procs", Json::from(procs)),
-            ("side_a", Json::from(d.label_a.as_str())),
-            ("side_b", Json::from(d.label_b.as_str())),
-            ("cycles_a", Json::U64(d.cycles.0)),
-            ("cycles_b", Json::U64(d.cycles.1)),
-            ("fingerprint", Json::from(d.sentence.as_str())),
-            ("replayed_from", Json::U64(d.replayed_from)),
-            (
-                "first_divergent_event",
-                match &d.first {
-                    None => Json::Null,
-                    Some(f) => Json::obj([
-                        ("index", Json::U64(f.index)),
-                        ("a", f.a.as_ref().map(event_json).unwrap_or(Json::Null)),
-                        ("b", f.b.as_ref().map(event_json).unwrap_or(Json::Null)),
-                    ]),
-                },
-            ),
-            ("context", Json::Arr(d.prefix.iter().map(event_json).collect())),
-            ("after_a", Json::Arr(d.after_a.iter().map(event_json).collect())),
-            ("after_b", Json::Arr(d.after_b.iter().map(event_json).collect())),
-            ("window_obs_a", Json::from(d.obs_a.as_str())),
-            ("window_obs_b", Json::from(d.obs_b.as_str())),
-        ]);
-        println!("{}", doc.canonical().render_pretty());
+        println!("{}", divergence_json(kernel, procs, d).render_pretty());
         return;
     }
     println!("divergence replay: {kernel}, {procs} procs, {} vs {}", d.label_a, d.label_b);
@@ -139,22 +84,8 @@ fn print_divergence(kernel: &str, procs: usize, d: &DivergenceReplay, json: bool
 }
 
 fn print_window(kernel: &str, procs: usize, proto: &str, w: &WindowReplay, json: bool) {
-    let obs = w.window_result.obs.as_ref();
     if json {
-        let doc = Json::obj([
-            ("kernel", Json::from(kernel)),
-            ("procs", Json::from(procs)),
-            ("protocol", Json::from(proto)),
-            ("original_cycles", Json::U64(w.original_cycles)),
-            ("revalidated_cycles", Json::U64(w.revalidated_cycles)),
-            ("replayed_from_cycle", Json::U64(w.replayed_from_cycle)),
-            ("replayed_from_events", Json::U64(w.replayed_from_events)),
-            ("window_lo", Json::U64(w.window.0)),
-            ("window_hi", Json::U64(w.window.1)),
-            ("window_cycles", Json::U64(w.window_result.cycles)),
-            ("obs", obs.map(|o| o.to_json()).unwrap_or(Json::Null)),
-        ]);
-        println!("{}", doc.canonical().render_pretty());
+        println!("{}", window_json(kernel, procs, proto, w).render_pretty());
         return;
     }
     println!("window replay: {kernel} under {proto}, {procs} procs");
@@ -173,35 +104,26 @@ fn print_window(kernel: &str, procs: usize, proto: &str, w: &WindowReplay, json:
     };
     println!("{}", summary_line("replayed-to-end", w.revalidated_cycles, [check]));
     println!("window [{}, {}] observed:", w.window.0, w.window.1);
-    match obs {
+    match w.window_result.obs.as_ref() {
         Some(o) => print!("{}", o.summary()),
         None => println!("(no obs report)"),
     }
 }
 
 fn run() -> Result<(), String> {
-    let args = parse_args(std::env::args().skip(1))?;
+    let args = DiagArgs::parse_with(&["--window"]).map_err(|e| format!("{e}\n{USAGE}"))?;
     let kernel_name = args.positional.first().ok_or_else(|| format!("missing kernel name\n{USAGE}"))?.clone();
     let kernel = kernel_by_name(&kernel_name)
         .ok_or_else(|| format!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", ")))?;
-    let count_at = |i: usize, default: usize| -> Result<usize, String> {
-        match args.positional.get(i) {
-            None => Ok(default),
-            Some(s) => s
-                .parse::<usize>()
-                .ok()
-                .filter(|n| *n >= 1)
-                .ok_or_else(|| format!("invalid count {s:?}; expected an integer >= 1")),
-        }
-    };
 
-    if let Some((c1, c2)) = args.window {
+    if let Some(v) = args.opt("--window") {
+        let (c1, c2) = parse_window(v)?;
         let proto = args
             .positional
             .get(1)
             .and_then(|s| parse_protocol(s))
             .ok_or_else(|| format!("expected a protocol (wi/pu/cu) after the kernel\n{USAGE}"))?;
-        let procs = count_at(2, 8)?;
+        let procs = args.count_or(2, 8)?;
         let w = window_replay(procs, proto, &kernel, c1, c2)?;
         print_window(&kernel_name, procs, ppc_bench::observed::protocol_name(proto), &w, args.json);
         if w.revalidated_cycles != w.original_cycles {
@@ -220,7 +142,7 @@ fn run() -> Result<(), String> {
         .get(2)
         .and_then(|s| parse_protocol(s))
         .ok_or_else(|| format!("expected protocols (wi/pu/cu) after the kernel\n{USAGE}"))?;
-    let procs = count_at(3, 8)?;
+    let procs = args.count_or(3, 8)?;
     let d = divergence_replay(procs, proto_a, proto_b, &kernel)?;
     print_divergence(&kernel_name, procs, &d, args.json);
     Ok(())

@@ -1,0 +1,209 @@
+//! Parallelism observability: shared-state touch analytics, epoch
+//! conflict density, and what-if speedup projection for the sharded core.
+//!
+//! `par_profile <kernel> [procs] [--json] [--record <BENCH_pdes.json>]`
+//!
+//! Runs `kernel` under every protocol with the host profiler and the
+//! parobs collector on, then reports per structure kind (classifier
+//! blocks, rx ports, magic-sync cells, directory blocks, write buffers):
+//! touch counts, cross-shard conflict density, and the fraction of epochs
+//! each kind serializes; per-shard load (weight, events, owned conflicts)
+//! with max-over-mean and Gini imbalance; and the projected speedup curve
+//! over hypothetical shard counts (`PPC_PAROBS_SHARDS`, default 2,4,8,16)
+//! under both contiguous and round-robin plans, naming the limiting
+//! structure at every point.
+//!
+//! `PPC_SHARDS` picks the actual core (1 = serial: the projection then
+//! uses event counts as weights). `--json` emits the canonical document;
+//! `--record <path>` merges the measurement into an existing
+//! `ppc-bench-record-v1` file (payload gains a `parobs` object, metrics
+//! gain informational `projected_speedup_*` entries).
+
+use std::process::ExitCode;
+
+use ppc_bench::env_cfg::{env_parobs_shards, env_shards};
+use ppc_bench::observed::{kernel_by_name, protocol_name, run_kernel, summary_line, DiagArgs, KERNEL_NAMES};
+use ppc_bench::registry::BenchRecord;
+use ppc_bench::PROTOCOLS;
+use sim_machine::{Machine, MachineConfig};
+use sim_stats::{Json, ParObsReport, PlanShape};
+
+const USAGE: &str = "usage: par_profile <kernel> [procs] [--json] [--record <BENCH_pdes.json>]";
+
+fn print_report(par: &ParObsReport) {
+    println!(
+        "  epochs {} (lookahead {} cycles), {} committed events, {} touch records, weights in {}",
+        par.epochs, par.lookahead, par.events, par.touch_records, par.weights
+    );
+    println!(
+        "  conflicts {} across {} serialized epochs ({} on global structures)",
+        par.conflicts_total, par.serialized_epochs, par.global_conflicts
+    );
+    println!(
+        "  {:<14}{:>12}{:>12}{:>12}{:>16}",
+        "structure", "touches", "conflicts", "density", "serial-frac"
+    );
+    for k in &par.kinds {
+        println!(
+            "  {:<14}{:>12}{:>12}{:>12.3}{:>15.1}%",
+            k.kind.name(),
+            k.touches,
+            k.conflicts,
+            k.density,
+            k.serial_fraction * 100.0
+        );
+    }
+    println!("  {:<14}{:>12}{:>12}{:>16}", "shard", "weight", "events", "owned-conflicts");
+    for s in &par.shard_load {
+        println!("  {:<14}{:>12}{:>12}{:>16}", s.shard, s.weight, s.events, s.owned_conflicts);
+    }
+    println!("  shard-load imbalance: max/mean {:.2}, gini {:.3}", par.load_max_over_mean, par.load_gini);
+    for shape in [PlanShape::Contiguous, PlanShape::RoundRobin] {
+        for p in par.curve(shape) {
+            println!("  {}", p.sentence());
+        }
+    }
+}
+
+/// The informational metric entries merged by `--record` (names chosen to
+/// classify as `MetricKind::Info`: no "cycles"/"wall"/"_ms"/... substring).
+fn record_metrics(par: &ParObsReport) -> Vec<(String, Json)> {
+    let mut out = vec![
+        (
+            "parobs_conflict_density".to_string(),
+            Json::F64(par.conflicts_total as f64 / par.epochs.max(1) as f64),
+        ),
+        (
+            "parobs_serialized_fraction".to_string(),
+            Json::F64(par.serialized_epochs as f64 / par.epochs.max(1) as f64),
+        ),
+    ];
+    // Clamped what-if counts (16 shards on 8 nodes) repeat an effective
+    // shard count; keep one metric entry per effective count.
+    for p in par.curve(PlanShape::Contiguous) {
+        let name = format!("projected_speedup_{}shards", p.shards);
+        if !out.iter().any(|(n, _)| *n == name) {
+            out.push((name, Json::F64((p.speedup * 100.0).round() / 100.0)));
+        }
+    }
+    out
+}
+
+/// Merges the parobs measurement into an existing bench-record file:
+/// `payload.parobs` is replaced wholesale and the informational metrics
+/// are upserted; everything else in the envelope is preserved.
+fn merge_record(
+    path: &str,
+    kernel: &str,
+    procs: usize,
+    proto: &str,
+    par: &ParObsReport,
+) -> Result<(), String> {
+    let mut record = BenchRecord::from_file(std::path::Path::new(path))?;
+    let parobs_doc = Json::obj([
+        (
+            "command",
+            Json::from(format!("PPC_SHARDS={} par_profile {kernel} {procs} --record {path}", par.shards)),
+        ),
+        ("kernel", Json::from(kernel)),
+        ("procs", Json::from(procs)),
+        ("protocol", Json::from(proto)),
+        ("report", par.to_json()),
+    ]);
+    let Json::Obj(mut payload) = record.payload else {
+        return Err(format!("{path}: payload is not an object"));
+    };
+    payload.retain(|(k, _)| k != "parobs");
+    payload.push(("parobs".to_string(), parobs_doc));
+    record.payload = Json::Obj(payload);
+    let Json::Obj(mut metrics) = record.metrics else {
+        return Err(format!("{path}: metrics is not an object"));
+    };
+    let fresh = record_metrics(par);
+    metrics.retain(|(k, _)| !fresh.iter().any(|(n, _)| n == k));
+    metrics.extend(fresh);
+    record.metrics = Json::Obj(metrics);
+    std::fs::write(path, record.render_file()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("merged parobs measurement into {path}");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = DiagArgs::parse_with(&["--record"]).map_err(|e| format!("{e}\n{USAGE}"))?;
+    let kernel_name = args.positional.first().ok_or_else(|| format!("missing kernel name\n{USAGE}"))?.clone();
+    let kernel = kernel_by_name(&kernel_name)
+        .ok_or_else(|| format!("unknown kernel {kernel_name:?}; one of: {}", KERNEL_NAMES.join(", ")))?;
+    let procs = args.count_or(1, 8)?;
+    let shards = env_shards();
+    let what_if = env_parobs_shards();
+
+    if !args.json {
+        println!(
+            "parallelism profile: {kernel_name}, {procs} procs, {shards} shard(s), what-if {:?}",
+            what_if
+        );
+    }
+    let mut runs = Vec::new();
+    let mut recorded = None;
+    for protocol in PROTOCOLS {
+        let cfg = MachineConfig::paper_hostobs(procs, protocol).with_shards(shards).with_parobs(&what_if);
+        let mut m = Machine::new(cfg);
+        let r = run_kernel(&mut m, &kernel);
+        let par = r.par.as_ref().expect("parobs was enabled").clone();
+        par.check_closure()?;
+        let proto = protocol_name(protocol);
+        if args.json {
+            runs.push(Json::obj([
+                ("protocol", Json::from(proto)),
+                ("cycles", Json::U64(r.cycles)),
+                ("parobs", par.to_json()),
+            ]));
+        } else {
+            let limiting = par
+                .kinds
+                .iter()
+                .max_by_key(|k| k.conflicts)
+                .filter(|k| k.conflicts > 0)
+                .map(|k| format!("busiest structure {}", k.kind.name()))
+                .unwrap_or_default();
+            println!(
+                "{}",
+                summary_line(
+                    proto,
+                    r.cycles,
+                    [format!("{} conflicts in {} epochs", par.conflicts_total, par.epochs), limiting]
+                )
+            );
+            print_report(&par);
+        }
+        if recorded.is_none() {
+            recorded = Some((proto, par));
+        }
+    }
+    if args.json {
+        let doc = Json::obj([
+            ("kernel", Json::from(kernel_name.as_str())),
+            ("procs", Json::from(procs)),
+            ("shards", Json::from(shards)),
+            ("what_if_shards", Json::Arr(what_if.iter().map(|&s| Json::from(s)).collect())),
+            ("runs", Json::Arr(runs)),
+        ])
+        .canonical();
+        println!("{}", doc.render_pretty());
+    }
+    if let Some(path) = args.opt("--record") {
+        let (proto, par) = recorded.expect("at least one protocol ran");
+        merge_record(path, &kernel_name, procs, proto, &par)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

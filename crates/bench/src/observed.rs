@@ -12,13 +12,17 @@ use sim_stats::Json;
 use crate::{barrier_workload, lock_workload, reduction_workload, PROTOCOLS};
 
 /// Command-line shape shared by the diagnostic binaries: positional
-/// arguments plus an optional `--json` flag anywhere on the line.
+/// arguments, an optional `--json` flag anywhere on the line, and any
+/// value-taking options the binary declares (e.g. `--window <c1>:<c2>`).
 #[derive(Debug, Clone, Default)]
 pub struct DiagArgs {
     /// Whether `--json` was passed (machine-readable output to stdout).
     pub json: bool,
     /// The remaining positional arguments, in order.
     pub positional: Vec<String>,
+    /// Raw values of the declared value-taking options, keyed by flag
+    /// name, in the order passed (read via [`DiagArgs::opt`]).
+    pub options: Vec<(String, String)>,
 }
 
 impl DiagArgs {
@@ -28,17 +32,42 @@ impl DiagArgs {
         Self::parse_from(std::env::args().skip(1))
     }
 
+    /// [`DiagArgs::parse`] accepting the given value-taking options, each
+    /// of which consumes the following argument as its value.
+    pub fn parse_with(value_flags: &[&str]) -> Result<DiagArgs, String> {
+        Self::parse_from_with(std::env::args().skip(1), value_flags)
+    }
+
     /// [`DiagArgs::parse`] over an explicit argument list (unit-testable).
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<DiagArgs, String> {
+        Self::parse_from_with(args, &[])
+    }
+
+    /// [`DiagArgs::parse_with`] over an explicit argument list.
+    pub fn parse_from_with(
+        args: impl IntoIterator<Item = String>,
+        value_flags: &[&str],
+    ) -> Result<DiagArgs, String> {
         let mut out = DiagArgs::default();
-        for a in args {
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--json" => out.json = true,
+                s if value_flags.contains(&s) => {
+                    let v = it.next().ok_or_else(|| format!("{s} needs a value"))?;
+                    out.options.push((a, v));
+                }
                 s if s.starts_with("--") => return Err(format!("unknown flag {s:?}")),
                 _ => out.positional.push(a),
             }
         }
         Ok(out)
+    }
+
+    /// The value of value-taking option `name` (last one wins when
+    /// repeated), or `None` when it was not passed.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
 
     /// Positional argument `i`, or `default` when absent.
@@ -200,6 +229,31 @@ mod tests {
         assert_eq!(a.count_or(2, 7).unwrap(), 7);
         assert!(DiagArgs::parse_from(["--jsno".into()]).is_err());
         assert!(DiagArgs::parse_from(["k".into(), "0".into()]).unwrap().count_or(1, 4).is_err());
+    }
+
+    #[test]
+    fn diag_args_value_flags_consume_their_value() {
+        let a = DiagArgs::parse_from_with(
+            ["mcs-lock".into(), "--window".into(), "100:200".into(), "--json".into()],
+            &["--window"],
+        )
+        .unwrap();
+        assert!(a.json);
+        assert_eq!(a.opt("--window"), Some("100:200"));
+        assert_eq!(a.opt("--record"), None);
+        assert_eq!(a.positional, vec!["mcs-lock".to_string()]);
+        // A declared flag with no value fails loudly.
+        let err = DiagArgs::parse_from_with(["--window".into()], &["--window"]).unwrap_err();
+        assert!(err.contains("--window"), "{err}");
+        // Undeclared value flags are still unknown flags.
+        assert!(DiagArgs::parse_from(["--window".into(), "1:2".into()]).is_err());
+        // Last repeat wins.
+        let a = DiagArgs::parse_from_with(
+            ["--window".into(), "1:2".into(), "--window".into(), "3:4".into()],
+            &["--window"],
+        )
+        .unwrap();
+        assert_eq!(a.opt("--window"), Some("3:4"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use kernels::runner::KernelSpec;
 use sim_engine::Cycle;
 use sim_machine::{Checkpoint, Machine, MachineConfig, RecordedEvent, RunResult};
 use sim_proto::Protocol;
-use sim_stats::{DivergenceDetail, FingerprintCompare, HostObsConfig, ObsConfig, CPU_CLASSES};
+use sim_stats::{DivergenceDetail, FingerprintCompare, HostObsConfig, Json, ObsConfig, CPU_CLASSES};
 
 /// Events of shared context recorded before the divergent epoch.
 const CONTEXT_BEFORE: u64 = 8;
@@ -298,6 +298,73 @@ pub fn window_replay(
     })
 }
 
+/// Display line for one recorded event (shared by the binary's text
+/// output and test assertions).
+pub fn event_line(e: &RecordedEvent) -> String {
+    format!("event {:>8} @ cycle {:>10}: {}", e.index, e.cycle, e.label)
+}
+
+fn event_json(e: &RecordedEvent) -> Json {
+    Json::obj([
+        ("index", Json::U64(e.index)),
+        ("cycle", Json::U64(e.cycle)),
+        ("label", Json::from(e.label.as_str())),
+    ])
+}
+
+/// The canonical machine-readable document for a divergence replay (what
+/// `obs_replay --json` prints). Canonical keys, so two identical replays
+/// render byte-identically.
+pub fn divergence_json(kernel: &str, procs: usize, d: &DivergenceReplay) -> Json {
+    Json::obj([
+        ("kernel", Json::from(kernel)),
+        ("procs", Json::from(procs)),
+        ("side_a", Json::from(d.label_a.as_str())),
+        ("side_b", Json::from(d.label_b.as_str())),
+        ("cycles_a", Json::U64(d.cycles.0)),
+        ("cycles_b", Json::U64(d.cycles.1)),
+        ("fingerprint", Json::from(d.sentence.as_str())),
+        ("replayed_from", Json::U64(d.replayed_from)),
+        (
+            "first_divergent_event",
+            match &d.first {
+                None => Json::Null,
+                Some(f) => Json::obj([
+                    ("index", Json::U64(f.index)),
+                    ("a", f.a.as_ref().map(event_json).unwrap_or(Json::Null)),
+                    ("b", f.b.as_ref().map(event_json).unwrap_or(Json::Null)),
+                ]),
+            },
+        ),
+        ("context", Json::Arr(d.prefix.iter().map(event_json).collect())),
+        ("after_a", Json::Arr(d.after_a.iter().map(event_json).collect())),
+        ("after_b", Json::Arr(d.after_b.iter().map(event_json).collect())),
+        ("window_obs_a", Json::from(d.obs_a.as_str())),
+        ("window_obs_b", Json::from(d.obs_b.as_str())),
+    ])
+    .canonical()
+}
+
+/// The canonical machine-readable document for a window replay (what
+/// `obs_replay --window ... --json` prints).
+pub fn window_json(kernel: &str, procs: usize, protocol: &str, w: &WindowReplay) -> Json {
+    let obs = w.window_result.obs.as_ref();
+    Json::obj([
+        ("kernel", Json::from(kernel)),
+        ("procs", Json::from(procs)),
+        ("protocol", Json::from(protocol)),
+        ("original_cycles", Json::U64(w.original_cycles)),
+        ("revalidated_cycles", Json::U64(w.revalidated_cycles)),
+        ("replayed_from_cycle", Json::U64(w.replayed_from_cycle)),
+        ("replayed_from_events", Json::U64(w.replayed_from_events)),
+        ("window_lo", Json::U64(w.window.0)),
+        ("window_hi", Json::U64(w.window.1)),
+        ("window_cycles", Json::U64(w.window_result.cycles)),
+        ("obs", obs.map(|o| o.to_json()).unwrap_or(Json::Null)),
+    ])
+    .canonical()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +418,35 @@ mod tests {
         let obs = w.window_result.obs.as_ref().expect("window ran observed");
         assert!(obs.per_node.iter().any(|n| n.cycles.total() > 0), "window report is non-empty");
         assert!(window_replay(2, Protocol::WriteInvalidate, &kernel, 10, 10).is_err(), "empty window");
+    }
+
+    #[test]
+    fn replay_json_documents_are_canonical_and_byte_identical_across_runs() {
+        let kernel = tiny_lock();
+        let run = || {
+            divergence_replay(2, Protocol::WriteInvalidate, Protocol::PureUpdate, &kernel)
+                .expect("replay runs")
+        };
+        let (d1, d2) = (run(), run());
+        let j1 = divergence_json("ticket-lock", 2, &d1).render();
+        let j2 = divergence_json("ticket-lock", 2, &d2).render();
+        assert_eq!(j1, j2, "divergence JSON is byte-identical across runs");
+        assert_eq!(
+            j1,
+            divergence_json("ticket-lock", 2, &d1).canonical().render(),
+            "document is already canonical"
+        );
+        assert!(j1.contains("\"first_divergent_event\""), "{j1}");
+
+        let mut m = Machine::new(MachineConfig::paper(2, Protocol::WriteInvalidate));
+        let probe = crate::observed::run_kernel(&mut m, &kernel);
+        let (c1, c2) = (probe.cycles / 4, probe.cycles / 2);
+        let wrun = || window_replay(2, Protocol::WriteInvalidate, &kernel, c1, c2).expect("window replays");
+        let (w1, w2) = (wrun(), wrun());
+        let k1 = window_json("ticket-lock", 2, "WI", &w1).render();
+        let k2 = window_json("ticket-lock", 2, "WI", &w2).render();
+        assert_eq!(k1, k2, "window JSON is byte-identical across runs");
+        assert_eq!(k1, window_json("ticket-lock", 2, "WI", &w1).canonical().render());
+        assert!(k1.contains("\"window_cycles\""), "{k1}");
     }
 }

@@ -66,7 +66,10 @@ impl RunSpec {
     /// a core bug can never be masked by a stale serial cache entry).
     /// `PPC_FP_EPOCH=n` overrides the fingerprint-epoch length and
     /// `PPC_CHECKPOINT_EVERY=n` arms periodic deterministic checkpoints;
-    /// both feed the cache key the same way.
+    /// both feed the cache key the same way. `PPC_PAROBS=1` turns on the
+    /// parallelism-observability collector (touch sets, epoch conflicts,
+    /// what-if projection over `PPC_PAROBS_SHARDS`) — passive like the
+    /// rest, and the key diverges with it.
     pub fn paper(procs: usize, protocol: sim_proto::Protocol, kernel: kernels::runner::KernelSpec) -> Self {
         let mut cfg = MachineConfig::paper(procs, protocol);
         if crate::env_cfg::env_flag("PPC_HOSTOBS") {
@@ -77,6 +80,9 @@ impl RunSpec {
         }
         cfg.checkpoint_every = crate::env_cfg::env_checkpoint_every();
         cfg.shards = crate::env_cfg::env_shards();
+        if crate::env_cfg::env_parobs() {
+            cfg = cfg.with_parobs(&crate::env_cfg::env_parobs_shards());
+        }
         RunSpec { spec: ExperimentSpec { procs, protocol, kernel }, cfg }
     }
 

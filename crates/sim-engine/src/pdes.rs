@@ -99,6 +99,21 @@ impl ShardPlan {
         ShardPlan { shard_of, shards, lookahead }
     }
 
+    /// Builds a round-robin partition: node `n` lands in shard
+    /// `n % shards`. Interleaving neighbours across shards trades the
+    /// contiguous plan's cheap lookahead for a different load balance —
+    /// the what-if projector in `sim-stats::parobs` evaluates both shapes
+    /// against recorded epoch traffic. Clamping and validation match
+    /// [`ShardPlan::contiguous`].
+    pub fn round_robin(nodes: usize, requested: usize, lookahead: Cycle) -> Self {
+        assert!(nodes > 0, "a shard plan needs at least one node");
+        assert!(requested > 0, "shard count must be at least 1");
+        assert!(lookahead >= 1, "lookahead must be at least 1 cycle");
+        let shards = requested.min(nodes);
+        let shard_of = (0..nodes).map(|n| n % shards).collect();
+        ShardPlan { shard_of, shards, lookahead }
+    }
+
     /// Effective number of shards (≤ node count).
     pub fn shards(&self) -> usize {
         self.shards
@@ -471,6 +486,20 @@ mod tests {
         let p = ShardPlan::contiguous(3, 16, 2);
         assert_eq!(p.shards(), 3, "more shards than nodes degenerates to one node per shard");
         assert_eq!((0..3).map(|n| p.shard_of(n)).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_and_clamps() {
+        let p = ShardPlan::round_robin(8, 4, 2);
+        assert_eq!(p.shards(), 4);
+        assert_eq!((0..8).map(|n| p.shard_of(n)).collect::<Vec<_>>(), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Clamps like the contiguous plan; both shapes then coincide.
+        let p = ShardPlan::round_robin(3, 16, 2);
+        assert_eq!(p.shards(), 3);
+        assert_eq!((0..3).map(|n| p.shard_of(n)).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Uneven split: early shards take the extra nodes.
+        let p = ShardPlan::round_robin(5, 2, 2);
+        assert_eq!((0..5).map(|n| p.shard_of(n)).collect::<Vec<_>>(), vec![0, 1, 0, 1, 0]);
     }
 
     #[test]

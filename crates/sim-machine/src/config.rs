@@ -4,7 +4,7 @@ use sim_engine::Cycle;
 use sim_mem::{CacheConfig, MemTiming};
 use sim_net::NetConfig;
 use sim_proto::{ProtoConfig, Protocol};
-use sim_stats::{HostObsConfig, ObsConfig};
+use sim_stats::{HostObsConfig, ObsConfig, ParObsConfig};
 
 /// Full configuration of a simulated machine. Defaults reproduce the
 /// paper's 32-node DASH-like multiprocessor (Section 3.1).
@@ -66,6 +66,12 @@ pub struct MachineConfig {
     /// `PPC_CHECKPOINT_EVERY` for the harness binaries; collect with
     /// [`crate::Machine::take_checkpoints`].
     pub checkpoint_every: Option<u64>,
+    /// Parallelism observability: shared-state touch recording, epoch
+    /// conflict analytics, and the what-if shard-speedup projection.
+    /// Disabled by default; like `obs` and `hostobs`, enabling it never
+    /// changes simulated results (enforced by `tests/parobs.rs`). Set via
+    /// `PPC_PAROBS` / `PPC_PAROBS_SHARDS` for the harness binaries.
+    pub parobs: ParObsConfig,
 }
 
 impl MachineConfig {
@@ -90,6 +96,7 @@ impl MachineConfig {
             obs: ObsConfig::default(),
             hostobs: HostObsConfig::default(),
             checkpoint_every: None,
+            parobs: ParObsConfig::default(),
         }
     }
 
@@ -117,6 +124,13 @@ impl MachineConfig {
     /// `shards` shards. Results are cycle-exact regardless of the value.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// The same configuration with parallelism observability recording
+    /// on, projecting against `what_if_shards`. Results are unchanged.
+    pub fn with_parobs(mut self, what_if_shards: &[usize]) -> Self {
+        self.parobs = ParObsConfig { enabled: true, what_if_shards: what_if_shards.to_vec() };
         self
     }
 
@@ -149,6 +163,17 @@ mod tests {
         assert!(!c.hostobs.enabled && !c.hostobs.fingerprint, "host observability is opt-in");
         assert_eq!(c.shards, 1, "the serial core is the default");
         assert_eq!(c.checkpoint_every, None, "checkpoints are opt-in");
+        assert!(!c.parobs.enabled, "parallelism observability is opt-in");
+        assert_eq!(c.parobs.what_if_shards, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn with_parobs_flips_only_parobs() {
+        let c = MachineConfig::paper(8, Protocol::WriteInvalidate).with_parobs(&[2, 8]);
+        assert!(c.parobs.enabled);
+        assert_eq!(c.parobs.what_if_shards, vec![2, 8]);
+        assert_eq!(c.seed, MachineConfig::paper(8, Protocol::WriteInvalidate).seed);
+        assert!(!c.obs.enabled && !c.hostobs.enabled && c.shards == 1);
     }
 
     #[test]

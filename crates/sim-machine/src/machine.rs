@@ -4,12 +4,13 @@ use std::collections::{HashMap, VecDeque};
 
 use sim_engine::{Cycle, EventQueue, FifoServer, NodeId, QueueStats, ShardPlan, ShardedQueue};
 use sim_isa::{Instr, Program};
-use sim_mem::{Addr, Geometry, SharedAlloc, Word, WriteBuffer};
+use sim_mem::{Addr, BlockAddr, Geometry, SharedAlloc, Word, WriteBuffer};
 use sim_net::Network;
 use sim_proto::{AtomicOp, Effects, MemService, Msg, ProtoNode};
 use sim_stats::{
     Classifier, CpuClass, CritCollector, EndpointPairFlits, FingerprintRecorder, HostCat, HostProfiler,
-    NetObsCollector, NodeGauges, NodeSample, ObsCollector, PdesObs, Sample, ShardObs, WaitKind,
+    NetObsCollector, NodeGauges, NodeSample, ObsCollector, ParCollector, PdesObs, Sample, ShardObs,
+    StructKind, WaitKind,
 };
 
 use crate::config::MachineConfig;
@@ -264,6 +265,14 @@ pub struct Machine {
     /// Host nanoseconds spent in event handlers, resliced by the shard of
     /// the committed event; empty when serial or unprofiled.
     shard_nanos: Vec<u64>,
+    /// Parallelism-observability collector (shared-state touch recording,
+    /// epoch conflict analytics, what-if shard-speedup projection); `Some`
+    /// only when `cfg.parobs.enabled`. Purely passive — it only records
+    /// what handlers already did — so simulated results are unchanged
+    /// (enforced end to end by `tests/parobs.rs`).
+    parobs: Option<Box<ParCollector>>,
+    /// Scratch buffer for draining the classifier's per-event touch log.
+    parobs_scratch: Vec<BlockAddr>,
     /// Guards against a second `run` call.
     ran: bool,
     /// Set by [`Machine::restore`]: the machine resumes mid-run, so `run`
@@ -380,6 +389,34 @@ impl Machine {
             clf.enable_lineage();
         }
         let netobs = cfg.obs.enabled.then(|| Box::new(NetObsCollector::new(net.shape())));
+        let parobs = cfg.parobs.enabled.then(|| {
+            let (lookahead, actual_shards) = match &queue {
+                Core::Sharded(c) => (c.plan.lookahead(), c.plan.shards()),
+                // Serial runs record under the same epoch windows the
+                // sharded core would use: derive the lookahead from a
+                // 2-shard trial partition, exactly as the two-step plan
+                // build above does for a live sharded core.
+                Core::Serial(_) => {
+                    let la = if cfg.num_procs > 1 {
+                        let partition = ShardPlan::contiguous(cfg.num_procs, 2, 1);
+                        let shard_map: Vec<usize> =
+                            (0..cfg.num_procs).map(|n| partition.shard_of(n)).collect();
+                        cfg.net.conservative_lookahead(&net.shape(), &shard_map)
+                    } else {
+                        1
+                    };
+                    (la, 1)
+                }
+            };
+            clf.enable_touch_log();
+            Box::new(ParCollector::new(
+                cfg.num_procs,
+                lookahead,
+                actual_shards,
+                cfg.hostobs.enabled,
+                &cfg.parobs.what_if_shards,
+            ))
+        });
         Machine {
             geom,
             net,
@@ -407,6 +444,8 @@ impl Machine {
             shard_chains: (sharded && cfg.hostobs.enabled && cfg.hostobs.fingerprint)
                 .then(|| ShardChains::spawn(shard_count)),
             shard_nanos: if sharded && cfg.hostobs.enabled { vec![0; shard_count] } else { vec![] },
+            parobs,
+            parobs_scratch: Vec::new(),
             ran: false,
             restored: false,
             popped: 0,
@@ -607,9 +646,20 @@ impl Machine {
                 .map(|c| c.finish(end, self.net.phys_link_flits(), &gauges, self.clf.take_home_stats()));
             o
         });
+        let par = self.parobs.take().map(|p| {
+            // The live core's measured epoch-barrier cost feeds the
+            // projection; a serial run has no barriers (0/0 means the
+            // projection assumes free epoch barriers and says so).
+            let (bn, be) = match &self.queue {
+                Core::Sharded(c) => (c.q.barrier_nanos(), c.q.epochs()),
+                Core::Serial(_) => (0, 0),
+            };
+            p.finish(bn, be)
+        });
         let host = self.hostprof.take().map(|hp| {
             let wall = run_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
             let mut report = hp.finish(end, wall, self.queue.stats());
+            report.parobs = par.clone();
             let chains = self.shard_chains.take().map(ShardChains::finish);
             if let Core::Sharded(c) = &self.queue {
                 report.pdes = Some(PdesObs {
@@ -648,6 +698,7 @@ impl Machine {
             atomic_latency: std::mem::take(&mut self.atomic_latency),
             obs,
             host,
+            par,
             fingerprint,
             trace_dropped: self.trace.as_ref().map(|t| t.dropped()).unwrap_or(0),
         }
@@ -704,8 +755,13 @@ impl Machine {
                 sc.record(self.queue.current_shard(), now, kind, a, b);
             }
         }
+        if let Some(p) = self.parobs.as_mut() {
+            p.begin_event(now, Core::target_node(&ev));
+        }
         if self.hostprof.is_none() {
-            return self.handle_event(now, ev);
+            self.handle_event(now, ev);
+            self.parobs_end_event(0);
+            return;
         }
         let cat = match &ev {
             Ev::CpuStep(_) => HostCat::CpuStep,
@@ -725,6 +781,41 @@ impl Machine {
         if let Some(s) = self.shard_nanos.get_mut(shard) {
             *s += own;
         }
+        self.parobs_end_event(own);
+    }
+
+    /// Closes the parobs-open committed event: drains the classifier's
+    /// per-event touch log into classifier-block touches (owned by the
+    /// block's home node) and credits the handler weight (measured nanos
+    /// when the host profiler is on, else one event). No-op when off.
+    fn parobs_end_event(&mut self, nanos: u64) {
+        if self.parobs.is_none() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.parobs_scratch);
+        self.clf.drain_touch_log(&mut scratch);
+        let p = self.parobs.as_mut().expect("checked above");
+        for &block in &scratch {
+            p.touch(StructKind::Classifier, u64::from(block.0), Some(self.geom.home_of(block.0)), true);
+        }
+        p.end_event(nanos);
+        scratch.clear();
+        self.parobs_scratch = scratch;
+    }
+
+    /// Records the directory/DRAM-block touch for a message handled at the
+    /// block's home node (cache-side deliveries leave the directory alone).
+    fn parobs_touch_home(&mut self, msg: &Msg) {
+        if self.parobs.is_none() || msg.dst != self.geom.home_of(msg.addr) {
+            return;
+        }
+        let block = self.geom.block_of(msg.addr);
+        self.parobs.as_mut().expect("checked above").touch(
+            StructKind::Directory,
+            u64::from(block.0),
+            Some(msg.dst),
+            true,
+        );
     }
 
     /// Takes a checkpoint: seals the complete machine state into a blob and
@@ -803,6 +894,7 @@ impl Machine {
             Ev::Deliver(msg) => match msg.mem_service() {
                 MemService::None => {
                     self.trace_handle(&msg, now);
+                    self.parobs_touch_home(&msg);
                     let dst = msg.dst;
                     let fx = self.nodes[dst].handle_msg(msg, &mut self.clf, now);
                     self.process_effects(dst, fx, now);
@@ -823,6 +915,7 @@ impl Machine {
             },
             Ev::HomeHandle(msg) => {
                 self.trace_handle(&msg, now);
+                self.parobs_touch_home(&msg);
                 let dst = msg.dst;
                 let fx = self.nodes[dst].handle_msg(msg, &mut self.clf, now);
                 self.process_effects(dst, fx, now);
@@ -1053,6 +1146,9 @@ impl Machine {
                     let val = self.cpus[n].regs[rs];
                     self.clf.count_write();
                     self.clf.word_write_referenced(n, addr);
+                    if let Some(p) = self.parobs.as_mut() {
+                        p.touch(StructKind::WriteBuffer, n as u64, Some(n), true);
+                    }
                     if self.wbs[n].is_full() {
                         self.set_state(n, CpuState::StallWbFull { addr, val }, t);
                         if let Some(obs) = self.obs.as_mut() {
@@ -1138,6 +1234,9 @@ impl Machine {
                     if let Some(crit) = self.crit.as_mut() {
                         crit.lock_attempt(n, MAGIC_SYNC_BASE + l, t);
                     }
+                    if let Some(p) = self.parobs.as_mut() {
+                        p.touch(StructKind::MagicSync, u64::from(MAGIC_SYNC_BASE + l), None, true);
+                    }
                     let lock = self.magic_locks.entry(l).or_default();
                     if lock.holder.is_none() {
                         lock.holder = Some(n);
@@ -1154,6 +1253,9 @@ impl Machine {
                 }
                 Instr::MagicRelease(l) => {
                     let cost = self.cfg.magic_lock_cycles;
+                    if let Some(p) = self.parobs.as_mut() {
+                        p.touch(StructKind::MagicSync, u64::from(MAGIC_SYNC_BASE + l), None, true);
+                    }
                     let lock = self.magic_locks.entry(l).or_default();
                     assert_eq!(lock.holder, Some(n), "magic release of a lock not held");
                     let next = lock.queue.pop_front();
@@ -1280,6 +1382,14 @@ impl Machine {
     }
 
     fn release_barrier_if_full(&mut self, now: Cycle) {
+        // Arrivals, halt-time completions, and the release itself all
+        // inspect or mutate the barrier cell — a global magic-sync
+        // structure no shard owns.
+        if !self.barrier_waiting.is_empty() {
+            if let Some(p) = self.parobs.as_mut() {
+                p.touch(StructKind::MagicSync, u64::from(MAGIC_SYNC_BASE), None, true);
+            }
+        }
         let alive = self.cfg.num_procs - self.halted;
         if alive > 0 && self.barrier_waiting.len() == alive {
             let cost = self.cfg.magic_barrier_cycles;
@@ -1336,6 +1446,11 @@ impl Machine {
                     None => no.record_local(m.kind.name(), at - now),
                 }
             }
+            // The send reserved service at the destination's receive-port
+            // server — state a by-node split hands to `m.dst`'s shard.
+            if let Some(p) = self.parobs.as_mut() {
+                p.touch(StructKind::RxPort, m.dst as u64, Some(m.dst), true);
+            }
             self.queue.schedule(at, Ev::Deliver(m));
         }
         for m in fx.requeue_home {
@@ -1372,6 +1487,9 @@ impl Machine {
             }
         }
         if fx.write_retired {
+            if let Some(p) = self.parobs.as_mut() {
+                p.touch(StructKind::WriteBuffer, x as u64, Some(x), true);
+            }
             self.wbs[x].pop_head();
             self.queue.schedule(now + 1, Ev::WbIssue(x));
             match self.cpus[x].state {
@@ -1444,6 +1562,9 @@ impl Machine {
     }
 
     fn try_issue_wb(&mut self, n: NodeId, now: Cycle) {
+        if let Some(p) = self.parobs.as_mut() {
+            p.touch(StructKind::WriteBuffer, n as u64, Some(n), true);
+        }
         if let Some(w) = self.wbs[n].head_to_issue() {
             self.wbs[n].mark_head_issued();
             let fx = self.nodes[n].issue_write(w.addr, w.val, &mut self.clf, now);
@@ -1642,8 +1763,12 @@ mod tests {
     /// A contended mixed workload (atomic loop + random delays + a magic
     /// barrier) run at a given shard count, with fingerprints on.
     fn contended_run(shards: usize) -> crate::result::RunResult {
-        let mut m =
-            Machine::new(MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate).with_shards(shards));
+        contended_machine(MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate).with_shards(shards))
+    }
+
+    /// The same contended workload under an arbitrary 8-processor config.
+    fn contended_machine(cfg: MachineConfig) -> crate::result::RunResult {
+        let mut m = Machine::new(cfg);
         let ctr = m.alloc().alloc_block_on(0, 1);
         for n in 0..8 {
             let mut b = ProgramBuilder::new();
@@ -1707,6 +1832,75 @@ mod tests {
     fn serial_run_has_no_pdes_section() {
         let r = contended_run(1);
         assert!(r.host.expect("hostobs on").pdes.is_none());
+    }
+
+    #[test]
+    fn parobs_reports_conflicts_with_closure() {
+        use sim_stats::PlanShape;
+        let r = contended_machine(
+            MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate)
+                .with_shards(4)
+                .with_parobs(&[2, 4, 8, 16]),
+        );
+        let par = r.par.as_ref().expect("parobs on");
+        assert_eq!(par.nodes, 8);
+        assert_eq!(par.shards, 4);
+        assert!(par.epochs > 0 && par.events > 0 && par.touch_records > 0);
+        assert_eq!(par.weights, "nanos", "host profiler supplies handler nanos");
+        assert!(par.conflicts_total > 0, "contended atomics conflict across shards");
+        par.check_closure().expect("per-kind and per-owner conflict counts close");
+        // The shared counter's classifier block is touched from every shard.
+        let clf = par.kinds.iter().find(|k| k.kind == StructKind::Classifier).unwrap();
+        assert!(clf.conflicts > 0, "classifier blocks conflict: {:?}", par.kinds);
+        // Write buffers and the directory are handled at their owning node,
+        // so a by-node split never sees them conflict — by construction.
+        let wb = par.kinds.iter().find(|k| k.kind == StructKind::WriteBuffer).unwrap();
+        assert_eq!(wb.conflicts, 0, "write buffers are shard-local");
+        let dir = par.kinds.iter().find(|k| k.kind == StructKind::Directory).unwrap();
+        assert_eq!(dir.conflicts, 0, "directory blocks are handled at their home");
+        // Both shapes at each what-if count (16 clamps to 8 on 8 nodes
+        // but still projects as its own point).
+        assert_eq!(par.projection.len(), 2 * 4);
+        let curve = par.curve(PlanShape::Contiguous);
+        assert!(curve.len() >= 4, "contiguous curve covers the what-if counts");
+        assert!(curve.windows(2).all(|w| w[0].shards <= w[1].shards));
+        for p in &par.projection {
+            assert!(p.speedup > 0.0);
+            assert!(!p.sentence().is_empty());
+        }
+        // The host report carries the same section for differential tools.
+        assert!(r.host.as_ref().unwrap().parobs.is_some());
+    }
+
+    #[test]
+    fn parobs_is_passive_on_the_sharded_core() {
+        let base = contended_run(2);
+        let with = contended_machine(
+            MachineConfig::paper_hostobs(8, Protocol::CompetitiveUpdate).with_shards(2).with_parobs(&[4, 8]),
+        );
+        assert_eq!(base.cycles, with.cycles);
+        assert_eq!(base.net.messages, with.net.messages);
+        assert_eq!(base.traffic.misses, with.traffic.misses);
+        assert_eq!(base.instructions, with.instructions);
+        // Strongest form: identical committed event streams and final state.
+        assert_eq!(base.fingerprint, with.fingerprint);
+        assert!(base.par.is_none() && with.par.is_some());
+    }
+
+    #[test]
+    fn serial_parobs_run_uses_event_weights() {
+        let r = contended_machine(MachineConfig::paper(8, Protocol::CompetitiveUpdate).with_parobs(&[2, 4]));
+        let par = r.par.expect("parobs on");
+        assert_eq!(par.weights, "events", "no host profiler: weights fall back to event counts");
+        assert_eq!(par.shards, 1, "serial actual plan");
+        assert!(par.lookahead >= 1, "epoch window derived from a trial partition");
+        // One shard can never conflict with itself; the what-if points are
+        // where a serial run's recorded contention shows up.
+        assert_eq!(par.conflicts_total, 0, "the actual serial plan has no cross-shard conflicts");
+        assert!(par.projection.iter().all(|p| p.conflicts_total > 0), "what-if plans see the contention");
+        assert_eq!(par.mean_barrier_nanos, 0.0, "serial runs have no epoch barriers");
+        par.check_closure().expect("closure holds in event-weight mode");
+        assert!(r.host.is_none(), "no host profile without hostobs");
     }
 
     #[test]

@@ -300,6 +300,23 @@ pub struct PdesDelta {
     pub barrier_nanos: Counter,
 }
 
+/// Parallelism-observability deltas ([`crate::parobs`]), present when
+/// both sides ran with touch recording on.
+#[derive(Debug, Clone)]
+pub struct ParObsDelta {
+    /// Lookahead-aligned epochs recorded.
+    pub epochs: Counter,
+    /// Shared-state touch records logged.
+    pub touch_records: Counter,
+    /// Cross-shard conflicts under the actual plan.
+    pub conflicts_total: Counter,
+    /// Epochs with at least one conflict.
+    pub serialized_epochs: Counter,
+    /// Per-structure-kind conflicts, in [`crate::parobs::STRUCT_KINDS`]
+    /// order.
+    pub by_kind: Vec<(&'static str, Counter)>,
+}
+
 /// Host self-profile deltas.
 #[derive(Debug, Clone, Default)]
 pub struct HostDelta {
@@ -311,6 +328,8 @@ pub struct HostDelta {
     pub cats: Vec<HostCatDelta>,
     /// Sharded-core stats, when both sides ran sharded.
     pub pdes: Option<PdesDelta>,
+    /// Parallelism-observability stats, when both sides recorded them.
+    pub parobs: Option<ParObsDelta>,
 }
 
 /// Where two fingerprinted runs stopped being the same.
@@ -645,11 +664,26 @@ fn host_delta(a: &HostObsReport, b: &HostObsReport) -> HostDelta {
         }),
         _ => None,
     };
+    let parobs = match (&a.parobs, &b.parobs) {
+        (Some(pa), Some(pb)) => Some(ParObsDelta {
+            epochs: Counter::new(pa.epochs, pb.epochs),
+            touch_records: Counter::new(pa.touch_records, pb.touch_records),
+            conflicts_total: Counter::new(pa.conflicts_total, pb.conflicts_total),
+            serialized_epochs: Counter::new(pa.serialized_epochs, pb.serialized_epochs),
+            by_kind: crate::parobs::STRUCT_KINDS
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k.name(), Counter::new(pa.conflicts_by_kind[i], pb.conflicts_by_kind[i])))
+                .collect(),
+        }),
+        _ => None,
+    };
     HostDelta {
         wall_nanos: Counter::new(a.wall_nanos, b.wall_nanos),
         events: Counter::new(a.events, b.events),
         cats,
         pdes,
+        parobs,
     }
 }
 
@@ -1083,6 +1117,18 @@ impl ReportDelta {
                     ]),
                 ));
             }
+            if let Some(p) = &h.parobs {
+                host_pairs.push((
+                    "parobs".to_string(),
+                    Json::obj([
+                        ("epochs", p.epochs.to_json()),
+                        ("touch_records", p.touch_records.to_json()),
+                        ("conflicts_total", p.conflicts_total.to_json()),
+                        ("serialized_epochs", p.serialized_epochs.to_json()),
+                        ("conflicts_by_kind", Json::obj(p.by_kind.iter().map(|(k, c)| (*k, c.to_json())))),
+                    ]),
+                ));
+            }
             pairs.push(("host".to_string(), Json::Obj(host_pairs)));
         }
         pairs.push((
@@ -1209,6 +1255,14 @@ impl ReportDelta {
                     p.shards.display(),
                     p.epochs.display(),
                     p.handoff_events.display()
+                );
+            }
+            if let Some(p) = &host.parobs {
+                let _ = writeln!(
+                    out,
+                    "    parobs: conflicts {}, serialized epochs {}",
+                    p.conflicts_total.display(),
+                    p.serialized_epochs.display()
                 );
             }
         }

@@ -32,6 +32,7 @@ use sim_engine::{Cycle, QueueStats, StableHasher};
 
 use crate::hist::LatencyHist;
 use crate::json::Json;
+use crate::parobs::ParObsReport;
 
 /// Host-observability switches. All off by default; the default path pays
 /// one `Option` check per popped event and nothing else.
@@ -222,6 +223,7 @@ impl HostProfiler {
                 far_depth: self.far_depth,
             },
             pdes: None,
+            parobs: None,
         }
     }
 }
@@ -381,6 +383,10 @@ pub struct HostObsReport {
     pub queue: QueueReport,
     /// Sharded-PDES-core analytics; `None` under the serial core.
     pub pdes: Option<PdesObs>,
+    /// Parallelism observability ([`crate::parobs`]): shared-state touch
+    /// analytics and the what-if shard-speedup projection. `None` unless
+    /// the run had `PPC_PAROBS` on.
+    pub parobs: Option<ParObsReport>,
 }
 
 impl HostObsReport {
@@ -436,6 +442,7 @@ impl HostObsReport {
                 ]),
             ),
             ("pdes", self.pdes.as_ref().map(|p| p.to_json()).unwrap_or(Json::Null)),
+            ("parobs", self.parobs.as_ref().map(|p| p.to_json()).unwrap_or(Json::Null)),
         ])
     }
 }

@@ -29,8 +29,10 @@
 //! and memory-back-end telemetry — message journeys, physical-link
 //! traffic, hot-home profiles ([`netobs`]) — Chrome `trace_event` export
 //! ([`chrome`]), host-side self-profiling and streaming determinism
-//! fingerprints ([`hostobs`]), and the dependency-free JSON value they
-//! all serialize through ([`json`]).
+//! fingerprints ([`hostobs`]), shared-state touch tracing with epoch
+//! conflict analytics and what-if shard-speedup projection ([`parobs`]),
+//! and the dependency-free JSON value they all serialize through
+//! ([`json`]).
 
 pub mod chrome;
 pub mod classify;
@@ -42,6 +44,7 @@ pub mod json;
 pub mod lineage;
 pub mod netobs;
 pub mod obs;
+pub mod parobs;
 pub mod report;
 pub mod sampler;
 
@@ -53,7 +56,7 @@ pub use crit::{
 };
 pub use diffobs::{
     Attribution, Counter, CritDelta, FingerprintCompare, HostDelta, LineageDelta, LockDelta, NetDelta,
-    ReportDelta, RunSide, StageDelta,
+    ParObsDelta, ReportDelta, RunSide, StageDelta,
 };
 pub use hist::LatencyHist;
 pub use hostobs::{
@@ -72,6 +75,10 @@ pub use netobs::{
 pub use obs::{
     CpuClass, CycleAccount, EndpointPairFlits, NodeGauges, NodeObs, ObsCollector, ObsConfig, ObsReport,
     StateSlice, CPU_CLASSES,
+};
+pub use parobs::{
+    KindStats, ParCollector, ParObsConfig, ParObsReport, PlanShape, ProjPoint, ShardLoad, StructId,
+    StructKind, STRUCT_KINDS,
 };
 pub use report::{MissClass, MissStats, StructureTraffic, TrafficReport, UpdateClass, UpdateStats};
 pub use sampler::{NodeSample, Sample, TimeSeries};

@@ -1,0 +1,1019 @@
+//! Parallelism observability: shared-state touch tracing, epoch conflict
+//! analytics, and what-if speedup projection for the sharded PDES core.
+//!
+//! ROADMAP item 1 (distribute the PDES commit loop) hinges on one
+//! question: *which* globally shared state actually forces same-epoch
+//! handlers to commit serially, and how much speedup remains once it is
+//! split by shard? This module answers it the way the paper attributes
+//! traffic to program constructs — by attributing serialization to the
+//! structure that causes it.
+//!
+//! Three layers:
+//!
+//! * **Touch-set recording** ([`ParCollector::touch`]): every committed
+//!   event's handler logs the shared structures it read or wrote — a
+//!   classifier block, a receive-port server, a magic-sync cell, a
+//!   directory/DRAM block, a write buffer — as per-node bitmasks inside
+//!   the current lookahead-aligned epoch. Commutative report counters
+//!   (global miss/update tallies) are deliberately excluded: they
+//!   sum-reduce trivially and would drown the signal.
+//! * **Epoch conflict analytics**: under a [`ShardPlan`], a structure
+//!   *conflicts* in an epoch when events committed on two or more
+//!   distinct shards touch it and at least one touch is a write — the
+//!   exact condition under which a distributed commit loop would need
+//!   cross-shard synchronization for it. Conflict counts are kept per
+//!   structure kind with a closure invariant (per-kind counts sum to an
+//!   independently tallied total), alongside per-shard load imbalance
+//!   (max/mean and Gini over handler weight).
+//! * **What-if projection**: the recorded epoch structure is replayed
+//!   against hypothetical shard counts and both [`PlanShape`]s. A
+//!   conflicted epoch executes serially (its full measured weight); a
+//!   clean epoch executes in its heaviest shard's weight; measured mean
+//!   barrier cost is added per epoch. The quotient against the serial
+//!   weight is the projected speedup, and each point names the structure
+//!   kind that serializes the most epochs ("magic-sync serializes 34% of
+//!   epochs at 8 shards").
+//!
+//! Epochs here are fixed windows of `lookahead` cycles
+//! (`cycle / lookahead`), which makes the recording identical between
+//! serial and sharded runs; the live sharded core opens its windows at
+//! the global minimum instead, so counts differ slightly from
+//! [`crate::hostobs::PdesObs::epochs`] by construction. Weights are
+//! measured per-handler nanoseconds when the host profiler is attached,
+//! else committed-event counts (in which case barrier cost, a host-time
+//! quantity, is left out of the projection).
+//!
+//! Everything is passive: the collector observes committed events and
+//! never feeds back into the simulation, so parobs-on runs are
+//! byte-identical to parobs-off runs (pinned by `tests/parobs.rs`).
+
+use sim_engine::{Cycle, NodeId, ShardPlan};
+
+use crate::json::Json;
+
+/// The kinds of globally shared structures a committed handler can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StructKind {
+    /// A classifier per-block entry (last writers, copies, live updates).
+    Classifier,
+    /// A node's receive-port server (senders reserve rx service slots).
+    RxPort,
+    /// A magic-sync cell (idealized lock or barrier table entry).
+    MagicSync,
+    /// A directory/DRAM block at its home node.
+    Directory,
+    /// A node's write buffer.
+    WriteBuffer,
+}
+
+/// Every structure kind, in display order.
+pub const STRUCT_KINDS: [StructKind; 5] = [
+    StructKind::Classifier,
+    StructKind::RxPort,
+    StructKind::MagicSync,
+    StructKind::Directory,
+    StructKind::WriteBuffer,
+];
+
+impl StructKind {
+    /// Stable display name (also the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            StructKind::Classifier => "classifier",
+            StructKind::RxPort => "rx-port",
+            StructKind::MagicSync => "magic-sync",
+            StructKind::Directory => "directory",
+            StructKind::WriteBuffer => "write-buffer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StructKind::Classifier => 0,
+            StructKind::RxPort => 1,
+            StructKind::MagicSync => 2,
+            StructKind::Directory => 3,
+            StructKind::WriteBuffer => 4,
+        }
+    }
+}
+
+/// The node-partition shapes the projector evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// [`ShardPlan::contiguous`] — the shape the live core runs.
+    Contiguous,
+    /// [`ShardPlan::round_robin`] — neighbours interleaved across shards.
+    RoundRobin,
+}
+
+impl PlanShape {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanShape::Contiguous => "contiguous",
+            PlanShape::RoundRobin => "round-robin",
+        }
+    }
+
+    /// Builds the node→shard map for this shape (the lookahead slot of
+    /// the plan is irrelevant to partitioning and pinned to 1).
+    fn shard_of(self, nodes: usize, shards: usize) -> Vec<usize> {
+        let plan = match self {
+            PlanShape::Contiguous => ShardPlan::contiguous(nodes, shards, 1),
+            PlanShape::RoundRobin => ShardPlan::round_robin(nodes, shards, 1),
+        };
+        (0..nodes).map(|n| plan.shard_of(n)).collect()
+    }
+}
+
+/// Identity of one shared structure instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructId {
+    /// What kind of structure it is.
+    pub kind: StructKind,
+    /// Instance discriminator: block base address (classifier,
+    /// directory), owning node (rx-port, write buffer), or sync-cell id
+    /// (magic-sync).
+    pub id: u64,
+    /// The node that would own this structure in a by-shard split (the
+    /// block's home, the port/buffer's node); `None` for global
+    /// magic-sync cells, which no shard owns.
+    pub owner: Option<NodeId>,
+}
+
+/// One epoch-scoped touch record: which nodes' events read/wrote one
+/// structure (bit `n` set = an event committed on node `n` touched it).
+struct TouchRec {
+    sid: StructId,
+    read_mask: u64,
+    write_mask: u64,
+}
+
+/// Per-candidate-plan accumulators, updated once per closed epoch. The
+/// plan is fully described by `shard_of`; the shape a projection point
+/// was requested under lives in `ParCollector::proj_sources`.
+struct PlanAccum {
+    shards: usize,
+    shard_of: Vec<usize>,
+    /// Cross-shard conflicts per structure kind.
+    conflicts_by_kind: [u64; 5],
+    /// Independently tallied conflict total (the closure counterpart).
+    conflicts_total: u64,
+    /// Epochs in which each kind had at least one conflict.
+    serialized_by_kind: [u64; 5],
+    /// Epochs with any conflict (executed serially in the projection).
+    serialized_epochs: u64,
+    /// Epochs in which each kind was the limiter (most conflicts).
+    limiting_by_kind: [u64; 5],
+    /// Conflicts attributed to the owning structure's shard; global
+    /// (unowned) conflicts land in `global_conflicts`.
+    owned_conflicts: Vec<u64>,
+    global_conflicts: u64,
+    /// Projected total weight: serialized epochs at full weight, clean
+    /// epochs at their heaviest shard's weight.
+    projected_weight: u64,
+    /// Lifetime handler weight per shard.
+    shard_weight: Vec<u64>,
+    /// Lifetime committed events per shard.
+    shard_events: Vec<u64>,
+    /// Reusable per-epoch shard-weight scratch (hot path: one close per
+    /// epoch per candidate plan, so no allocation is tolerable there).
+    per_shard: Vec<u64>,
+}
+
+impl PlanAccum {
+    fn new(shape: PlanShape, nodes: usize, shards: usize) -> Self {
+        let shard_of = shape.shard_of(nodes, shards);
+        let shards = shard_of.iter().copied().max().map_or(1, |m| m + 1);
+        PlanAccum {
+            shards,
+            shard_of,
+            conflicts_by_kind: [0; 5],
+            conflicts_total: 0,
+            serialized_by_kind: [0; 5],
+            serialized_epochs: 0,
+            limiting_by_kind: [0; 5],
+            owned_conflicts: vec![0; shards],
+            global_conflicts: 0,
+            projected_weight: 0,
+            shard_weight: vec![0; shards],
+            shard_events: vec![0; shards],
+            per_shard: vec![0; shards],
+        }
+    }
+
+    /// Whether `rec` is a cross-shard conflict under this plan: at least
+    /// one write, touched from two or more distinct shards.
+    fn conflicts(&self, rec: &TouchRec) -> bool {
+        if rec.write_mask == 0 {
+            return false;
+        }
+        let mut m = rec.read_mask | rec.write_mask;
+        let mut shards_seen = 0u64;
+        while m != 0 {
+            let n = m.trailing_zeros() as usize;
+            m &= m - 1;
+            shards_seen |= 1 << self.shard_of[n];
+        }
+        shards_seen.count_ones() >= 2
+    }
+
+    /// Closes one epoch. `active` holds only the nodes that committed
+    /// events this epoch (hot epochs are a handful of events wide, far
+    /// fewer than the machine's nodes); `candidates` indexes the touch
+    /// records that satisfy the plan-independent conflict precondition (a
+    /// write, two or more distinct nodes); `total` is the epoch's summed
+    /// handler weight.
+    fn close_epoch(
+        &mut self,
+        touches: &[TouchRec],
+        candidates: &[usize],
+        active: &[(usize, u64, u64)],
+        total: u64,
+    ) {
+        // Lifetime per-shard weight/event totals are *not* updated here:
+        // they are pure per-node sums, derived once at `finish` from the
+        // collector's lifetime node tallies. The epoch close only needs
+        // the plan-dependent quantities — the heaviest shard's weight and
+        // the conflict counts.
+        let heaviest_shard = if active.len() <= 8 {
+            // Few active nodes (the common case): dedupe their shards in a
+            // stack buffer instead of zeroing and scanning `per_shard`.
+            let mut buf = [(usize::MAX, 0u64); 8];
+            let mut k = 0;
+            for &(n, w, _) in active {
+                let s = self.shard_of[n];
+                match buf[..k].iter_mut().find(|(sh, _)| *sh == s) {
+                    Some(slot) => slot.1 += w,
+                    None => {
+                        buf[k] = (s, w);
+                        k += 1;
+                    }
+                }
+            }
+            buf[..k].iter().map(|&(_, w)| w).max().unwrap_or(0)
+        } else {
+            self.per_shard.iter_mut().for_each(|x| *x = 0);
+            for &(n, w, _) in active {
+                self.per_shard[self.shard_of[n]] += w;
+            }
+            self.per_shard.iter().copied().max().unwrap_or(0)
+        };
+        if candidates.is_empty() {
+            // Clean epoch: shards run concurrently, the heaviest wins.
+            self.projected_weight += heaviest_shard;
+            return;
+        }
+        let mut by_kind = [0u64; 5];
+        // The closure counterpart: `direct` is a separate straight count,
+        // never derived from the per-kind partition.
+        let mut direct = 0u64;
+        for &i in candidates {
+            let rec = &touches[i];
+            if self.conflicts(rec) {
+                by_kind[rec.sid.kind.index()] += 1;
+                direct += 1;
+                match rec.sid.owner {
+                    Some(owner) => self.owned_conflicts[self.shard_of[owner]] += 1,
+                    None => self.global_conflicts += 1,
+                }
+            }
+        }
+        self.conflicts_total += direct;
+        let mut any = false;
+        for (k, &c) in by_kind.iter().enumerate() {
+            self.conflicts_by_kind[k] += c;
+            if c > 0 {
+                self.serialized_by_kind[k] += 1;
+                any = true;
+            }
+        }
+        if any {
+            self.serialized_epochs += 1;
+            let limiter = (0..5).max_by_key(|&k| by_kind[k]).expect("five kinds");
+            self.limiting_by_kind[limiter] += 1;
+            // A conflicted epoch commits serially: full epoch weight.
+            self.projected_weight += total;
+        } else {
+            // Clean epoch: shards run concurrently, the heaviest wins.
+            self.projected_weight += heaviest_shard;
+        }
+    }
+}
+
+/// Configuration for the parallelism-observability layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParObsConfig {
+    /// Whether touch recording is on (off by default: zero cost).
+    pub enabled: bool,
+    /// Hypothetical shard counts the what-if projector evaluates.
+    pub what_if_shards: Vec<usize>,
+}
+
+impl Default for ParObsConfig {
+    fn default() -> Self {
+        ParObsConfig { enabled: false, what_if_shards: vec![2, 4, 8, 16] }
+    }
+}
+
+/// The passive touch-set recorder the machine drives at every committed
+/// event. See the module docs for the model.
+pub struct ParCollector {
+    nodes: usize,
+    lookahead: Cycle,
+    actual_shards: usize,
+    weights_are_nanos: bool,
+    /// The live epoch's touch records (merged by structure identity).
+    touches: Vec<TouchRec>,
+    cur_epoch: u64,
+    cur_node: NodeId,
+    epoch_node_weight: Vec<u64>,
+    epoch_node_events: Vec<u64>,
+    /// Nodes with events in the live epoch (maintained incrementally so
+    /// closing an epoch never scans the full node range).
+    epoch_active: Vec<usize>,
+    /// Reusable scratch: `(node, weight, events)` of the closing epoch.
+    active_scratch: Vec<(usize, u64, u64)>,
+    /// Reusable scratch: indexes of plan-independent conflict candidates.
+    candidate_scratch: Vec<usize>,
+    /// Summed weight of batched single-node epochs (the dominant class at
+    /// small lookaheads): one node committed everything, so no plan can
+    /// see a conflict and every plan projects the identical full weight.
+    /// Folded into every accumulator's projected weight at `finish`.
+    solo_total: u64,
+    epoch_open: bool,
+    /// Lifetime tallies.
+    epochs: u64,
+    events: u64,
+    touch_records: u64,
+    touches_by_kind: [u64; 5],
+    node_weight: Vec<u64>,
+    node_events: Vec<u64>,
+    serial_weight: u64,
+    /// Accumulator 0 is the run's actual plan; the rest are what-ifs.
+    accums: Vec<PlanAccum>,
+    /// One entry per requested what-if projection point (shard count ×
+    /// shape, in request order): the shape it was requested under and
+    /// the accumulator that computes it (shared when plans coincide).
+    proj_sources: Vec<(PlanShape, usize)>,
+}
+
+impl ParCollector {
+    /// Creates a collector for a machine of `nodes` nodes running under a
+    /// contiguous plan of `actual_shards` shards (1 = serial) with the
+    /// given epoch `lookahead`. `weights_are_nanos` says whether
+    /// [`ParCollector::end_event`] receives measured handler nanoseconds
+    /// (host profiler on) or should fall back to event counting.
+    pub fn new(
+        nodes: usize,
+        lookahead: Cycle,
+        actual_shards: usize,
+        weights_are_nanos: bool,
+        what_if_shards: &[usize],
+    ) -> Self {
+        assert!(nodes > 0 && nodes <= 64, "touch masks cover up to 64 nodes, got {nodes}");
+        assert!(lookahead >= 1, "lookahead must be at least 1 cycle");
+        let mut accums = vec![PlanAccum::new(PlanShape::Contiguous, nodes, actual_shards.max(1))];
+        let mut proj_sources = Vec::new();
+        for &s in what_if_shards {
+            for shape in [PlanShape::Contiguous, PlanShape::RoundRobin] {
+                let cand = PlanAccum::new(shape, nodes, s.max(1));
+                // Clamping (x16 on 8 nodes) and one-node-per-shard
+                // degeneracy (contiguous ≡ round-robin at shards ==
+                // nodes) collapse distinct requests onto identical
+                // node→shard maps; every accumulator statistic is a pure
+                // function of that map, so identical plans share one
+                // accumulator and only the projection entry is repeated.
+                let idx = match accums.iter().position(|a| a.shard_of == cand.shard_of) {
+                    Some(i) => i,
+                    None => {
+                        accums.push(cand);
+                        accums.len() - 1
+                    }
+                };
+                proj_sources.push((shape, idx));
+            }
+        }
+        ParCollector {
+            nodes,
+            lookahead,
+            actual_shards: actual_shards.max(1),
+            weights_are_nanos,
+            touches: Vec::new(),
+            cur_epoch: 0,
+            cur_node: 0,
+            epoch_node_weight: vec![0; nodes],
+            epoch_node_events: vec![0; nodes],
+            epoch_active: Vec::with_capacity(nodes),
+            active_scratch: Vec::with_capacity(nodes),
+            candidate_scratch: Vec::new(),
+            solo_total: 0,
+            epoch_open: false,
+            epochs: 0,
+            events: 0,
+            touch_records: 0,
+            touches_by_kind: [0; 5],
+            node_weight: vec![0; nodes],
+            node_events: vec![0; nodes],
+            serial_weight: 0,
+            accums,
+            proj_sources,
+        }
+    }
+
+    fn close_epoch(&mut self) {
+        if !self.epoch_open {
+            return;
+        }
+        self.epochs += 1;
+        // Gather the epoch's active nodes (maintained by `begin_event`) and
+        // the plan-independent conflict candidates once, so each candidate
+        // plan's close touches only what this epoch actually used.
+        self.active_scratch.clear();
+        let mut total = 0u64;
+        for &n in &self.epoch_active {
+            let (w, e) = (self.epoch_node_weight[n], self.epoch_node_events[n]);
+            self.active_scratch.push((n, w, e));
+            total += w;
+            self.epoch_node_weight[n] = 0;
+            self.epoch_node_events[n] = 0;
+        }
+        self.epoch_active.clear();
+        self.serial_weight += total;
+        // A single-node epoch cannot conflict under any plan (every touch
+        // mask is one bit) and projects its full weight everywhere: batch
+        // it instead of walking the candidate plans.
+        if let [(_, w, _)] = *self.active_scratch.as_slice() {
+            self.solo_total += w;
+            self.touches.clear();
+            self.epoch_open = false;
+            return;
+        }
+        self.candidate_scratch.clear();
+        for (i, r) in self.touches.iter().enumerate() {
+            if r.write_mask != 0 && (r.read_mask | r.write_mask).count_ones() >= 2 {
+                self.candidate_scratch.push(i);
+            }
+        }
+        for acc in &mut self.accums {
+            acc.close_epoch(&self.touches, &self.candidate_scratch, &self.active_scratch, total);
+        }
+        self.touches.clear();
+        self.epoch_open = false;
+    }
+
+    /// Opens the committed event: `node` is the node the handler runs on
+    /// (the shard-determining node). Rolls the epoch window when `cycle`
+    /// crosses a lookahead boundary.
+    pub fn begin_event(&mut self, cycle: Cycle, node: NodeId) {
+        let epoch = cycle / self.lookahead;
+        if self.epoch_open && epoch != self.cur_epoch {
+            self.close_epoch();
+        }
+        self.cur_epoch = epoch;
+        self.cur_node = node;
+        self.epoch_open = true;
+        self.events += 1;
+        if self.epoch_node_events[node] == 0 && self.epoch_node_weight[node] == 0 {
+            self.epoch_active.push(node);
+        }
+        self.epoch_node_events[node] += 1;
+        self.node_events[node] += 1;
+    }
+
+    /// Records that the open event's handler touched `kind`/`id`
+    /// (`owner` = the node a by-shard split would give the structure to;
+    /// `None` for global cells). `write` marks a mutation.
+    pub fn touch(&mut self, kind: StructKind, id: u64, owner: Option<NodeId>, write: bool) {
+        let bit = 1u64 << self.cur_node;
+        self.touch_records += 1;
+        self.touches_by_kind[kind.index()] += 1;
+        let sid = StructId { kind, id, owner };
+        if let Some(rec) = self.touches.iter_mut().find(|r| r.sid == sid) {
+            rec.read_mask |= bit;
+            if write {
+                rec.write_mask |= bit;
+            }
+        } else {
+            self.touches.push(TouchRec { sid, read_mask: bit, write_mask: if write { bit } else { 0 } });
+        }
+    }
+
+    /// Closes the committed event, crediting its handler weight (measured
+    /// nanoseconds when the host profiler is attached, else one event).
+    pub fn end_event(&mut self, nanos: u64) {
+        let w = if self.weights_are_nanos { nanos } else { 1 };
+        self.epoch_node_weight[self.cur_node] += w;
+        self.node_weight[self.cur_node] += w;
+    }
+
+    /// Seals the recording into a report. `barrier_nanos`/`barrier_epochs`
+    /// are the live core's measured epoch-barrier totals (0/0 for serial
+    /// runs: the projection then assumes free barriers and says so).
+    pub fn finish(mut self, barrier_nanos: u64, barrier_epochs: u64) -> ParObsReport {
+        self.close_epoch();
+        // Lifetime per-shard loads are pure per-node sums, so they are
+        // derived here, once, instead of being re-added at every epoch
+        // close; batched single-node epochs contribute their full weight
+        // to every plan's projection (no partitioning can split them).
+        for acc in &mut self.accums {
+            for (n, (&w, &e)) in self.node_weight.iter().zip(&self.node_events).enumerate() {
+                let s = acc.shard_of[n];
+                acc.shard_weight[s] += w;
+                acc.shard_events[s] += e;
+            }
+            acc.projected_weight += self.solo_total;
+        }
+        let epochs = self.epochs;
+        let frac = |n: u64| if epochs == 0 { 0.0 } else { n as f64 / epochs as f64 };
+        let mean_barrier_nanos =
+            if barrier_epochs == 0 { 0.0 } else { barrier_nanos as f64 / barrier_epochs as f64 };
+        // Barrier cost is host time; it only composes with nano weights.
+        let barrier_term = if self.weights_are_nanos { mean_barrier_nanos * epochs as f64 } else { 0.0 };
+
+        let actual = &self.accums[0];
+        let kinds = STRUCT_KINDS
+            .iter()
+            .map(|&k| {
+                let i = k.index();
+                KindStats {
+                    kind: k,
+                    touches: self.touches_by_kind[i],
+                    conflicts: actual.conflicts_by_kind[i],
+                    density: frac(actual.conflicts_by_kind[i]),
+                    serial_fraction: frac(actual.serialized_by_kind[i]),
+                }
+            })
+            .collect();
+        let shard_load = (0..actual.shards)
+            .map(|s| ShardLoad {
+                shard: s,
+                weight: actual.shard_weight[s],
+                events: actual.shard_events[s],
+                owned_conflicts: actual.owned_conflicts[s],
+            })
+            .collect::<Vec<_>>();
+        let weights: Vec<u64> = shard_load.iter().map(|s| s.weight).collect();
+        let (load_max_over_mean, load_gini) = imbalance(&weights);
+
+        let projection = self
+            .proj_sources
+            .iter()
+            .map(|&(shape, idx)| {
+                let acc = &self.accums[idx];
+                let projected = acc.projected_weight as f64 + barrier_term;
+                let speedup = if projected <= 0.0 { 1.0 } else { self.serial_weight as f64 / projected };
+                let limiter = (0..5).max_by_key(|&k| acc.limiting_by_kind[k]).expect("five kinds");
+                let limiting = (acc.serialized_epochs > 0).then_some(STRUCT_KINDS[limiter]);
+                ProjPoint {
+                    shape,
+                    shards: acc.shards,
+                    speedup,
+                    serialized_fraction: frac(acc.serialized_epochs),
+                    conflicts_by_kind: acc.conflicts_by_kind,
+                    conflicts_total: acc.conflicts_total,
+                    limiting,
+                    limiting_fraction: limiting.map_or(0.0, |k| frac(acc.serialized_by_kind[k.index()])),
+                }
+            })
+            .collect();
+
+        ParObsReport {
+            nodes: self.nodes,
+            lookahead: self.lookahead,
+            shards: self.actual_shards,
+            epochs,
+            events: self.events,
+            touch_records: self.touch_records,
+            weights: if self.weights_are_nanos { "nanos" } else { "events" },
+            serial_weight: self.serial_weight,
+            mean_barrier_nanos,
+            conflicts_by_kind: self.accums[0].conflicts_by_kind,
+            conflicts_total: self.accums[0].conflicts_total,
+            serialized_epochs: self.accums[0].serialized_epochs,
+            global_conflicts: self.accums[0].global_conflicts,
+            kinds,
+            shard_load,
+            load_max_over_mean,
+            load_gini,
+            projection,
+        }
+    }
+}
+
+/// `(max/mean, Gini)` over per-shard weights; `(1.0, 0.0)` when empty or
+/// all-zero (perfect balance by convention).
+fn imbalance(weights: &[u64]) -> (f64, f64) {
+    let n = weights.len();
+    let total: u64 = weights.iter().sum();
+    if n == 0 || total == 0 {
+        return (1.0, 0.0);
+    }
+    let mean = total as f64 / n as f64;
+    let max = weights.iter().copied().max().unwrap_or(0) as f64;
+    let mut abs_diff_sum = 0.0;
+    for &a in weights {
+        for &b in weights {
+            abs_diff_sum += (a as f64 - b as f64).abs();
+        }
+    }
+    let gini = abs_diff_sum / (2.0 * (n * n) as f64 * mean);
+    (max / mean, gini)
+}
+
+/// Per-structure-kind conflict statistics under the run's actual plan.
+#[derive(Debug, Clone)]
+pub struct KindStats {
+    /// The structure kind.
+    pub kind: StructKind,
+    /// Lifetime touch records of this kind.
+    pub touches: u64,
+    /// Cross-shard conflicts (one per conflicted structure per epoch).
+    pub conflicts: u64,
+    /// Conflicts per epoch.
+    pub density: f64,
+    /// Fraction of epochs this kind serializes (has ≥ 1 conflict in).
+    pub serial_fraction: f64,
+}
+
+/// One shard's lifetime load under the run's actual plan.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// The shard.
+    pub shard: usize,
+    /// Summed handler weight (nanos or events, per the report's unit).
+    pub weight: u64,
+    /// Committed events.
+    pub events: u64,
+    /// Conflicts on structures this shard would own.
+    pub owned_conflicts: u64,
+}
+
+/// One point of the what-if speedup curve.
+#[derive(Debug, Clone)]
+pub struct ProjPoint {
+    /// The partition shape evaluated.
+    pub shape: PlanShape,
+    /// Effective shard count (requested, clamped to the node count).
+    pub shards: usize,
+    /// Projected speedup over serial commit (≥ measured epochs only).
+    pub speedup: f64,
+    /// Fraction of epochs that execute serially (any conflict).
+    pub serialized_fraction: f64,
+    /// Conflicts per structure kind at this point.
+    pub conflicts_by_kind: [u64; 5],
+    /// Independently tallied total (closure counterpart).
+    pub conflicts_total: u64,
+    /// The kind limiting the most epochs; `None` when nothing conflicts.
+    pub limiting: Option<StructKind>,
+    /// Fraction of epochs the limiting kind serializes.
+    pub limiting_fraction: f64,
+}
+
+impl ProjPoint {
+    /// The grep-able curve sentence, e.g. `projection contiguous x8:
+    /// speedup 3.41, magic-sync serializes 34.0% of epochs`.
+    pub fn sentence(&self) -> String {
+        let limiter = match self.limiting {
+            Some(k) => format!("{} serializes {:.1}% of epochs", k.name(), self.limiting_fraction * 100.0),
+            None => "no structure serializes any epoch".to_string(),
+        };
+        format!("projection {} x{}: speedup {:.2}, {}", self.shape.name(), self.shards, self.speedup, limiter)
+    }
+}
+
+/// The sealed parallelism-observability report.
+#[derive(Debug, Clone)]
+pub struct ParObsReport {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Epoch window length in cycles.
+    pub lookahead: Cycle,
+    /// The run's actual (contiguous) shard count; 1 = serial.
+    pub shards: usize,
+    /// Closed epochs.
+    pub epochs: u64,
+    /// Committed events observed.
+    pub events: u64,
+    /// Touch records logged.
+    pub touch_records: u64,
+    /// Weight unit: `"nanos"` (host profiler attached) or `"events"`.
+    pub weights: &'static str,
+    /// Total handler weight (the serial-commit cost the curve divides).
+    pub serial_weight: u64,
+    /// Measured mean epoch-barrier cost (0 for serial runs).
+    pub mean_barrier_nanos: f64,
+    /// Conflicts per kind under the actual plan.
+    pub conflicts_by_kind: [u64; 5],
+    /// Independently tallied conflict total under the actual plan.
+    pub conflicts_total: u64,
+    /// Epochs with any conflict under the actual plan.
+    pub serialized_epochs: u64,
+    /// Conflicts on unowned (global) structures under the actual plan.
+    pub global_conflicts: u64,
+    /// Per-kind statistics under the actual plan.
+    pub kinds: Vec<KindStats>,
+    /// Per-shard load under the actual plan.
+    pub shard_load: Vec<ShardLoad>,
+    /// Max-over-mean shard load imbalance.
+    pub load_max_over_mean: f64,
+    /// Gini coefficient of shard load.
+    pub load_gini: f64,
+    /// The what-if speedup curve (every shape × shard count).
+    pub projection: Vec<ProjPoint>,
+}
+
+impl ParObsReport {
+    /// Asserts the conflict-count closure: per-kind conflicts sum to the
+    /// independently tallied total, under the actual plan and at every
+    /// projection point; owned + global conflicts partition the total
+    /// the same way. Returns the first violation.
+    pub fn check_closure(&self) -> Result<(), String> {
+        let kind_sum: u64 = self.conflicts_by_kind.iter().sum();
+        if kind_sum != self.conflicts_total {
+            return Err(format!(
+                "actual plan: per-kind conflicts sum to {kind_sum}, independent total is {}",
+                self.conflicts_total
+            ));
+        }
+        let owner_sum: u64 =
+            self.shard_load.iter().map(|s| s.owned_conflicts).sum::<u64>() + self.global_conflicts;
+        if owner_sum != self.conflicts_total {
+            return Err(format!(
+                "actual plan: owner-attributed conflicts sum to {owner_sum}, total is {}",
+                self.conflicts_total
+            ));
+        }
+        for p in &self.projection {
+            let s: u64 = p.conflicts_by_kind.iter().sum();
+            if s != p.conflicts_total {
+                return Err(format!(
+                    "projection {} x{}: per-kind conflicts sum to {s}, independent total is {}",
+                    p.shape.name(),
+                    p.shards,
+                    p.conflicts_total
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The curve for one shape, shard-count ascending.
+    pub fn curve(&self, shape: PlanShape) -> Vec<&ProjPoint> {
+        let mut pts: Vec<&ProjPoint> = self.projection.iter().filter(|p| p.shape == shape).collect();
+        pts.sort_by_key(|p| p.shards);
+        pts
+    }
+
+    /// Serializes the whole report.
+    pub fn to_json(&self) -> Json {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                Json::obj([
+                    ("kind", Json::from(k.kind.name())),
+                    ("touches", Json::U64(k.touches)),
+                    ("conflicts", Json::U64(k.conflicts)),
+                    ("density", Json::F64(k.density)),
+                    ("serial_fraction", Json::F64(k.serial_fraction)),
+                ])
+            })
+            .collect();
+        let shard_load = self
+            .shard_load
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("shard", Json::from(s.shard)),
+                    ("weight", Json::U64(s.weight)),
+                    ("events", Json::U64(s.events)),
+                    ("owned_conflicts", Json::U64(s.owned_conflicts)),
+                ])
+            })
+            .collect();
+        let projection = self
+            .projection
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("shape", Json::from(p.shape.name())),
+                    ("shards", Json::from(p.shards)),
+                    ("speedup", Json::F64(p.speedup)),
+                    ("serialized_fraction", Json::F64(p.serialized_fraction)),
+                    (
+                        "conflicts_by_kind",
+                        Json::obj(
+                            STRUCT_KINDS
+                                .iter()
+                                .map(|&k| (k.name(), Json::U64(p.conflicts_by_kind[k.index()]))),
+                        ),
+                    ),
+                    ("conflicts_total", Json::U64(p.conflicts_total)),
+                    ("limiting", p.limiting.map(|k| Json::from(k.name())).unwrap_or(Json::Null)),
+                    ("limiting_fraction", Json::F64(p.limiting_fraction)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("nodes", Json::from(self.nodes)),
+            ("lookahead", Json::U64(self.lookahead)),
+            ("shards", Json::from(self.shards)),
+            ("epochs", Json::U64(self.epochs)),
+            ("events", Json::U64(self.events)),
+            ("touch_records", Json::U64(self.touch_records)),
+            ("weights", Json::from(self.weights)),
+            ("serial_weight", Json::U64(self.serial_weight)),
+            ("mean_barrier_nanos", Json::F64(self.mean_barrier_nanos)),
+            ("conflicts_total", Json::U64(self.conflicts_total)),
+            ("serialized_epochs", Json::U64(self.serialized_epochs)),
+            ("global_conflicts", Json::U64(self.global_conflicts)),
+            ("kinds", Json::Arr(kinds)),
+            ("shard_load", Json::Arr(shard_load)),
+            ("load_max_over_mean", Json::F64(self.load_max_over_mean)),
+            ("load_gini", Json::F64(self.load_gini)),
+            ("projection", Json::Arr(projection)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one event on `node` at `cycle` touching `touches`, with
+    /// weight `w`.
+    fn event(
+        c: &mut ParCollector,
+        cycle: Cycle,
+        node: NodeId,
+        touches: &[(StructKind, u64, Option<NodeId>, bool)],
+        w: u64,
+    ) {
+        c.begin_event(cycle, node);
+        for &(kind, id, owner, write) in touches {
+            c.touch(kind, id, owner, write);
+        }
+        c.end_event(w);
+    }
+
+    #[test]
+    fn cross_shard_write_touch_is_a_conflict_and_closure_holds() {
+        // 4 nodes, actual plan 2 contiguous shards {0,1}|{2,3}.
+        let mut c = ParCollector::new(4, 10, 2, true, &[2, 4]);
+        // Epoch 0: nodes 0 and 2 (different shards) write block 0x100.
+        event(&mut c, 0, 0, &[(StructKind::Classifier, 0x100, Some(0), true)], 5);
+        event(&mut c, 3, 2, &[(StructKind::Classifier, 0x100, Some(0), false)], 7);
+        // Epoch 1: same-shard writes only — no conflict.
+        event(&mut c, 10, 0, &[(StructKind::Classifier, 0x200, Some(1), true)], 4);
+        event(&mut c, 12, 1, &[(StructKind::Classifier, 0x200, Some(1), true)], 6);
+        // Epoch 2: cross-shard reads only — no conflict.
+        event(&mut c, 20, 1, &[(StructKind::Directory, 0x300, Some(2), false)], 2);
+        event(&mut c, 25, 3, &[(StructKind::Directory, 0x300, Some(2), false)], 2);
+        let r = c.finish(0, 0);
+        assert_eq!(r.epochs, 3);
+        assert_eq!(r.events, 6);
+        assert_eq!(r.conflicts_total, 1);
+        assert_eq!(r.conflicts_by_kind[StructKind::Classifier.index()], 1);
+        assert_eq!(r.serialized_epochs, 1);
+        r.check_closure().expect("closure");
+        // Owner attribution: block 0x100's owner is node 0 → shard 0.
+        assert_eq!(r.shard_load[0].owned_conflicts, 1);
+        assert_eq!(r.global_conflicts, 0);
+        // Per-kind serial fraction: classifier serializes 1 of 3 epochs.
+        let clf = &r.kinds[StructKind::Classifier.index()];
+        assert!((clf.serial_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(clf.conflicts, 1);
+    }
+
+    #[test]
+    fn global_cells_conflict_from_any_two_shards() {
+        let mut c = ParCollector::new(4, 4, 2, false, &[]);
+        event(&mut c, 0, 0, &[(StructKind::MagicSync, 9, None, true)], 1);
+        event(&mut c, 1, 3, &[(StructKind::MagicSync, 9, None, true)], 1);
+        let r = c.finish(0, 0);
+        assert_eq!(r.conflicts_total, 1);
+        assert_eq!(r.global_conflicts, 1);
+        assert_eq!(r.conflicts_by_kind[StructKind::MagicSync.index()], 1);
+        r.check_closure().expect("closure");
+    }
+
+    #[test]
+    fn projection_speedup_reflects_conflict_free_parallelism() {
+        // 4 nodes, perfectly balanced, never conflicting: the projected
+        // speedup at 4 shards approaches 4 (no barrier cost recorded).
+        let mut c = ParCollector::new(4, 1, 1, true, &[2, 4]);
+        for cycle in 0..100u64 {
+            for n in 0..4usize {
+                event(&mut c, cycle, n, &[(StructKind::WriteBuffer, n as u64, Some(n), true)], 10);
+            }
+        }
+        let r = c.finish(0, 0);
+        assert_eq!(r.conflicts_total, 0);
+        r.check_closure().expect("closure");
+        for shape in [PlanShape::Contiguous, PlanShape::RoundRobin] {
+            let curve = r.curve(shape);
+            assert_eq!(curve.iter().map(|p| p.shards).collect::<Vec<_>>(), vec![2, 4]);
+            assert!((curve[0].speedup - 2.0).abs() < 1e-9, "{}", curve[0].speedup);
+            assert!((curve[1].speedup - 4.0).abs() < 1e-9, "{}", curve[1].speedup);
+            assert!(curve[1].limiting.is_none());
+        }
+        assert!((r.load_max_over_mean - 1.0).abs() < 1e-12);
+        assert!(r.load_gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_serialized_run_projects_no_speedup() {
+        // Every epoch conflicts on the same magic-sync cell: projected
+        // weight equals serial weight, speedup 1.0 at every point.
+        let mut c = ParCollector::new(4, 1, 2, true, &[2, 4]);
+        for cycle in 0..50u64 {
+            event(&mut c, cycle, 0, &[(StructKind::MagicSync, 1, None, true)], 3);
+            event(&mut c, cycle, 3, &[(StructKind::MagicSync, 1, None, true)], 3);
+        }
+        let r = c.finish(0, 0);
+        assert_eq!(r.serialized_epochs, r.epochs);
+        for p in &r.projection {
+            assert!((p.speedup - 1.0).abs() < 1e-9);
+            assert_eq!(p.limiting, Some(StructKind::MagicSync));
+            assert!((p.limiting_fraction - 1.0).abs() < 1e-12);
+            assert!(p.sentence().contains("magic-sync serializes 100.0% of epochs"), "{}", p.sentence());
+        }
+        r.check_closure().expect("closure");
+    }
+
+    #[test]
+    fn event_weight_fallback_counts_events() {
+        let mut c = ParCollector::new(2, 1, 1, false, &[2]);
+        event(&mut c, 0, 0, &[], 999_999); // nanos ignored in event mode
+        event(&mut c, 0, 1, &[], 999_999);
+        let r = c.finish(12345, 7);
+        assert_eq!(r.weights, "events");
+        assert_eq!(r.serial_weight, 2);
+        // Barrier nanos don't mix with event weights.
+        assert!((r.projection[0].speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_cost_caps_the_nano_projection() {
+        // One epoch, two nodes, 10 nanos each; mean barrier 20 nanos.
+        // At 2 shards: projected = max(10,10) + 20 = 30 vs serial 20.
+        let mut c = ParCollector::new(2, 1, 1, true, &[2]);
+        event(&mut c, 0, 0, &[], 10);
+        event(&mut c, 0, 1, &[], 10);
+        let r = c.finish(200, 10);
+        assert!((r.mean_barrier_nanos - 20.0).abs() < 1e-12);
+        let p = &r.curve(PlanShape::Contiguous)[0];
+        assert!((p.speedup - 20.0 / 30.0).abs() < 1e-9, "{}", p.speedup);
+    }
+
+    #[test]
+    fn read_write_masks_merge_per_structure() {
+        let mut c = ParCollector::new(4, 100, 4, true, &[]);
+        // Node 0 writes, nodes 1..3 read the same rx-port: one record,
+        // one conflict (write + 4 distinct shards).
+        event(&mut c, 0, 0, &[(StructKind::RxPort, 2, Some(2), true)], 1);
+        for n in 1..4usize {
+            event(&mut c, 0, n, &[(StructKind::RxPort, 2, Some(2), false)], 1);
+        }
+        let r = c.finish(0, 0);
+        assert_eq!(r.touch_records, 4);
+        assert_eq!(r.conflicts_total, 1, "merged into one structure record");
+        assert_eq!(r.shard_load[2].owned_conflicts, 1);
+        r.check_closure().expect("closure");
+    }
+
+    #[test]
+    fn imbalance_measures() {
+        assert_eq!(imbalance(&[]), (1.0, 0.0));
+        assert_eq!(imbalance(&[0, 0]), (1.0, 0.0));
+        let (mm, g) = imbalance(&[10, 10, 10, 10]);
+        assert!((mm - 1.0).abs() < 1e-12 && g.abs() < 1e-12);
+        let (mm, g) = imbalance(&[40, 0, 0, 0]);
+        assert!((mm - 4.0).abs() < 1e-12, "{mm}");
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn report_json_is_canonicalizable_and_complete() {
+        let mut c = ParCollector::new(4, 2, 2, true, &[2, 4, 8, 16]);
+        event(&mut c, 0, 0, &[(StructKind::Classifier, 0x40, Some(1), true)], 5);
+        event(&mut c, 1, 2, &[(StructKind::Classifier, 0x40, Some(1), true)], 5);
+        let r = c.finish(10, 2);
+        let json = r.to_json().canonical();
+        let text = json.render_pretty();
+        let parsed = Json::parse(&text).expect("parses");
+        assert_eq!(parsed.get("epochs").and_then(Json::as_u64), Some(1));
+        // Shard counts clamp to the node count: x8/x16 degenerate to x4.
+        let shards: Vec<u64> = parsed
+            .get("projection")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|p| p.get("shape").and_then(Json::as_str) == Some("contiguous"))
+            .map(|p| p.get("shards").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(shards, vec![2, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Enforcement layer for parallelism observability (shared-state touch
+//! tracing, epoch conflict analytics, what-if speedup projection).
+//!
+//! Three promises are on trial:
+//!
+//! * **Zero perturbation** — a parobs-on run must match the parobs-off
+//!   run cycle for cycle, instruction for instruction, traffic event for
+//!   traffic event, and (when fingerprints ride along) digest for digest,
+//!   on both the serial and the sharded core. The collector is purely
+//!   passive.
+//! * **Conflict-count closure** — per-structure-kind conflict counts must
+//!   sum to an independently tallied total, owner-attributed conflicts
+//!   must partition the same total, and both must hold at every what-if
+//!   projection point.
+//! * **Projection sanity** — every requested shard count appears in both
+//!   plan shapes, speedups are positive and finite, and each point names
+//!   its limiting structure exactly when it serializes any epoch.
+//!
+//! Workloads are deliberately small so the whole file runs in a
+//! debug-mode tier-1 pass; none of the promises depend on scale.
+
+use kernels::runner::KernelSpec;
+use kernels::workloads::{BarrierKind, BarrierWorkload, LockKind, LockWorkload, PostRelease};
+use ppc_bench::observed::run_kernel;
+use sim_machine::{Machine, MachineConfig};
+use sim_proto::Protocol;
+use sim_stats::PlanShape;
+
+const PROTOCOLS: [Protocol; 3] =
+    [Protocol::WriteInvalidate, Protocol::PureUpdate, Protocol::CompetitiveUpdate];
+
+fn small_lock() -> KernelSpec {
+    KernelSpec::Lock(LockWorkload {
+        kind: LockKind::Mcs,
+        total_acquires: 160,
+        cs_cycles: 30,
+        post_release: PostRelease::None,
+    })
+}
+
+fn small_barrier() -> KernelSpec {
+    KernelSpec::Barrier(BarrierWorkload { kind: BarrierKind::Centralized, episodes: 24 })
+}
+
+fn run(cfg: MachineConfig, kernel: &KernelSpec) -> sim_machine::RunResult {
+    run_kernel(&mut Machine::new(cfg), kernel)
+}
+
+#[test]
+fn parobs_never_perturbs_the_simulation() {
+    for kernel in [small_lock(), small_barrier()] {
+        for protocol in PROTOCOLS {
+            for shards in [1usize, 2] {
+                let bare = run(MachineConfig::paper(4, protocol).with_shards(shards), &kernel);
+                let with =
+                    run(MachineConfig::paper(4, protocol).with_shards(shards).with_parobs(&[2, 4]), &kernel);
+                assert!(bare.par.is_none() && with.par.is_some());
+                assert_eq!(bare.cycles, with.cycles, "{protocol:?}/{shards}: cycles moved under parobs");
+                assert_eq!(bare.instructions, with.instructions, "{protocol:?}/{shards}");
+                assert_eq!(
+                    format!("{:?}", bare.traffic),
+                    format!("{:?}", with.traffic),
+                    "{protocol:?}/{shards}: traffic classification moved under parobs"
+                );
+                assert_eq!(format!("{:?}", bare.net), format!("{:?}", with.net), "{protocol:?}/{shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parobs_preserves_the_fingerprint_chain() {
+    // With hostobs riding along, the epoch-digest chain — a digest of
+    // every committed event — must be byte-identical parobs-on vs off.
+    for shards in [1usize, 2] {
+        let base = run(
+            MachineConfig::paper_hostobs(4, Protocol::CompetitiveUpdate).with_shards(shards),
+            &small_lock(),
+        );
+        let with = run(
+            MachineConfig::paper_hostobs(4, Protocol::CompetitiveUpdate)
+                .with_shards(shards)
+                .with_parobs(&[2, 4, 8]),
+            &small_lock(),
+        );
+        let a = base.fingerprint.expect("hostobs run carries a fingerprint");
+        let b = with.fingerprint.expect("hostobs+parobs run carries a fingerprint");
+        assert_eq!(a.first_divergence(&b), None, "shards={shards}: parobs diverged the digest chain");
+        assert_eq!(a, b, "shards={shards}: chains compare unequal under parobs");
+        // The report also rides on the host profile for downstream diffing.
+        assert!(with.host.expect("host profile present").parobs.is_some());
+    }
+}
+
+#[test]
+fn conflict_counts_close_under_every_plan() {
+    for kernel in [small_lock(), small_barrier()] {
+        for protocol in PROTOCOLS {
+            let r = run(MachineConfig::paper(4, protocol).with_shards(2).with_parobs(&[2, 4, 16]), &kernel);
+            let par = r.par.expect("parobs report present");
+            par.check_closure().unwrap_or_else(|e| panic!("{protocol:?}: {e}"));
+            // The structural invariants behind the closure: the per-kind
+            // table repeats the actual plan's counts, and every touch
+            // record was attributed to exactly one kind.
+            let kind_sum: u64 = par.kinds.iter().map(|k| k.conflicts).sum();
+            assert_eq!(kind_sum, par.conflicts_total);
+            let touch_sum: u64 = par.kinds.iter().map(|k| k.touches).sum();
+            assert_eq!(touch_sum, par.touch_records);
+        }
+    }
+}
+
+#[test]
+fn projection_covers_both_shapes_and_names_limiters() {
+    let r = run(
+        MachineConfig::paper(4, Protocol::WriteInvalidate).with_shards(2).with_parobs(&[2, 4]),
+        &small_lock(),
+    );
+    let par = r.par.expect("parobs report present");
+    assert_eq!(par.projection.len(), 2 * 2, "every shape x shard count projects");
+    for shape in [PlanShape::Contiguous, PlanShape::RoundRobin] {
+        let curve = par.curve(shape);
+        assert_eq!(curve.iter().map(|p| p.shards).collect::<Vec<_>>(), vec![2, 4]);
+        for p in curve {
+            assert!(p.speedup.is_finite() && p.speedup > 0.0, "{}", p.sentence());
+            assert_eq!(
+                p.limiting.is_some(),
+                p.serialized_fraction > 0.0,
+                "a limiter is named exactly when epochs serialize: {}",
+                p.sentence()
+            );
+            assert!(p.sentence().starts_with(&format!("projection {} x{}", shape.name(), p.shards)));
+        }
+    }
+    // Serial-core fallback: no host profiler, so weights are event counts.
+    assert_eq!(par.weights, "events");
+}
